@@ -1,0 +1,447 @@
+// Package fastt's root-level benchmarks regenerate every table and figure
+// of the paper's evaluation; each benchmark reports the headline metric of
+// its artifact. Run `go test -bench=. -benchmem` here, or use cmd/benchtab
+// for the fully formatted tables.
+package fastt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/experiments"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+	"fastt/internal/optimal"
+	"fastt/internal/pipeline"
+	"fastt/internal/placement"
+	"fastt/internal/sim"
+)
+
+// benchCfg trades a little repetition for runtime: the simulator is
+// deterministic up to jitter, so three measured iterations suffice.
+func benchCfg() experiments.Config {
+	return experiments.Config{MeasureIters: 3, MaxRounds: 2, Seed: 1}
+}
+
+// meanBestSpeedup aggregates a scaling table's last column.
+func meanBestSpeedup(rows []experiments.ScalingRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.BestSpeedup
+	}
+	return sum / float64(len(rows))
+}
+
+// BenchmarkTable1 regenerates Table 1 (strong scaling, nine models, five
+// settings) and reports the mean of the per-model best FastT speedups.
+func BenchmarkTable1(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(r)
+		if err != nil {
+			b.Fatalf("Table1: %v", err)
+		}
+		b.ReportMetric(meanBestSpeedup(rows), "mean-speedup-%")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (weak scaling).
+func BenchmarkTable2(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(r)
+		if err != nil {
+			b.Fatalf("Table2: %v", err)
+		}
+		b.ReportMetric(meanBestSpeedup(rows), "mean-speedup-%")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (BERT-large batch sweep) and reports
+// the largest batch FastT trains on two GPUs.
+func BenchmarkTable3(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(r)
+		if err != nil {
+			b.Fatalf("Table3: %v", err)
+		}
+		maxBatch := 0
+		for _, row := range rows {
+			if !row.FastTOOM && row.GlobalBatch > maxBatch {
+				maxBatch = row.GlobalBatch
+			}
+		}
+		b.ReportMetric(float64(maxBatch), "max-fastt-batch")
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (strategy computation time) and
+// reports the worst-case wall time in seconds.
+func BenchmarkTable4(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	names := []string{
+		"Inception_v3", "VGG-19", "ResNet200", "LeNet", "AlexNet",
+		"GNMT", "RNNLM", "Transformer", "Bert-large",
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(r, names)
+		if err != nil {
+			b.Fatalf("Table4: %v", err)
+		}
+		var worst float64
+		for _, row := range rows {
+			for _, d := range row.CalcWall {
+				if s := d.Seconds(); s > worst {
+					worst = s
+				}
+			}
+		}
+		b.ReportMetric(worst, "max-calc-s")
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5 (VGG-19 split decisions) and reports
+// the number of representative ops FastT decided to split.
+func BenchmarkTable5(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(r)
+		if err != nil {
+			b.Fatalf("Table5: %v", err)
+		}
+		split := 0
+		for _, row := range rows {
+			if row.Split {
+				split++
+			}
+		}
+		b.ReportMetric(float64(split), "split-ops")
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6 (operation splitting on/off) and
+// reports the mean split speedup.
+func BenchmarkTable6(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	names := []string{
+		"Inception_v3", "VGG-19", "ResNet200", "LeNet", "AlexNet",
+		"GNMT", "RNNLM", "Transformer", "Bert-large",
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6(r, names)
+		if err != nil {
+			b.Fatalf("Table6: %v", err)
+		}
+		var sum float64
+		for _, row := range rows {
+			sum += row.SpeedupPct
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-split-speedup-%")
+	}
+}
+
+// BenchmarkFigure2 regenerates Fig. 2 (order enforcement) and reports the
+// best per-iteration-time reduction. It doubles as the order-enforcement
+// ablation.
+func BenchmarkFigure2(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure2(r)
+		if err != nil {
+			b.Fatalf("Figure2: %v", err)
+		}
+		var best float64
+		for _, row := range rows {
+			if row.ReductionPct > best {
+				best = row.ReductionPct
+			}
+		}
+		b.ReportMetric(best, "best-reduction-%")
+	}
+}
+
+// BenchmarkFigure3 regenerates Fig. 3 (comparison with published systems)
+// and reports FastT's mean normalized speed.
+func BenchmarkFigure3(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	for i := 0; i < b.N; i++ {
+		bars, err := experiments.Figure3(r)
+		if err != nil {
+			b.Fatalf("Figure3: %v", err)
+		}
+		var sum float64
+		n := 0
+		for _, bar := range bars {
+			if bar.Measured {
+				sum += bar.Normalized
+				n++
+			}
+		}
+		b.ReportMetric(sum/float64(n), "mean-normalized")
+	}
+}
+
+// BenchmarkFigure4 regenerates Fig. 4 (ops per GPU) and reports the maximal
+// imbalance ratio (max/min ops per device), the signature of FastT's
+// uneven, sync-avoiding placements.
+func BenchmarkFigure4(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4(r)
+		if err != nil {
+			b.Fatalf("Figure4: %v", err)
+		}
+		var worst float64
+		for _, row := range rows {
+			minC, maxC := row.Counts[0], row.Counts[0]
+			for _, c := range row.Counts {
+				if c < minC {
+					minC = c
+				}
+				if c > maxC {
+					maxC = c
+				}
+			}
+			if minC > 0 {
+				if ratio := float64(maxC) / float64(minC); ratio > worst {
+					worst = ratio
+				}
+			}
+		}
+		b.ReportMetric(worst, "max-imbalance")
+	}
+}
+
+// BenchmarkFigure5 regenerates Fig. 5 (compute/memcpy breakdown) and
+// reports the mean memcpy reduction of FastT over DP in percent.
+func BenchmarkFigure5(b *testing.B) {
+	r := experiments.NewRunner(benchCfg())
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5(r)
+		if err != nil {
+			b.Fatalf("Figure5: %v", err)
+		}
+		var sum float64
+		n := 0
+		for _, row := range rows {
+			if row.DP.Memcpy > 0 {
+				sum += (1 - row.FastT.Memcpy/row.DP.Memcpy) * 100
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), "mean-memcpy-reduction-%")
+		}
+	}
+}
+
+// BenchmarkAblationInsertion measures the cost of disabling idle-slot
+// insertion in DPOS.
+func BenchmarkAblationInsertion(b *testing.B) {
+	benchAblation(b, experiments.AblationInsertion)
+}
+
+// BenchmarkAblationCPDevice measures the cost of disabling dedicated
+// critical-path device selection.
+func BenchmarkAblationCPDevice(b *testing.B) {
+	benchAblation(b, experiments.AblationCPDevice)
+}
+
+// BenchmarkAblationCommModel measures the cost of replacing the per-pair
+// linear-regression communication model with a flat estimate.
+func BenchmarkAblationCommModel(b *testing.B) {
+	benchAblation(b, experiments.AblationCommModel)
+}
+
+// BenchmarkOptimalityGap measures how far DPOS lands from the exact
+// optimum (branch-and-bound, internal/optimal) on random small DAGs — the
+// gap Theorem 1 bounds but the paper cannot measure. Reports the mean and
+// worst DPOS/optimal makespan ratios.
+func BenchmarkOptimalityGap(b *testing.B) {
+	cluster, err := device.SingleServer(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(42))
+		var sum, worst float64
+		const trials = 30
+		for trial := 0; trial < trials; trial++ {
+			g := randomBenchDAG(rng, rng.Intn(7)+3)
+			opt, err := optimal.Schedule(g, cluster, oracle, optimal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched, err := core.DPOS(g, cluster, oracle, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var heuristic time.Duration
+			for id := 0; id < g.NumOps(); id++ {
+				if sched.Finish[id] > heuristic {
+					heuristic = sched.Finish[id]
+				}
+			}
+			ratio := heuristic.Seconds() / opt.Makespan.Seconds()
+			sum += ratio
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+		b.ReportMetric(sum/trials, "mean-gap-ratio")
+		b.ReportMetric(worst, "worst-gap-ratio")
+	}
+}
+
+// randomBenchDAG builds a small random DAG with realistic op costs.
+func randomBenchDAG(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.MustAddOp(&graph.Op{
+			Name:        fmt.Sprintf("op%d", i),
+			Kind:        graph.KindConv2D,
+			FLOPs:       rng.Int63n(5e9) + 1e6,
+			OutputBytes: rng.Int63n(8<<20) + 1,
+			Batch:       8,
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				g.MustConnect(i, j, rng.Int63n(4<<20)+1)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkAblationPipeline measures GPipe-style micro-batching (the
+// pipeline extension) against naive model parallelism on VGG-19 across two
+// GPUs, reporting the pipelined speedup in percent.
+func BenchmarkAblationPipeline(b *testing.B) {
+	cluster, err := device.SingleServer(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+	const miniBatch, micro = 32, 4
+	for i := 0; i < b.N; i++ {
+		full, err := models.VGG19(miniBatch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		train, err := graph.BuildDataParallel(full, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mpPlace, err := placement.ModelParallel(train, cluster, graph.DefaultMemoryModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive, err := engine.Run(train, mpPlace, sim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		microModel, err := models.VGG19(miniBatch / micro)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := pipeline.Build(microModel, cluster, graph.MemoryModel{}, micro)
+		if err != nil {
+			b.Fatal(err)
+		}
+		piped, err := engine.Run(plan.Graph, plan.Placement, sim.Config{
+			Discipline: sim.Priority,
+			Priorities: plan.Priorities,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((naive.Makespan.Seconds()/piped.Makespan.Seconds()-1)*100, "pipeline-speedup-%")
+	}
+}
+
+func benchAblation(b *testing.B, run func(experiments.Config) ([]experiments.AblationRow, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := run(benchCfg())
+		if err != nil {
+			b.Fatalf("ablation: %v", err)
+		}
+		var sum float64
+		for _, row := range rows {
+			sum += row.DeltaPct
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-ablation-delta-%")
+	}
+}
+
+// BenchmarkDPOSThroughput measures the raw strategy-calculator speed on a
+// real workload (ResNet200 replicated over 4 GPUs, ~4300 ops) — the
+// quantity behind Table 4's claim that white-box placement runs in seconds
+// on the training node.
+func BenchmarkDPOSThroughput(b *testing.B) {
+	cluster, err := device.SingleServer(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := models.ResNet200(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.BuildDataParallel(m, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := core.DPOS(g, cluster, oracle, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sched.Makespan <= 0 {
+			b.Fatal("bad schedule")
+		}
+	}
+	b.ReportMetric(float64(g.NumOps()), "ops-per-graph")
+}
+
+// BenchmarkSimulatorThroughput measures the discrete-event engine on the
+// same workload, reporting simulated ops per wall second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cluster, err := device.SingleServer(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := models.ResNet200(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.BuildDataParallel(m, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	place, err := placement.DataParallel(g, cluster)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(g, place, sim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumOps()), "ops-per-iteration")
+}

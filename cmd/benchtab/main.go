@@ -1,0 +1,175 @@
+// Command benchtab regenerates the tables and figures of the FastT paper's
+// evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations] [-iters N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fastt/internal/experiments"
+)
+
+func main() {
+	what := flag.String("what", "all", "which artifact to regenerate (comma-separated)")
+	iters := flag.Int("iters", 5, "measured iterations per configuration")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*what, *iters, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(what string, iters int, seed int64) error {
+	cfg := experiments.Config{MeasureIters: iters, Seed: seed}
+	r := experiments.NewRunner(cfg)
+	w := os.Stdout
+
+	want := make(map[string]bool)
+	for _, part := range strings.Split(what, ",") {
+		want[strings.TrimSpace(strings.ToLower(part))] = true
+	}
+	all := want["all"]
+	started := time.Now()
+
+	if all || want["table1"] {
+		rows, err := experiments.Table1(r)
+		if err != nil {
+			return fmt.Errorf("table 1: %w", err)
+		}
+		if err := experiments.WriteScalingTable(w,
+			"Table 1: training speed (samples/s), strong scaling",
+			experiments.Table1Settings(), rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["table2"] {
+		rows, err := experiments.Table2(r)
+		if err != nil {
+			return fmt.Errorf("table 2: %w", err)
+		}
+		if err := experiments.WriteScalingTable(w,
+			"Table 2: training speed (samples/s), weak scaling",
+			experiments.Table2Settings(), rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["table3"] {
+		rows, err := experiments.Table3(r)
+		if err != nil {
+			return fmt.Errorf("table 3: %w", err)
+		}
+		if err := experiments.WriteTable3(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["table4"] {
+		rows, err := experiments.Table4(r, allModels())
+		if err != nil {
+			return fmt.Errorf("table 4: %w", err)
+		}
+		if err := experiments.WriteTable4(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["table5"] {
+		rows, err := experiments.Table5(r)
+		if err != nil {
+			return fmt.Errorf("table 5: %w", err)
+		}
+		if err := experiments.WriteTable5(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["table6"] {
+		rows, err := experiments.Table6(r, allModels())
+		if err != nil {
+			return fmt.Errorf("table 6: %w", err)
+		}
+		if err := experiments.WriteTable6(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["fig2"] {
+		rows, err := experiments.Figure2(r)
+		if err != nil {
+			return fmt.Errorf("figure 2: %w", err)
+		}
+		if err := experiments.WriteFigure2(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["fig3"] {
+		bars, err := experiments.Figure3(r)
+		if err != nil {
+			return fmt.Errorf("figure 3: %w", err)
+		}
+		if err := experiments.WriteFigure3(w, bars); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["fig4"] {
+		rows, err := experiments.Figure4(r)
+		if err != nil {
+			return fmt.Errorf("figure 4: %w", err)
+		}
+		if err := experiments.WriteFigure4(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["fig5"] {
+		rows, err := experiments.Figure5(r)
+		if err != nil {
+			return fmt.Errorf("figure 5: %w", err)
+		}
+		if err := experiments.WriteFigure5(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["ablations"] {
+		for _, abl := range []struct {
+			name string
+			run  func(experiments.Config) ([]experiments.AblationRow, error)
+		}{
+			{"idle-slot insertion disabled", experiments.AblationInsertion},
+			{"critical-path device selection disabled", experiments.AblationCPDevice},
+			{"naive flat communication model", experiments.AblationCommModel},
+		} {
+			rows, err := abl.run(cfg)
+			if err != nil {
+				return fmt.Errorf("ablation %s: %w", abl.name, err)
+			}
+			if err := experiments.WriteAblation(w, abl.name, rows); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "(generated in %v)\n", time.Since(started).Round(time.Millisecond))
+	return nil
+}
+
+func allModels() []string {
+	return []string{
+		"Inception_v3", "VGG-19", "ResNet200", "LeNet", "AlexNet",
+		"GNMT", "RNNLM", "Transformer", "Bert-large",
+	}
+}

@@ -1,0 +1,313 @@
+// Command fastt computes and evaluates a FastT deployment strategy for one
+// of the benchmark models on a simulated GPU cluster: it runs the
+// data-parallel baseline, bootstraps the FastT session (cost models,
+// DPOS/OS-DPOS, checkpoint-activated strategies with rollback), and reports
+// speed, the split list, per-device placement, utilization and an ASCII
+// timeline. Optionally it exports a Chrome trace and a Graphviz DOT of the
+// placed graph.
+//
+// Usage:
+//
+//	fastt -model VGG-19 -gpus 4 [-servers 1] [-batch 64] [-weak]
+//	      [-trace out.json] [-dot out.dot] [-timeline]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+	"fastt/internal/placement"
+	"fastt/internal/session"
+	"fastt/internal/sim"
+	"fastt/internal/trace"
+	"fastt/internal/validate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fastt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model    = flag.String("model", "VGG-19", "benchmark model (see -list)")
+		list     = flag.Bool("list", false, "list available models and exit")
+		gpus     = flag.Int("gpus", 4, "number of GPUs")
+		servers  = flag.Int("servers", 1, "number of servers (GPUs divide evenly)")
+		batch    = flag.Int("batch", 0, "global batch override (0 = paper default)")
+		weak     = flag.Bool("weak", false, "weak scaling (fixed per-GPU batch)")
+		iters    = flag.Int("iters", 5, "measured iterations")
+		seed     = flag.Int64("seed", 1, "random seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace of one FastT iteration")
+		spansOut = flag.String("spans", "", "write the FastT iteration's spans as CSV")
+		dotOut   = flag.String("dot", "", "write the placed graph in Graphviz DOT")
+		timeline = flag.Bool("timeline", false, "print an ASCII timeline")
+		graphIn  = flag.String("graph", "", "schedule a JSON graph (see graph.WriteJSON) instead of a catalog model")
+		export   = flag.String("export", "", "write the selected model's training graph as JSON and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range models.Catalog() {
+			fmt.Printf("%-16s global batch %d, per-GPU batch %d (%s)\n",
+				s.Name, s.GlobalBatch, s.PerGPUBatch, s.Kind)
+		}
+		return nil
+	}
+	if *graphIn != "" {
+		return runCustomGraph(*graphIn, *gpus, *servers, *iters, *seed, *timeline)
+	}
+	spec, err := models.ByName(*model)
+	if err != nil {
+		return err
+	}
+	if *export != "" {
+		return exportModel(spec, *batch, *export)
+	}
+	if *gpus < 1 || *servers < 1 || *gpus%*servers != 0 {
+		return fmt.Errorf("bad topology: %d GPUs on %d servers", *gpus, *servers)
+	}
+	cluster, err := device.NewCluster(*servers, *gpus / *servers)
+	if err != nil {
+		return err
+	}
+
+	global := spec.GlobalBatch
+	if *batch > 0 {
+		global = *batch
+	}
+	perGPU := global / *gpus
+	if *weak {
+		perGPU = spec.PerGPUBatch
+		global = perGPU * *gpus
+	}
+	if perGPU < 1 {
+		perGPU = 1
+	}
+	fmt.Printf("%s on %d GPU(s) across %d server(s), global batch %d (%d per GPU)\n\n",
+		spec.Name, *gpus, *servers, global, perGPU)
+
+	m, err := spec.Build(perGPU)
+	if err != nil {
+		return fmt.Errorf("build model: %w", err)
+	}
+	dp, err := graph.BuildDataParallel(m, *gpus)
+	if err != nil {
+		return fmt.Errorf("replicate model: %w", err)
+	}
+	stats := dp.ComputeStats()
+	fmt.Printf("training graph: %d ops, %d edges, %.1f GFLOPs/iter, %.1f MB parameters\n\n",
+		stats.Ops, stats.Edges, float64(stats.TotalFLOPs)/1e9, float64(stats.ParamBytes)/1e6)
+
+	engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+	dpIter, dpErr := measureDP(engine, cluster, dp, *iters, *seed)
+	switch {
+	case dpErr == nil:
+		fmt.Printf("data parallel : %10v/iter  %10.1f samples/s\n",
+			dpIter.Round(time.Microsecond), float64(global)/dpIter.Seconds())
+	default:
+		var oom *sim.OOMError
+		if !errors.As(dpErr, &oom) {
+			return dpErr
+		}
+		fmt.Printf("data parallel : OOM (%v)\n", dpErr)
+	}
+
+	train := dp
+	if dpErr != nil {
+		full, err := spec.Build(global)
+		if err != nil {
+			return fmt.Errorf("build full-batch model: %w", err)
+		}
+		if train, err = graph.BuildDataParallel(full, 1); err != nil {
+			return fmt.Errorf("wrap full-batch model: %w", err)
+		}
+	}
+	s, err := session.New(cluster, train, session.Config{Seed: *seed, Sched: core.Options{
+		MaxSplitOps:   8,
+		MaxSyncGroups: 8,
+	}})
+	if err != nil {
+		return err
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	run, err := s.Run(*iters)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	fmt.Printf("FastT         : %10v/iter  %10.1f samples/s  (start: %s, %d round(s), calc %v)\n",
+		run.AvgIter.Round(time.Microsecond), float64(global)/run.AvgIter.Seconds(),
+		rep.Start, len(rep.Rounds), rep.CalcWallTotal.Round(time.Millisecond))
+	if dpErr == nil && dpIter > 0 {
+		fmt.Printf("speedup       : %+.1f%%\n", (dpIter.Seconds()/run.AvgIter.Seconds()-1)*100)
+	}
+
+	if splits := s.ActiveSplits(); len(splits) > 0 {
+		fmt.Println("\noperation split list:")
+		for _, sp := range splits {
+			fmt.Printf("  %s\n", sp)
+		}
+	}
+	counts := make(map[int]int)
+	for _, d := range s.ActivePlacement() {
+		counts[d]++
+	}
+	fmt.Println("\nops per device:")
+	for d := 0; d < cluster.NumDevices(); d++ {
+		fmt.Printf("  %-14s %d\n", cluster.Device(d).Name, counts[d])
+	}
+
+	fmt.Println("\nutilization (last iteration):")
+	if err := trace.WriteUtilization(os.Stdout, run.Last); err != nil {
+		return err
+	}
+	if *timeline {
+		fmt.Println("\ntimeline:")
+		if err := trace.WriteTimeline(os.Stdout, run.Last, 100); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, s.ActiveGraph(), run.Last); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Printf("\nChrome trace written to %s\n", *traceOut)
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteSpansCSV(f, s.ActiveGraph(), run.Last); err != nil {
+			return fmt.Errorf("write spans: %w", err)
+		}
+		fmt.Printf("span CSV written to %s\n", *spansOut)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.ActiveGraph().WriteDOT(f, s.ActivePlacement()); err != nil {
+			return fmt.Errorf("write dot: %w", err)
+		}
+		fmt.Printf("placed graph written to %s\n", *dotOut)
+	}
+	return nil
+}
+
+// measureDP runs the pinned data-parallel baseline.
+func measureDP(engine *sim.Engine, cluster *device.Cluster, g *graph.Graph, iters int, seed int64) (time.Duration, error) {
+	place, err := placement.DataParallel(g, cluster)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for i := 0; i < iters; i++ {
+		res, err := engine.Run(g, place, sim.Config{Jitter: 0.02, Seed: seed + int64(i)})
+		if err != nil {
+			return 0, err
+		}
+		total += res.Makespan
+	}
+	return total / time.Duration(iters), nil
+}
+
+// runCustomGraph schedules a user-provided JSON graph with DPOS/OS-DPOS and
+// simulates the result — the library path for graphs that are not in the
+// model catalog.
+func runCustomGraph(path string, gpus, servers, iters int, seed int64, timeline bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := graph.ReadJSON(f)
+	if err != nil {
+		return fmt.Errorf("read graph: %w", err)
+	}
+	if g.HasCycles() {
+		return fmt.Errorf("graph has cycles; unroll it first (graph.Unroll)")
+	}
+	cluster, err := device.NewCluster(servers, gpus/servers)
+	if err != nil {
+		return err
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	st, err := core.ComputeStrategy(g, cluster, oracle, core.Options{MaxSplitOps: 8, MaxSyncGroups: 8})
+	if err != nil {
+		return fmt.Errorf("compute strategy: %w", err)
+	}
+	if err := validate.Strategy(st, cluster, validate.Options{SkipMemory: true}); err != nil {
+		return fmt.Errorf("strategy invalid: %w", err)
+	}
+	engine := sim.NewEngine(cluster, oracle)
+	var total time.Duration
+	var last *sim.Result
+	for i := 0; i < iters; i++ {
+		res, err := engine.Run(st.Graph, st.Placement, sim.Config{
+			Discipline: sim.Priority,
+			Priorities: st.Priorities,
+			Jitter:     0.02,
+			Seed:       seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		total += res.Makespan
+		last = res
+	}
+	avg := total / time.Duration(iters)
+	fmt.Printf("custom graph: %d ops, FastT iteration %v (estimate %v)\n",
+		st.Graph.NumOps(), avg.Round(time.Microsecond), st.Predicted.Round(time.Microsecond))
+	if len(st.Splits) > 0 {
+		fmt.Printf("split list: %v\n", st.Splits)
+	}
+	if timeline {
+		return trace.WriteTimeline(os.Stdout, last, 100)
+	}
+	return nil
+}
+
+// exportModel writes a catalog model's training graph as JSON, usable with
+// -graph or external tooling.
+func exportModel(spec models.Spec, batch int, path string) error {
+	if batch <= 0 {
+		batch = spec.GlobalBatch
+	}
+	g, err := spec.Build(batch)
+	if err != nil {
+		return fmt.Errorf("build model: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteJSON(f); err != nil {
+		return fmt.Errorf("write graph: %w", err)
+	}
+	fmt.Printf("%s (batch %d): %d ops, %d edges written to %s\n",
+		spec.Name, batch, g.NumOps(), g.NumEdges(), path)
+	return nil
+}

@@ -1,0 +1,117 @@
+// bertlarge reproduces the scenario of the paper's Table 3: BERT-large at
+// sequence length 64 does not fit a single 16 GB GPU beyond batch 16, and
+// data parallelism on two GPUs dies at global batch 40 — but FastT notices
+// the OOM, bootstraps from model parallelism instead, and trains batch 40
+// and 48 across the two GPUs without any manual placement.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+	"fastt/internal/placement"
+	"fastt/internal/session"
+	"fastt/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := device.SingleServer(2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("BERT-large (24 layers, seq len 64) on 2x16GB GPUs")
+	fmt.Printf("%-14s %-16s %-24s\n", "global batch", "data parallel", "FastT")
+	for _, batch := range []int{16, 32, 40, 48} {
+		dpCol := dataParallelColumn(cluster, batch)
+		ftCol, err := fastTColumn(cluster, batch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14d %-16s %-24s\n", batch, dpCol, ftCol)
+	}
+	return nil
+}
+
+// dataParallelColumn runs the DP baseline at the batch, reporting OOM where
+// it dies.
+func dataParallelColumn(cluster *device.Cluster, batch int) string {
+	model, err := models.BertLarge(batch / 2)
+	if err != nil {
+		return "error"
+	}
+	train, err := graph.BuildDataParallel(model, 2)
+	if err != nil {
+		return "error"
+	}
+	place, err := placement.DataParallel(train, cluster)
+	if err != nil {
+		return "error"
+	}
+	engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+	res, err := engine.Run(train, place, sim.Config{})
+	if err != nil {
+		var oom *sim.OOMError
+		if errors.As(err, &oom) {
+			return "OOM"
+		}
+		return "error"
+	}
+	return fmt.Sprintf("%.3fs/iter", res.Makespan.Seconds())
+}
+
+// fastTColumn lets FastT pick its own path: data-parallel bootstrap when it
+// fits, model-parallel otherwise.
+func fastTColumn(cluster *device.Cluster, batch int) (string, error) {
+	// FastT's input-graph rule: DP graph when feasible, else the plain DAG.
+	model, err := models.BertLarge(batch / 2)
+	if err != nil {
+		return "", err
+	}
+	train, err := graph.BuildDataParallel(model, 2)
+	if err != nil {
+		return "", err
+	}
+	place, err := placement.DataParallel(train, cluster)
+	if err != nil {
+		return "", err
+	}
+	engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+	if _, err := engine.Run(train, place, sim.Config{}); err != nil {
+		full, err := models.BertLarge(batch)
+		if err != nil {
+			return "", err
+		}
+		if train, err = graph.BuildDataParallel(full, 1); err != nil {
+			return "", err
+		}
+	}
+	s, err := session.New(cluster, train, session.Config{Seed: 7, MaxRounds: 2})
+	if err != nil {
+		return "", err
+	}
+	report, err := s.Bootstrap()
+	if err != nil {
+		if errors.Is(err, session.ErrNoFeasibleStart) {
+			return "OOM", nil
+		}
+		return "", err
+	}
+	stats, err := s.Run(3)
+	if err != nil {
+		return "", err
+	}
+	_ = time.Second
+	return fmt.Sprintf("%.3fs/iter (%s)", stats.AvgIter.Seconds(), report.Start), nil
+}

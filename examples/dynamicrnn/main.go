@@ -1,0 +1,115 @@
+// dynamicrnn demonstrates the cyclic-graph support the paper lists as
+// future work ("A potential solution is to break the cycles and reorganize
+// the graph to be a DAG"): a dynamic RNN is authored as a while-loop — a
+// cell whose state feeds back into itself — and graph.Unroll statically
+// unrolls the loop body over the sequence length, yielding a DAG that DPOS
+// then places and orders across the GPUs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		batch  = 64
+		hidden = 1024
+		seqLen = 24 // trip count of the while loop
+	)
+
+	// Author the dynamic RNN as a cyclic graph: embed -> cell <-> state,
+	// with an attention-style readout after the loop.
+	g := graph.New()
+	tokens := g.MustAddOp(&graph.Op{
+		Name: "tokens", Kind: graph.KindInput,
+		OutputBytes: int64(batch) * 4, Batch: batch,
+	})
+	embed := g.MustAddOp(&graph.Op{
+		Name: "embed", Kind: graph.KindEmbedding,
+		FLOPs:       int64(batch) * hidden,
+		ParamBytes:  10000 * hidden * 4,
+		OutputBytes: int64(batch) * hidden * 4, Batch: batch, Channels: hidden,
+	})
+	cell := g.MustAddOp(&graph.Op{
+		Name: "cell", Kind: graph.KindLSTMCell,
+		FLOPs:       2 * 4 * int64(batch) * hidden * 2 * hidden,
+		ParamBytes:  4 * hidden * 2 * hidden * 4 / seqLen, // amortized over trips
+		OutputBytes: 2 * int64(batch) * hidden * 4, Batch: batch, Channels: hidden,
+	})
+	state := g.MustAddOp(&graph.Op{
+		Name: "state", Kind: graph.KindIdentity,
+		OutputBytes: 2 * int64(batch) * hidden * 4, Batch: batch,
+	})
+	readout := g.MustAddOp(&graph.Op{
+		Name: "readout", Kind: graph.KindMatMul,
+		FLOPs:       2 * int64(batch) * hidden * 10000,
+		ParamBytes:  int64(hidden) * 10000 * 4,
+		OutputBytes: int64(batch) * 10000 * 4, Batch: batch, Channels: 10000,
+	})
+	g.MustConnect(tokens, embed, int64(batch)*4)
+	g.MustConnect(embed, cell, int64(batch)*hidden*4)
+	g.MustConnect(cell, state, 2*int64(batch)*hidden*4)
+	g.MustConnect(state, cell, 2*int64(batch)*hidden*4) // the while-loop back edge
+	g.MustConnect(state, readout, 2*int64(batch)*hidden*4)
+
+	fmt.Printf("authored graph: %d ops, cyclic: %v, loop bodies: %d\n",
+		g.NumOps(), g.HasCycles(), len(g.SCCs()))
+
+	// Break the cycle: unroll the loop body over the sequence.
+	dag, err := graph.Unroll(g, seqLen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("unrolled (%d trips): %d ops, cyclic: %v\n\n",
+		seqLen, dag.NumOps(), dag.HasCycles())
+
+	// Schedule the DAG over two GPUs and execute it.
+	cluster, err := device.SingleServer(2)
+	if err != nil {
+		return err
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	st, err := core.ComputeStrategy(dag, cluster, oracle, core.Options{})
+	if err != nil {
+		return err
+	}
+	engine := sim.NewEngine(cluster, oracle)
+	res, err := engine.Run(st.Graph, st.Placement, sim.Config{
+		Discipline: sim.Priority,
+		Priorities: st.Priorities,
+	})
+	if err != nil {
+		return err
+	}
+	counts := make([]int, 2)
+	for _, d := range st.Placement {
+		counts[d]++
+	}
+	fmt.Printf("scheduled on 2 GPUs: %v ops per device, iteration %v\n",
+		counts, res.Makespan.Round(time.Microsecond))
+	if len(st.Splits) > 0 {
+		fmt.Printf("OS-DPOS additionally split: %v\n", st.Splits)
+	}
+	for _, name := range []string{"cell/iter0", fmt.Sprintf("cell/iter%d", seqLen-1)} {
+		if op, ok := st.Graph.OpByName(name); ok {
+			fmt.Printf("%s on gpu%d\n", name, st.Placement[op.ID])
+		} else {
+			fmt.Printf("%s was split into sub-operations\n", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// scalingsweep sweeps one model across GPU counts under both scaling
+// regimes, printing a miniature version of the paper's Tables 1 and 2 —
+// handy for seeing where data parallelism stops scaling and how much of
+// that FastT recovers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fastt/internal/experiments"
+)
+
+func main() {
+	model := flag.String("model", "GNMT", "benchmark model")
+	flag.Parse()
+	if err := run(*model); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(model string) error {
+	r := experiments.NewRunner(experiments.Config{MeasureIters: 3, Seed: 1})
+	for _, scaling := range []experiments.Scaling{experiments.Strong, experiments.Weak} {
+		fmt.Printf("%s, %s scaling:\n", model, scaling)
+		fmt.Printf("  %-6s %-8s %12s %12s %9s\n", "GPUs", "batch", "DP", "FastT", "speedup")
+		for _, gpus := range []int{1, 2, 4, 8} {
+			cell, err := r.Cell(model, scaling, gpus, 1)
+			if err != nil {
+				return err
+			}
+			dp, ft := "OOM", "OOM"
+			if !cell.DPOOM {
+				dp = fmt.Sprintf("%.1f", cell.DPSpeed)
+			}
+			if !cell.FastTOOM {
+				ft = fmt.Sprintf("%.1f", cell.FastTSpeed)
+			}
+			fmt.Printf("  %-6d %-8d %12s %12s %8.1f%%\n",
+				gpus, cell.GlobalBatch, dp, ft, cell.Speedup())
+		}
+		fmt.Println()
+	}
+	return nil
+}

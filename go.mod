@@ -1,0 +1,3 @@
+module fastt
+
+go 1.22

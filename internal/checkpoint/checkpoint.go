@@ -1,0 +1,96 @@
+// Package checkpoint implements the checkpoint/restart substrate FastT uses
+// to activate a new strategy: TensorFlow 1.x cannot rewrite a graph inside
+// a running session, so FastT checkpoints the model parameters, rebuilds
+// the graph with the new placement/splits, and restores (Sec. 4). This
+// package provides the snapshot encoding and a cost model for the restart
+// overhead the training timeline is charged with.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fastt/internal/graph"
+)
+
+// ErrNoSnapshot is returned when restoring from an empty store.
+var ErrNoSnapshot = errors.New("no snapshot saved")
+
+// Snapshot captures everything needed to resume training under a new
+// strategy: the strategy description and the parameter state. Parameter
+// contents are represented by their size (the simulator has no real
+// weights), which is what the restart cost depends on.
+type Snapshot struct {
+	Step       int                   `json:"step"`
+	ParamBytes int64                 `json:"paramBytes"`
+	Placement  []int                 `json:"placement"`
+	Order      []int                 `json:"order"`
+	Splits     []graph.SplitDecision `json:"splits"`
+}
+
+// Store holds snapshots in memory with JSON round-tripping, verifying the
+// snapshot encodes cleanly (the on-disk format of a real deployment).
+// Store is safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	blob []byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Save encodes and retains the snapshot.
+func (s *Store) Save(snap Snapshot) error {
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blob = blob
+	return nil
+}
+
+// Restore decodes the most recent snapshot.
+func (s *Store) Restore() (Snapshot, error) {
+	s.mu.Lock()
+	blob := s.blob
+	s.mu.Unlock()
+	if blob == nil {
+		return Snapshot{}, ErrNoSnapshot
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("decode snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// CostModel prices a checkpoint/restart cycle.
+type CostModel struct {
+	// SessionStartup is the fixed cost of tearing down and rebuilding the
+	// training session (graph construction, device initialization).
+	SessionStartup time.Duration
+	// DiskBandwidth is the sustained checkpoint read/write rate in
+	// bytes/second.
+	DiskBandwidth float64
+}
+
+// DefaultCostModel reflects a TF 1.14 session restart on the paper's
+// testbed: ~10 s of session startup and a ~2 GB/s NVMe checkpoint path.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SessionStartup: 10 * time.Second,
+		DiskBandwidth:  2e9,
+	}
+}
+
+// RestartCost returns the simulated time to checkpoint paramBytes, restart
+// the session, and restore: write + startup + read.
+func (c CostModel) RestartCost(paramBytes int64) time.Duration {
+	io := 2 * float64(paramBytes) / c.DiskBandwidth
+	return c.SessionStartup + time.Duration(io*float64(time.Second))
+}

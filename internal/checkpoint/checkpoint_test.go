@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fastt/internal/graph"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	snap := Snapshot{
+		Step:       42,
+		ParamBytes: 1 << 30,
+		Placement:  []int{0, 1, 0},
+		Order:      []int{2, 0, 1},
+		Splits: []graph.SplitDecision{
+			{OpName: "conv1_2", Dim: graph.DimBatch, N: 4},
+		},
+	}
+	if err := s.Save(snap); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := s.Restore()
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got.Step != 42 || got.ParamBytes != 1<<30 {
+		t.Errorf("Restore = %+v", got)
+	}
+	if len(got.Placement) != 3 || got.Placement[1] != 1 {
+		t.Errorf("Placement = %v", got.Placement)
+	}
+	if len(got.Splits) != 1 || got.Splits[0].OpName != "conv1_2" ||
+		got.Splits[0].Dim != graph.DimBatch || got.Splits[0].N != 4 {
+		t.Errorf("Splits = %v", got.Splits)
+	}
+}
+
+func TestStoreEmptyRestore(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Restore(); !errors.Is(err, ErrNoSnapshot) {
+		t.Errorf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	s := NewStore()
+	if err := s.Save(Snapshot{Step: 1}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := s.Save(Snapshot{Step: 2}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := s.Restore()
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got.Step != 2 {
+		t.Errorf("Step = %d, want latest 2", got.Step)
+	}
+}
+
+func TestRestartCostScalesWithParams(t *testing.T) {
+	cm := DefaultCostModel()
+	small := cm.RestartCost(1 << 20)
+	big := cm.RestartCost(1 << 30)
+	if big <= small {
+		t.Errorf("restart cost not increasing: small=%v big=%v", small, big)
+	}
+	if small < cm.SessionStartup {
+		t.Errorf("restart cost %v below session startup %v", small, cm.SessionStartup)
+	}
+	// 1 GiB at 2 GB/s, twice (write + read) ~= 1.07s on top of startup.
+	io := big - cm.SessionStartup
+	if io < 900*time.Millisecond || io > 1300*time.Millisecond {
+		t.Errorf("1 GiB IO cost = %v, want ~1.1s", io)
+	}
+}

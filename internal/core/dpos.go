@@ -1,0 +1,401 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// ErrNoFeasiblePlacement is returned when some operation fits on no device
+// (every device would exceed its memory capacity).
+var ErrNoFeasiblePlacement = errors.New("no device can hold operation")
+
+// Options tunes DPOS and OS-DPOS.
+type Options struct {
+	// Memory converts op footprints into resident bytes for capacity
+	// checks. Zero value falls back to graph.DefaultMemoryModel.
+	Memory graph.MemoryModel
+	// MaxSplitOps bounds how many critical-path operations OS-DPOS
+	// considers for splitting; 0 means unlimited (the paper's behaviour:
+	// stop only at the first non-improving op).
+	MaxSplitOps int
+	// Pinned forces named operations onto specific devices (used by the
+	// gradient-sync colocation pass). Pins are soft: when the target
+	// device lacks memory the op falls back to normal selection. Keyed by
+	// name so pins survive graph rewrites.
+	Pinned map[string]int
+	// MaxSyncGroups bounds how many gradient-sync groups the colocation
+	// pass examines; 0 means unlimited.
+	MaxSyncGroups int
+	// DisableInsertion turns off idle-slot insertion (ablation): operations
+	// are appended after the device's last scheduled interval instead of
+	// filling earlier gaps.
+	DisableInsertion bool
+	// DisableCPDevice turns off dedicated critical-path device selection
+	// (ablation): critical-path operations use plain min-EFT like all
+	// others.
+	DisableCPDevice bool
+}
+
+func (o Options) memory() graph.MemoryModel {
+	if o.Memory == (graph.MemoryModel{}) {
+		return graph.DefaultMemoryModel()
+	}
+	return o.Memory
+}
+
+// Schedule is the output of DPOS: device placement, execution order, and
+// the predicted timing of every operation.
+type Schedule struct {
+	// Placement maps op ID -> device ID (S_new of Alg. 1).
+	Placement []int
+	// Order lists op IDs in ascending scheduled start time (A of Alg. 1).
+	Order []int
+	// Priorities maps op ID -> its index in Order, ready to hand to the
+	// simulator's priority queue discipline (FastT's order enforcement).
+	Priorities []int
+	// Start and Finish are the predicted ST/FT per op.
+	Start, Finish []time.Duration
+	// Makespan is the predicted finish time of the last exit operation
+	// (FT(o_exit)).
+	Makespan time.Duration
+	// CriticalPath is the rank-derived critical path used for device
+	// selection.
+	CriticalPath []int
+}
+
+// interval is one scheduled occupation of a device's compute stream.
+type interval struct {
+	start, end time.Duration
+	op         int
+}
+
+// deviceState tracks one device during list scheduling.
+type deviceState struct {
+	intervals []interval // sorted by start
+	memFree   int64
+}
+
+// insertionSlot finds the earliest start >= ready on the device that fits
+// an op of duration dur, allowing insertion into idle gaps between
+// already-scheduled intervals (the paper's avail[j] semantics). With
+// appendOnly it degrades to scheduling after the last interval (ablation).
+func (d *deviceState) insertionSlot(ready, dur time.Duration, appendOnly bool) time.Duration {
+	cand := ready
+	if appendOnly {
+		if n := len(d.intervals); n > 0 {
+			var last time.Duration
+			for _, iv := range d.intervals {
+				if iv.end > last {
+					last = iv.end
+				}
+			}
+			if last > cand {
+				cand = last
+			}
+		}
+		return cand
+	}
+	for _, iv := range d.intervals {
+		if cand+dur <= iv.start {
+			return cand
+		}
+		if iv.end > cand {
+			cand = iv.end
+		}
+	}
+	return cand
+}
+
+// commit inserts the interval, keeping the list sorted by start.
+func (d *deviceState) commit(iv interval) {
+	i := sort.Search(len(d.intervals), func(i int) bool {
+		return d.intervals[i].start >= iv.start
+	})
+	d.intervals = append(d.intervals, interval{})
+	copy(d.intervals[i+1:], d.intervals[i:])
+	d.intervals[i] = iv
+}
+
+// DPOS implements Alg. 1 (Device Placement and Operation Sequencing):
+// list scheduling with critical-path-aware device selection and
+// insertion-based earliest-finish-time placement for off-path operations.
+func DPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Schedule, error) {
+	ranks, err := ComputeRanks(g, cluster, est)
+	if err != nil {
+		return nil, fmt.Errorf("compute ranks: %w", err)
+	}
+	return dposWithRanks(g, cluster, est, opts, ranks)
+}
+
+func dposWithRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
+	opts Options, ranks *Ranks) (*Schedule, error) {
+	n := g.NumOps()
+	mm := opts.memory()
+	devs := cluster.Devices()
+
+	cp := CriticalPath(g, ranks)
+	onCP := make([]bool, n)
+	if !opts.DisableCPDevice {
+		for _, id := range cp {
+			onCP[id] = true
+		}
+	}
+
+	states := make([]*deviceState, len(devs))
+	for i, d := range devs {
+		states[i] = &deviceState{memFree: d.MemoryBytes}
+	}
+
+	// Priority queue: ops in decreasing rank_u order (ancestors first,
+	// since rank strictly decreases along edges).
+	queue := make([]int, n)
+	for i := range queue {
+		queue[i] = i
+	}
+	sort.Slice(queue, func(a, b int) bool {
+		ra, rb := ranks.Rank[queue[a]], ranks.Rank[queue[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return queue[a] < queue[b]
+	})
+
+	sched := &Schedule{
+		Placement:    make([]int, n),
+		Priorities:   make([]int, n),
+		Start:        make([]time.Duration, n),
+		Finish:       make([]time.Duration, n),
+		CriticalPath: cp,
+	}
+	for i := range sched.Placement {
+		sched.Placement[i] = -1
+	}
+
+	// Critical-path device selection (Sec. 5.1): pick the device that can
+	// hold the most remaining CP ops with the smallest average execution
+	// time. cpCursor tracks how far down the path ops have been assigned;
+	// when the current CP device fills up, re-select for the remainder.
+	cpDevice := -1
+	cpCursor := 0
+	selectCPDevice := func() int {
+		bestDev, bestAvg := -1, math.MaxFloat64
+		for di, d := range devs {
+			free := states[di].memFree
+			var total time.Duration
+			count := 0
+			for _, id := range cp[cpCursor:] {
+				need := mm.OpBytes(g.Op(id))
+				if need > free {
+					break
+				}
+				free -= need
+				total += est.Exec(g.Op(id), d)
+				count++
+			}
+			if count == 0 {
+				continue
+			}
+			avg := float64(total) / float64(count)
+			if avg < bestAvg {
+				bestAvg = avg
+				bestDev = di
+			}
+		}
+		return bestDev
+	}
+
+	placed := make([]bool, n)
+
+	// Channel booking: the schedule estimate accounts for transfer
+	// serialization on each ordered device pair (one copy engine per pair,
+	// matching the executor), and dedupes transfers per (producer,
+	// destination device) — a tensor consumed by several ops on one device
+	// is sent once. Without this, the estimate hides exactly the
+	// congestion that gradient-sync colocation removes, and the strategy
+	// calculator cannot see colocation's benefit.
+	chanAvail := make(map[[2]int]time.Duration)
+	copyDone := make(map[[2]int]time.Duration) // (producer, dest dev) -> arrival
+
+	// arrivals returns when op's inputs are all present on dev; when
+	// commit is true the implied transfers are booked on their channels.
+	arrivals := func(op *graph.Op, dev int, commit bool) time.Duration {
+		var t time.Duration
+		// Local overlays so probing does not mutate the books.
+		var localChan map[[2]int]time.Duration
+		var localCopy map[[2]int]time.Duration
+		if !commit {
+			localChan = make(map[[2]int]time.Duration, 2)
+			localCopy = make(map[[2]int]time.Duration, 2)
+		}
+		getChan := func(k [2]int) time.Duration {
+			if !commit {
+				if v, ok := localChan[k]; ok {
+					return v
+				}
+			}
+			return chanAvail[k]
+		}
+		for _, e := range g.InEdges(op.ID) {
+			if !placed[e.From] {
+				continue // unplaced preds cannot happen in rank order, but be safe
+			}
+			from := sched.Placement[e.From]
+			if from == dev {
+				if ft := sched.Finish[e.From]; ft > t {
+					t = ft
+				}
+				continue
+			}
+			ck := [2]int{e.From, dev}
+			var arr time.Duration
+			if v, ok := copyDone[ck]; ok {
+				arr = v
+			} else if v, ok := localCopy[ck]; !commit && ok {
+				arr = v
+			} else {
+				pair := [2]int{from, dev}
+				start := sched.Finish[e.From]
+				if avail := getChan(pair); avail > start {
+					start = avail
+				}
+				arr = start + est.Comm(e.Bytes, devs[from], devs[dev])
+				if commit {
+					chanAvail[pair] = arr
+					copyDone[ck] = arr
+				} else {
+					localChan[pair] = arr
+					localCopy[ck] = arr
+				}
+			}
+			if arr > t {
+				t = arr
+			}
+		}
+		return t
+	}
+	ready := func(op *graph.Op, dev int) time.Duration {
+		return arrivals(op, dev, false)
+	}
+
+	place := func(op *graph.Op, dev int) {
+		dur := est.Exec(op, devs[dev])
+		st := states[dev].insertionSlot(arrivals(op, dev, true), dur, opts.DisableInsertion)
+		states[dev].commit(interval{start: st, end: st + dur, op: op.ID})
+		states[dev].memFree -= mm.OpBytes(op)
+		sched.Placement[op.ID] = dev
+		sched.Start[op.ID] = st
+		sched.Finish[op.ID] = st + dur
+		placed[op.ID] = true
+	}
+
+	// bestEFT returns the device minimizing the op's EFT among devices
+	// with sufficient memory; EFT is +inf (skipped) otherwise.
+	bestEFT := func(op *graph.Op) (int, error) {
+		need := mm.OpBytes(op)
+		bestDev := -1
+		var bestFinish time.Duration
+		for di, d := range devs {
+			if states[di].memFree < need {
+				continue // EFT = +inf (Alg. 1 line 14)
+			}
+			dur := est.Exec(op, d)
+			st := states[di].insertionSlot(ready(op, di), dur, opts.DisableInsertion)
+			if ft := st + dur; bestDev == -1 || ft < bestFinish {
+				bestDev = di
+				bestFinish = ft
+			}
+		}
+		if bestDev == -1 {
+			return 0, fmt.Errorf("%w: %q needs %d bytes", ErrNoFeasiblePlacement, op.Name, need)
+		}
+		return bestDev, nil
+	}
+
+	for _, id := range queue {
+		op := g.Op(id)
+
+		// Honor colocation constraints first (device placer contract).
+		if op.ColocateWith != "" {
+			if target, ok := g.OpByName(op.ColocateWith); ok && placed[target.ID] {
+				place(op, sched.Placement[target.ID])
+				continue
+			}
+		}
+
+		// Honor soft pins (gradient-sync colocation) when memory allows.
+		if dev, ok := opts.Pinned[op.Name]; ok && dev >= 0 && dev < len(devs) {
+			if states[dev].memFree >= mm.OpBytes(op) {
+				place(op, dev)
+				if onCP[id] {
+					advanceCursor(cp, &cpCursor, id)
+				}
+				continue
+			}
+		}
+
+		if onCP[id] {
+			need := mm.OpBytes(op)
+			if cpDevice < 0 || states[cpDevice].memFree < need {
+				cpDevice = selectCPDevice()
+			}
+			if cpDevice >= 0 && states[cpDevice].memFree >= need {
+				place(op, cpDevice)
+				advanceCursor(cp, &cpCursor, id)
+				continue
+			}
+			// No CP device can take it: fall through to min-EFT.
+			advanceCursor(cp, &cpCursor, id)
+		}
+
+		dev, err := bestEFT(op)
+		if err != nil {
+			return nil, err
+		}
+		place(op, dev)
+	}
+
+	// Execution list A: ops by ascending ST (Alg. 1 line 23).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := sched.Start[order[a]], sched.Start[order[b]]
+		if sa != sb {
+			return sa < sb
+		}
+		ra, rb := ranks.Rank[order[a]], ranks.Rank[order[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+	sched.Order = order
+	for i, id := range order {
+		sched.Priorities[id] = i
+	}
+	for _, id := range g.ExitOps() {
+		if sched.Finish[id] > sched.Makespan {
+			sched.Makespan = sched.Finish[id]
+		}
+	}
+	return sched, nil
+}
+
+// advanceCursor moves the CP cursor past id if id is the next CP entry, so
+// CP device re-selection only considers genuinely remaining path ops.
+func advanceCursor(cp []int, cursor *int, id int) {
+	for *cursor < len(cp) && cp[*cursor] != id {
+		*cursor++
+	}
+	if *cursor < len(cp) {
+		*cursor++
+	}
+}

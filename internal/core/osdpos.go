@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// SplitResult is the output of OS-DPOS: the rewritten graph (with accepted
+// splits applied), its schedule, and the split list SP[].
+type SplitResult struct {
+	// Graph is the final computation graph after all accepted splits.
+	Graph *graph.Graph
+	// Schedule is the DPOS schedule of Graph.
+	Schedule *Schedule
+	// Splits is the accepted operation split list SP[] of Alg. 2.
+	Splits []graph.SplitDecision
+	// Evaluated counts candidate (dimension, split count) DPOS evaluations
+	// performed, for strategy-computation-time analysis (Table 4).
+	Evaluated int
+}
+
+// OSDPOS implements Alg. 2 (Operation Splitting DPOS): run DPOS, compute
+// the placement-aware critical path, then walk its operations in descending
+// computation time, trying every parallelizable dimension and split count;
+// a split is kept only if it strictly reduces the finish time of the exit
+// operation, and the walk stops at the first operation whose best split
+// does not improve it.
+func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*SplitResult, error) {
+	sched, err := DPOS(g, cluster, est, opts)
+	if err != nil {
+		return nil, fmt.Errorf("initial DPOS: %w", err)
+	}
+	res := &SplitResult{Graph: g, Schedule: sched}
+	ftOld := sched.Makespan
+
+	// Critical path based on S_new and G (Alg. 2 line 4): ranks evaluated
+	// at the placed devices rather than worst-case maxima.
+	cp, execOnPlaced, err := placedCriticalPath(g, cluster, est, sched)
+	if err != nil {
+		return nil, fmt.Errorf("placed critical path: %w", err)
+	}
+	// Sort CP by descending computation time (line 5).
+	sort.SliceStable(cp, func(a, b int) bool {
+		return execOnPlaced[cp[a]] > execOnPlaced[cp[b]]
+	})
+
+	numDev := cluster.NumDevices()
+	attempted := 0
+	for _, cpID := range cp {
+		opName := g.Op(cpID).Name // names survive rewrites; IDs do not
+		cur, ok := res.Graph.OpByName(opName)
+		if !ok {
+			continue // replaced by an earlier accepted split
+		}
+		dims := cur.SplittableDims()
+		if len(dims) == 0 || numDev < 2 {
+			continue
+		}
+		if opts.MaxSplitOps > 0 && attempted >= opts.MaxSplitOps {
+			break
+		}
+		attempted++
+
+		var (
+			bestFT    time.Duration
+			bestGraph *graph.Graph
+			bestSched *Schedule
+			bestDec   graph.SplitDecision
+			found     bool
+		)
+		for _, dim := range dims {
+			for n := 2; n <= numDev; n++ {
+				candidate, err := graph.SplitOperation(res.Graph, cur.ID, dim, n)
+				if err != nil {
+					continue // extent too small for this n, etc.
+				}
+				s, err := DPOS(candidate, cluster, est, opts)
+				if err != nil {
+					continue // infeasible under memory constraints
+				}
+				res.Evaluated++
+				if !found || s.Makespan < bestFT {
+					found = true
+					bestFT = s.Makespan
+					bestGraph = candidate
+					bestSched = s
+					bestDec = graph.SplitDecision{OpName: opName, Dim: dim, N: n}
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		if bestFT < ftOld {
+			ftOld = bestFT
+			res.Graph = bestGraph
+			res.Schedule = bestSched
+			res.Splits = append(res.Splits, bestDec)
+		} else {
+			// First non-improving operation ends the exploration
+			// (Alg. 2 lines 11-13).
+			break
+		}
+	}
+	return res, nil
+}
+
+// placedCriticalPath recomputes the critical path using the actual
+// placement: w_i is the execution time on the op's assigned device, and
+// edge costs are the transfer times between the assigned devices. It
+// returns the path and the per-op placed execution times.
+func placedCriticalPath(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
+	sched *Schedule) ([]int, []time.Duration, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := g.NumOps()
+	exec := make([]time.Duration, n)
+	for _, op := range g.Ops() {
+		exec[op.ID] = est.Exec(op, cluster.Device(sched.Placement[op.ID]))
+	}
+	rank := make([]time.Duration, n)
+	idx := edgeIndex(g)
+	edges := g.Edges()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		var best time.Duration
+		for _, ei := range idx[id] {
+			e := edges[ei]
+			comm := est.Comm(e.Bytes,
+				cluster.Device(sched.Placement[e.From]),
+				cluster.Device(sched.Placement[e.To]))
+			if v := comm + rank[e.To]; v > best {
+				best = v
+			}
+		}
+		rank[id] = exec[id] + best
+	}
+	r := &Ranks{W: exec, Rank: rank}
+	return CriticalPath(g, r), exec, nil
+}

@@ -1,0 +1,167 @@
+// Package core implements FastT's white-box scheduling heuristics
+// (Sec. 5 of the paper): critical-path ranks, the DPOS list-scheduling
+// algorithm (Alg. 1) computing device placement and execution order, and
+// the OS-DPOS algorithm (Alg. 2) that additionally splits critical-path
+// operations for fine-grained mixed data/model parallelism.
+package core
+
+import (
+	"time"
+
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// Ranks holds the per-op upward ranks and the cost vectors they derive
+// from.
+type Ranks struct {
+	// W is the maximal execution time of each op over all devices (w_i).
+	W []time.Duration
+	// CMax is, per edge index, the maximal transfer time of the edge's
+	// tensor over all device pairs (c_{i,j}).
+	CMax []time.Duration
+	// Rank is the upward rank: rank_u(o_i) = w_i + max over successors of
+	// (c_{i,j} + rank_u(o_j)).
+	Rank []time.Duration
+}
+
+// ComputeRanks computes w_i, c_{i,j} and rank_u for every op of g using the
+// estimator, per Sec. 5.1.
+func ComputeRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator) (*Ranks, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumOps()
+	r := &Ranks{
+		W:    make([]time.Duration, n),
+		CMax: make([]time.Duration, len(g.Edges())),
+		Rank: make([]time.Duration, n),
+	}
+	devs := cluster.Devices()
+	for _, op := range g.Ops() {
+		var w time.Duration
+		for _, d := range devs {
+			if t := est.Exec(op, d); t > w {
+				w = t
+			}
+		}
+		r.W[op.ID] = w
+	}
+	// Max comm per distinct tensor size, cached: est.Comm is monotone in
+	// bytes for fixed pair but pair fits differ, so take the max over
+	// ordered pairs once per distinct size.
+	maxComm := makeMaxComm(cluster, est)
+	for i, e := range g.Edges() {
+		r.CMax[i] = maxComm(e.Bytes)
+	}
+	// Reverse topological accumulation.
+	edges := g.Edges()
+	idx := edgeIndex(g)
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		best := time.Duration(0)
+		for _, ei := range idx[id] {
+			e := edges[ei]
+			if v := r.CMax[ei] + r.Rank[e.To]; v > best {
+				best = v
+			}
+		}
+		r.Rank[id] = r.W[id] + best
+	}
+	return r, nil
+}
+
+// makeMaxComm returns a memoized function computing the maximal transfer
+// time of a tensor over all ordered device pairs.
+func makeMaxComm(cluster *device.Cluster, est cost.Estimator) func(int64) time.Duration {
+	cache := make(map[int64]time.Duration)
+	devs := cluster.Devices()
+	return func(bytes int64) time.Duration {
+		if v, ok := cache[bytes]; ok {
+			return v
+		}
+		var maxT time.Duration
+		for _, a := range devs {
+			for _, b := range devs {
+				if a.ID == b.ID {
+					continue
+				}
+				if t := est.Comm(bytes, a, b); t > maxT {
+					maxT = t
+				}
+			}
+		}
+		cache[bytes] = maxT
+		return maxT
+	}
+}
+
+// edgeIndex builds a per-op list of indices into g.Edges() for outgoing
+// edges, so rank accumulation can address the per-edge CMax values.
+func edgeIndex(g *graph.Graph) [][]int {
+	idx := make([][]int, g.NumOps())
+	for i, e := range g.Edges() {
+		idx[e.From] = append(idx[e.From], i)
+	}
+	return idx
+}
+
+// CriticalPath returns the op IDs of the critical path per the paper: start
+// from the entry operation with the largest rank, then repeatedly step to
+// the successor with the largest rank until reaching an exit operation.
+func CriticalPath(g *graph.Graph, r *Ranks) []int {
+	entries := g.EntryOps()
+	if len(entries) == 0 {
+		return nil
+	}
+	cur := entries[0]
+	for _, id := range entries[1:] {
+		if r.Rank[id] > r.Rank[cur] {
+			cur = id
+		}
+	}
+	path := []int{cur}
+	for {
+		succs := g.Successors(cur)
+		if len(succs) == 0 {
+			return path
+		}
+		next := succs[0]
+		for _, s := range succs[1:] {
+			if r.Rank[s] > r.Rank[next] {
+				next = s
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+}
+
+// MaxChainComm returns C_max of Theorem 1: the maximal total data
+// transmission time along any chain of the DAG, using the per-edge maximal
+// transfer times of r.
+func MaxChainComm(g *graph.Graph, r *Ranks) time.Duration {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	idx := edgeIndex(g)
+	chain := make([]time.Duration, g.NumOps())
+	var best time.Duration
+	edges := g.Edges()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		for _, ei := range idx[id] {
+			e := edges[ei]
+			if v := r.CMax[ei] + chain[e.To]; v > chain[id] {
+				chain[id] = v
+			}
+		}
+		if chain[id] > best {
+			best = chain[id]
+		}
+	}
+	return best
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"time"
+
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// Strategy is the full output FastT activates on the executor (Sec. 3):
+// the (possibly rewritten) graph, the operation split list, the device
+// placement of every (sub-)operation, and the execution order.
+type Strategy struct {
+	// Graph is the computation graph the placement refers to; it differs
+	// from the input model graph when splits were applied.
+	Graph *graph.Graph
+	// Placement maps op ID -> device ID.
+	Placement []int
+	// Order lists op IDs in execution order; Priorities is its inverse
+	// (op ID -> order index), the form the executor consumes.
+	Order      []int
+	Priorities []int
+	// Splits is the accepted operation split list.
+	Splits []graph.SplitDecision
+	// Predicted is the finish time of the exit operation estimated by the
+	// scheduler (not a measurement).
+	Predicted time.Duration
+}
+
+// ComputeStrategy runs the full FastT pipeline — DPOS placement, the
+// gradient-sync colocation pass, then OS-DPOS operation splitting — and
+// packages the result as an activatable strategy.
+func ComputeStrategy(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error) {
+	pins, _, err := ColocateSync(g, cluster, est, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Pinned = mergePins(opts.Pinned, pins)
+	res, err := OSDPOS(g, cluster, est, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{
+		Graph:      res.Graph,
+		Placement:  res.Schedule.Placement,
+		Order:      res.Schedule.Order,
+		Priorities: res.Schedule.Priorities,
+		Splits:     res.Splits,
+		Predicted:  res.Schedule.Makespan,
+	}, nil
+}
+
+// ComputePlacementOnly runs DPOS and the gradient-sync colocation pass but
+// no operation splitting, for the ablation benchmarks (Table 6 compares
+// split on/off).
+func ComputePlacementOnly(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error) {
+	_, s, err := ColocateSync(g, cluster, est, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{
+		Graph:      g,
+		Placement:  s.Placement,
+		Order:      s.Order,
+		Priorities: s.Priorities,
+		Predicted:  s.Makespan,
+	}, nil
+}
+
+// DevicesUsed returns how many distinct devices the strategy places ops on.
+// FastT "may not use all the input devices, and can choose a subset which
+// achieves better performance than using all" (Sec. 5.2).
+func (s *Strategy) DevicesUsed() int {
+	seen := make(map[int]bool)
+	for _, d := range s.Placement {
+		if d >= 0 {
+			seen[d] = true
+		}
+	}
+	return len(seen)
+}
+
+// OpsPerDevice returns the number of ops assigned to each device ID, the
+// quantity reported in Fig. 4.
+func (s *Strategy) OpsPerDevice(numDevices int) []int {
+	counts := make([]int, numDevices)
+	for _, d := range s.Placement {
+		if d >= 0 && d < numDevices {
+			counts[d]++
+		}
+	}
+	return counts
+}

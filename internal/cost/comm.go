@@ -1,0 +1,204 @@
+package cost
+
+import (
+	"sync"
+	"time"
+
+	"fastt/internal/device"
+)
+
+// LinearModel is a fitted tensor-size → transfer-time line: predicted
+// seconds = Intercept + Slope * bytes. The intercept captures link latency
+// and the slope the inverse bandwidth, including "available bandwidth and
+// potential congestion along each device-device path" (Sec. 4).
+type LinearModel struct {
+	Intercept float64 // seconds
+	Slope     float64 // seconds per byte
+	N         int64   // observations behind the fit
+}
+
+// Predict returns the predicted transfer time for a tensor of the given
+// size, clamped at zero.
+func (l LinearModel) Predict(bytes int64) time.Duration {
+	sec := l.Intercept + l.Slope*float64(bytes)
+	if sec < 0 {
+		sec = 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// olsAccumulator incrementally accumulates the sums needed for ordinary
+// least squares on (bytes, seconds) pairs.
+type olsAccumulator struct {
+	n                  int64
+	sumX, sumY         float64
+	sumXX, sumXY       float64
+	minX, maxX         float64
+	firstX, firstYperX float64
+}
+
+func (a *olsAccumulator) add(x, y float64) {
+	if a.n == 0 {
+		a.minX, a.maxX = x, x
+		a.firstX = x
+		if x > 0 {
+			a.firstYperX = y / x
+		}
+	}
+	a.n++
+	a.sumX += x
+	a.sumY += y
+	a.sumXX += x * x
+	a.sumXY += x * y
+	if x < a.minX {
+		a.minX = x
+	}
+	if x > a.maxX {
+		a.maxX = x
+	}
+}
+
+// fit solves the normal equations. With fewer than two distinct sizes the
+// line degenerates to proportional scaling through the observed mean.
+func (a *olsAccumulator) fit() LinearModel {
+	if a.n == 0 {
+		return LinearModel{}
+	}
+	nf := float64(a.n)
+	if a.maxX == a.minX {
+		// One distinct size: assume a zero intercept and scale by bytes.
+		slope := 0.0
+		if a.sumX > 0 {
+			slope = a.sumY / a.sumX
+		}
+		return LinearModel{Slope: slope, N: a.n}
+	}
+	den := nf*a.sumXX - a.sumX*a.sumX
+	slope := (nf*a.sumXY - a.sumX*a.sumY) / den
+	intercept := (a.sumY - slope*a.sumX) / nf
+	if slope < 0 {
+		// Bandwidth cannot be negative; fall back to proportional.
+		slope = a.sumY / a.sumX
+		intercept = 0
+	}
+	return LinearModel{Intercept: intercept, Slope: slope, N: a.n}
+}
+
+// pairKey identifies an ordered source→destination device pair — the
+// paper gathers "tensors across the same source-destination device pairs
+// into one group" and fits one linear model per group.
+type pairKey struct{ from, to int }
+
+// CommModel is the communication cost model: one online least-squares line
+// per ordered device pair, with a class-level (intra-server vs inter-server)
+// fallback for pairs that have not carried traffic yet. Unknown classes
+// read as zero so the scheduler explores them, per the paper. CommModel is
+// safe for concurrent use.
+type CommModel struct {
+	mu      sync.RWMutex
+	cluster *device.Cluster
+	pairs   map[pairKey]*olsAccumulator
+	// class fallbacks: 0 = same server, 1 = cross server.
+	classes [2]*olsAccumulator
+}
+
+// NewCommModel returns an empty communication model for the cluster.
+func NewCommModel(cluster *device.Cluster) *CommModel {
+	return &CommModel{
+		cluster: cluster,
+		pairs:   make(map[pairKey]*olsAccumulator),
+		classes: [2]*olsAccumulator{{}, {}},
+	}
+}
+
+func (m *CommModel) classOf(from, to int) int {
+	if m.cluster.Device(from).Server == m.cluster.Device(to).Server {
+		return 0
+	}
+	return 1
+}
+
+// Observe records a transfer of `bytes` from one device to another taking
+// d. Same-device observations are ignored.
+func (m *CommModel) Observe(from, to int, bytes int64, d time.Duration) {
+	if from == to {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := pairKey{from: from, to: to}
+	acc, ok := m.pairs[k]
+	if !ok {
+		acc = &olsAccumulator{}
+		m.pairs[k] = acc
+	}
+	x, y := float64(bytes), float64(d)/float64(time.Second)
+	acc.add(x, y)
+	m.classes[m.classOf(from, to)].add(x, y)
+}
+
+// Comm implements the estimator contract: per-pair fit, then link-class
+// fallback, then zero (explore).
+func (m *CommModel) Comm(bytes int64, from, to *device.Device) time.Duration {
+	if from.ID == to.ID {
+		return 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if acc, ok := m.pairs[pairKey{from: from.ID, to: to.ID}]; ok && acc.n > 0 {
+		return acc.fit().Predict(bytes)
+	}
+	if cls := m.classes[m.classOf(from.ID, to.ID)]; cls.n > 0 {
+		return cls.fit().Predict(bytes)
+	}
+	return 0
+}
+
+// MaxComm returns the maximal predicted transfer time of a tensor over all
+// ordered device pairs — the c_{i,j} of the paper's rank computation.
+func (m *CommModel) MaxComm(bytes int64) time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var maxT time.Duration
+	for i := range m.cluster.Devices() {
+		for j := range m.cluster.Devices() {
+			if i == j {
+				continue
+			}
+			t := m.commLocked(bytes, i, j)
+			if t > maxT {
+				maxT = t
+			}
+		}
+	}
+	return maxT
+}
+
+func (m *CommModel) commLocked(bytes int64, from, to int) time.Duration {
+	if acc, ok := m.pairs[pairKey{from: from, to: to}]; ok && acc.n > 0 {
+		return acc.fit().Predict(bytes)
+	}
+	if cls := m.classes[m.classOf(from, to)]; cls.n > 0 {
+		return cls.fit().Predict(bytes)
+	}
+	return 0
+}
+
+// Pair returns the fitted line for a specific device pair, if any traffic
+// has been observed on it.
+func (m *CommModel) Pair(from, to int) (LinearModel, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	acc, ok := m.pairs[pairKey{from: from, to: to}]
+	if !ok || acc.n == 0 {
+		return LinearModel{}, false
+	}
+	return acc.fit(), true
+}
+
+// NumPairs returns the number of device pairs with observed traffic.
+func (m *CommModel) NumPairs() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pairs)
+}

@@ -1,0 +1,166 @@
+package cost
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// compKey identifies a computation cost entry: the paper keys the model on
+// "the operation's name and device".
+type compKey struct {
+	name string
+	dev  int
+}
+
+// CompModel is the computation cost model. It records observed execution
+// times per (operation name, device) and answers lookups for the scheduler.
+// Missing entries read as zero, which — per the paper — biases the
+// scheduler toward exploring unprofiled placements so the profiler can fill
+// them in on subsequent steps.
+//
+// Two estimation fallbacks keep the white-box heuristics effective before
+// full coverage:
+//
+//   - cross-device: with homogeneous GPUs, a time observed on any device
+//     approximates the time on all of them;
+//   - split scaling: a sub-operation produced by SplitOperation is
+//     estimated from its parent's observed time scaled sublinearly (small
+//     kernels run at lower utilization, so 1/n of the work takes more than
+//     1/n of the time).
+//
+// CompModel is safe for concurrent use.
+type CompModel struct {
+	mu     sync.RWMutex
+	stats  map[compKey]*runningStat
+	byName map[string]*runningStat // any-device aggregate per op name
+	// SplitExponent controls the sublinear split-scaling fallback: a 1/n
+	// partition is estimated at parent * n^-SplitExponent.
+	splitExponent float64
+}
+
+// NewCompModel returns an empty computation cost model.
+func NewCompModel() *CompModel {
+	return &CompModel{
+		stats:         make(map[compKey]*runningStat),
+		byName:        make(map[string]*runningStat),
+		splitExponent: 0.85,
+	}
+}
+
+// Observe records an execution of the named op on device dev.
+func (m *CompModel) Observe(name string, dev int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := compKey{name: name, dev: dev}
+	s, ok := m.stats[k]
+	if !ok {
+		s = &runningStat{}
+		m.stats[k] = s
+	}
+	s.add(float64(d))
+	agg, ok := m.byName[name]
+	if !ok {
+		agg = &runningStat{}
+		m.byName[name] = agg
+	}
+	agg.add(float64(d))
+}
+
+// Lookup returns the mean observed time for (name, dev) and whether any
+// observation exists for that exact key.
+func (m *CompModel) Lookup(name string, dev int) (time.Duration, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.stats[compKey{name: name, dev: dev}]
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(s.mean), true
+}
+
+// Exec implements the estimator contract: exact key, then cross-device
+// fallback, then split-scaling fallback, then zero (explore).
+func (m *CompModel) Exec(op *graph.Op, dev *device.Device) time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.execLocked(op, dev.ID)
+}
+
+func (m *CompModel) execLocked(op *graph.Op, dev int) time.Duration {
+	if s, ok := m.stats[compKey{name: op.Name, dev: dev}]; ok {
+		return time.Duration(s.mean)
+	}
+	if s, ok := m.byName[op.Name]; ok {
+		return time.Duration(s.mean)
+	}
+	if op.SplitOf != "" && op.SplitN > 1 {
+		if s, ok := m.byName[op.SplitOf]; ok {
+			scale := math.Pow(float64(op.SplitN), -m.splitExponent)
+			return time.Duration(s.mean * scale)
+		}
+	}
+	return 0
+}
+
+// MaxExec returns the maximal estimated execution time of op over the
+// devices of the cluster — the w_i of the paper's rank computation.
+func (m *CompModel) MaxExec(op *graph.Op, c *device.Cluster) time.Duration {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var maxT time.Duration
+	for _, d := range c.Devices() {
+		if t := m.execLocked(op, d.ID); t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}
+
+// Coverage returns the fraction of the graph's ops that have at least one
+// observation on any device.
+func (m *CompModel) Coverage(g *graph.Graph) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if g.NumOps() == 0 {
+		return 1
+	}
+	covered := 0
+	for _, op := range g.Ops() {
+		if _, ok := m.byName[op.Name]; ok {
+			covered++
+		}
+	}
+	return float64(covered) / float64(g.NumOps())
+}
+
+// Stable reports whether the model has converged: every key with at least
+// minSamples observations has a coefficient of variation below maxCV. This
+// is the paper's pre-training termination condition ("the average time of
+// the same (sub-)operation(s) on the same device(s) does not vary much").
+func (m *CompModel) Stable(minSamples int64, maxCV float64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.stats) == 0 {
+		return false
+	}
+	for _, s := range m.stats {
+		if s.n < minSamples {
+			return false
+		}
+		if s.cv() > maxCV {
+			return false
+		}
+	}
+	return true
+}
+
+// NumEntries returns the number of (op, device) keys with observations.
+func (m *CompModel) NumEntries() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.stats)
+}

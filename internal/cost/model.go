@@ -1,0 +1,36 @@
+package cost
+
+import (
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// Model bundles the computation and communication cost models into the
+// Estimator the scheduling algorithms consume — the "cost models" component
+// of the FastT architecture (Fig. 1).
+type Model struct {
+	Comp *CompModel
+	Link *CommModel
+}
+
+var _ Estimator = (*Model)(nil)
+
+// NewModel returns empty cost models for the cluster.
+func NewModel(cluster *device.Cluster) *Model {
+	return &Model{
+		Comp: NewCompModel(),
+		Link: NewCommModel(cluster),
+	}
+}
+
+// Exec predicts the run time of op on dev.
+func (m *Model) Exec(op *graph.Op, dev *device.Device) time.Duration {
+	return m.Comp.Exec(op, dev)
+}
+
+// Comm predicts the transfer time between devices.
+func (m *Model) Comm(bytes int64, from, to *device.Device) time.Duration {
+	return m.Link.Comm(bytes, from, to)
+}

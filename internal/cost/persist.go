@@ -1,0 +1,156 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Persistence: FastT's cost models are expensive to bootstrap (several
+// profiled iterations plus strategy restarts), so a production deployment
+// saves them once the pre-training stage declares them stable and reloads
+// them when the same model trains again — skipping straight to the normal
+// training stage. The format captures the sufficient statistics of both
+// models, so merged observations continue seamlessly.
+
+// jsonCompEntry is one computation-model key with its running statistics.
+type jsonCompEntry struct {
+	Name string  `json:"name"`
+	Dev  int     `json:"dev"`
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// jsonCommEntry is one communication-model pair with its OLS accumulator.
+type jsonCommEntry struct {
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	N     int64   `json:"n"`
+	SumX  float64 `json:"sumX"`
+	SumY  float64 `json:"sumY"`
+	SumXX float64 `json:"sumXX"`
+	SumXY float64 `json:"sumXY"`
+	MinX  float64 `json:"minX"`
+	MaxX  float64 `json:"maxX"`
+}
+
+type jsonModel struct {
+	Comp []jsonCompEntry `json:"comp"`
+	Comm []jsonCommEntry `json:"comm"`
+}
+
+// WriteJSON serializes both cost models.
+func (m *Model) WriteJSON(w io.Writer) error {
+	doc := jsonModel{}
+
+	m.Comp.mu.RLock()
+	for k, s := range m.Comp.stats {
+		doc.Comp = append(doc.Comp, jsonCompEntry{
+			Name: k.name, Dev: k.dev, N: s.n, Mean: s.mean, M2: s.m2,
+		})
+	}
+	m.Comp.mu.RUnlock()
+
+	m.Link.mu.RLock()
+	for k, acc := range m.Link.pairs {
+		doc.Comm = append(doc.Comm, jsonCommEntry{
+			From: k.from, To: k.to, N: acc.n,
+			SumX: acc.sumX, SumY: acc.sumY,
+			SumXX: acc.sumXX, SumXY: acc.sumXY,
+			MinX: acc.minX, MaxX: acc.maxX,
+		})
+	}
+	m.Link.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadJSON merges previously saved statistics into the model. Existing
+// entries are combined with the loaded ones using the parallel-variance
+// (Chan et al.) merge, so loading is safe on a non-empty model.
+func (m *Model) ReadJSON(r io.Reader) error {
+	var doc jsonModel
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("decode cost models: %w", err)
+	}
+	m.Comp.mu.Lock()
+	for _, e := range doc.Comp {
+		if e.N < 0 {
+			m.Comp.mu.Unlock()
+			return fmt.Errorf("cost entry %q: negative count", e.Name)
+		}
+		k := compKey{name: e.Name, dev: e.Dev}
+		cur, ok := m.Comp.stats[k]
+		if !ok {
+			cur = &runningStat{}
+			m.Comp.stats[k] = cur
+		}
+		mergeStat(cur, e.N, e.Mean, e.M2)
+		agg, ok := m.Comp.byName[e.Name]
+		if !ok {
+			agg = &runningStat{}
+			m.Comp.byName[e.Name] = agg
+		}
+		mergeStat(agg, e.N, e.Mean, e.M2)
+	}
+	m.Comp.mu.Unlock()
+
+	m.Link.mu.Lock()
+	for _, e := range doc.Comm {
+		if e.From < 0 || e.To < 0 || e.From >= m.Link.cluster.NumDevices() ||
+			e.To >= m.Link.cluster.NumDevices() {
+			m.Link.mu.Unlock()
+			return fmt.Errorf("comm entry %d->%d: outside cluster", e.From, e.To)
+		}
+		k := pairKey{from: e.From, to: e.To}
+		acc, ok := m.Link.pairs[k]
+		if !ok {
+			acc = &olsAccumulator{}
+			m.Link.pairs[k] = acc
+		}
+		mergeOLS(acc, e)
+		mergeOLS(m.Link.classes[m.Link.classOf(e.From, e.To)], e)
+	}
+	m.Link.mu.Unlock()
+	return nil
+}
+
+// mergeStat combines (n, mean, m2) into s (parallel Welford merge).
+func mergeStat(s *runningStat, n int64, mean, m2 float64) {
+	if n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n, s.mean, s.m2 = n, mean, m2
+		return
+	}
+	total := s.n + n
+	delta := mean - s.mean
+	s.m2 += m2 + delta*delta*float64(s.n)*float64(n)/float64(total)
+	s.mean += delta * float64(n) / float64(total)
+	s.n = total
+}
+
+// mergeOLS combines a serialized accumulator into acc.
+func mergeOLS(acc *olsAccumulator, e jsonCommEntry) {
+	if e.N == 0 {
+		return
+	}
+	if acc.n == 0 {
+		acc.minX, acc.maxX = e.MinX, e.MaxX
+	} else {
+		if e.MinX < acc.minX {
+			acc.minX = e.MinX
+		}
+		if e.MaxX > acc.maxX {
+			acc.maxX = e.MaxX
+		}
+	}
+	acc.n += e.N
+	acc.sumX += e.SumX
+	acc.sumY += e.SumY
+	acc.sumXX += e.SumXX
+	acc.sumXY += e.SumXY
+}

@@ -1,0 +1,116 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	c := twoServerCluster(t)
+	m := NewModel(c)
+	m.Comp.Observe("conv1", 0, 10*time.Millisecond)
+	m.Comp.Observe("conv1", 0, 14*time.Millisecond)
+	m.Comp.Observe("fc6", 1, 3*time.Millisecond)
+	observeLine(m.Link, 0, 1, 10*time.Microsecond, 20e9, []int64{1 << 16, 1 << 20})
+
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	restored := NewModel(c)
+	if err := restored.ReadJSON(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	got, ok := restored.Comp.Lookup("conv1", 0)
+	if !ok || got != 12*time.Millisecond {
+		t.Errorf("restored conv1 = %v (ok=%v), want 12ms", got, ok)
+	}
+	op := &graph.Op{Name: "fc6", Kind: graph.KindMatMul}
+	if got := restored.Exec(op, c.Device(1)); got != 3*time.Millisecond {
+		t.Errorf("restored fc6 = %v, want 3ms", got)
+	}
+	// The fitted comm line survives.
+	orig := m.Comm(1<<20, c.Device(0), c.Device(1))
+	back := restored.Comm(1<<20, c.Device(0), c.Device(1))
+	if orig != back {
+		t.Errorf("restored comm = %v, want %v", back, orig)
+	}
+	// Class fallback is rebuilt too.
+	if restored.Comm(1<<20, c.Device(1), c.Device(0)) == 0 {
+		t.Error("intra-server class fallback not rebuilt after load")
+	}
+}
+
+func TestPersistMergeCombinesObservations(t *testing.T) {
+	c := twoServerCluster(t)
+	a := NewModel(c)
+	a.Comp.Observe("op", 0, 10*time.Millisecond)
+	var sb strings.Builder
+	if err := a.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	b := NewModel(c)
+	b.Comp.Observe("op", 0, 30*time.Millisecond)
+	if err := b.ReadJSON(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	got, ok := b.Comp.Lookup("op", 0)
+	if !ok || got != 20*time.Millisecond {
+		t.Errorf("merged mean = %v (ok=%v), want 20ms", got, ok)
+	}
+}
+
+func TestPersistRejectsForeignDevices(t *testing.T) {
+	big := twoServerCluster(t) // 4 devices
+	m := NewModel(big)
+	observeLine(m.Link, 0, 3, 10*time.Microsecond, 3e9, []int64{1 << 16, 1 << 20})
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	small, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	restored := NewModel(small)
+	if err := restored.ReadJSON(strings.NewReader(sb.String())); err == nil {
+		t.Error("accepted comm entries for devices outside the cluster")
+	}
+}
+
+func TestPersistRejectsGarbage(t *testing.T) {
+	c := twoServerCluster(t)
+	m := NewModel(c)
+	if err := m.ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+func TestMergeStatVarianceExact(t *testing.T) {
+	// Merging two halves must equal observing the full series.
+	series := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var full, left, right runningStat
+	for i, x := range series {
+		full.add(x)
+		if i < 4 {
+			left.add(x)
+		} else {
+			right.add(x)
+		}
+	}
+	mergeStat(&left, right.n, right.mean, right.m2)
+	if left.n != full.n || !close(left.mean, full.mean) || !close(left.m2, full.m2) {
+		t.Errorf("merged = {%d %v %v}, want {%d %v %v}",
+			left.n, left.mean, left.m2, full.n, full.mean, full.m2)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,226 @@
+// Package device describes the GPU clusters FastT schedules onto: device
+// descriptors (memory capacity, compute throughput, host server) and the
+// interconnect topology (NVLink within a server, Ethernet between servers),
+// matching the paper's testbed of servers with 8 NVIDIA V100 GPUs each.
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Byte-size and rate constants used throughout the repo.
+const (
+	KiB = int64(1) << 10
+	MiB = int64(1) << 20
+	GiB = int64(1) << 30
+)
+
+// ErrNoDevices is returned when a cluster would contain no devices.
+var ErrNoDevices = errors.New("cluster has no devices")
+
+// Device describes one accelerator.
+type Device struct {
+	// ID is the device's index within its cluster.
+	ID int
+	// Name is a human-readable identifier such as "server0/gpu1".
+	Name string
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes int64
+	// PeakFLOPS is the peak single-precision throughput in FLOP/s.
+	PeakFLOPS float64
+	// MemBandwidth is the device memory bandwidth in bytes/s, which bounds
+	// bandwidth-bound (elementwise) kernels.
+	MemBandwidth float64
+	// Server is the index of the physical machine hosting the device.
+	Server int
+}
+
+// Link describes the interconnect between an ordered device pair.
+type Link struct {
+	// Bandwidth is the sustained transfer rate in bytes/s.
+	Bandwidth float64
+	// Latency is the fixed per-transfer setup time in seconds.
+	Latency float64
+}
+
+// Cluster is a set of devices plus the link table between every ordered
+// pair. links[i][j] describes transfers from device i to device j; the
+// diagonal is meaningless (same-device "transfers" are free).
+type Cluster struct {
+	devices []*Device
+	links   [][]Link
+}
+
+// V100-class defaults mirroring the paper's testbed.
+const (
+	defaultGPUMemory  = 16 * GiB
+	defaultPeakFLOPS  = 15.7e12 // V100 fp32
+	defaultMemBW      = 900e9   // V100 HBM2
+	nvlinkBandwidth   = 22e9    // effective unidirectional NVLink
+	nvlinkLatency     = 10e-6
+	ethernetBandwidth = 3e9 // 25 GbE effective
+	ethernetLatency   = 50e-6
+)
+
+// Option customizes cluster construction.
+type Option func(*config)
+
+type config struct {
+	memory    int64
+	peakFLOPS float64
+	memBW     float64
+	intra     Link
+	inter     Link
+}
+
+func defaultConfig() config {
+	return config{
+		memory:    defaultGPUMemory,
+		peakFLOPS: defaultPeakFLOPS,
+		memBW:     defaultMemBW,
+		intra:     Link{Bandwidth: nvlinkBandwidth, Latency: nvlinkLatency},
+		inter:     Link{Bandwidth: ethernetBandwidth, Latency: ethernetLatency},
+	}
+}
+
+// WithMemory sets per-device memory capacity.
+func WithMemory(bytes int64) Option {
+	return func(c *config) { c.memory = bytes }
+}
+
+// WithPeakFLOPS sets per-device peak throughput.
+func WithPeakFLOPS(flops float64) Option {
+	return func(c *config) { c.peakFLOPS = flops }
+}
+
+// WithIntraLink overrides the same-server interconnect.
+func WithIntraLink(l Link) Option {
+	return func(c *config) { c.intra = l }
+}
+
+// WithInterLink overrides the cross-server interconnect.
+func WithInterLink(l Link) Option {
+	return func(c *config) { c.inter = l }
+}
+
+// NewCluster builds a cluster of `servers` machines with `gpusPerServer`
+// GPUs each. GPUs on the same server are connected by the intra link
+// (NVLink by default); GPUs on different servers by the inter link.
+func NewCluster(servers, gpusPerServer int, opts ...Option) (*Cluster, error) {
+	if servers < 1 || gpusPerServer < 1 {
+		return nil, fmt.Errorf("%w: servers=%d gpusPerServer=%d",
+			ErrNoDevices, servers, gpusPerServer)
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	n := servers * gpusPerServer
+	c := &Cluster{
+		devices: make([]*Device, n),
+		links:   make([][]Link, n),
+	}
+	for s := 0; s < servers; s++ {
+		for g := 0; g < gpusPerServer; g++ {
+			id := s*gpusPerServer + g
+			c.devices[id] = &Device{
+				ID:           id,
+				Name:         fmt.Sprintf("server%d/gpu%d", s, g),
+				MemoryBytes:  cfg.memory,
+				PeakFLOPS:    cfg.peakFLOPS,
+				MemBandwidth: cfg.memBW,
+				Server:       s,
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.links[i] = make([]Link, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if c.devices[i].Server == c.devices[j].Server {
+				c.links[i][j] = cfg.intra
+			} else {
+				c.links[i][j] = cfg.inter
+			}
+		}
+	}
+	return c, nil
+}
+
+// SingleServer builds an n-GPU single-machine cluster (the common testbed
+// configuration).
+func SingleServer(gpus int, opts ...Option) (*Cluster, error) {
+	return NewCluster(1, gpus, opts...)
+}
+
+// NumDevices returns the number of devices in the cluster.
+func (c *Cluster) NumDevices() int { return len(c.devices) }
+
+// Device returns the device with the given ID.
+func (c *Cluster) Device(id int) *Device { return c.devices[id] }
+
+// Devices returns all devices in ID order. The slice is shared; callers
+// must not mutate it.
+func (c *Cluster) Devices() []*Device { return c.devices }
+
+// Link returns the link from device `from` to device `to`.
+func (c *Cluster) Link(from, to int) Link { return c.links[from][to] }
+
+// SlowestLink returns the link with the lowest bandwidth among all ordered
+// pairs; with one device it returns a zero Link. The paper's rank
+// computation needs the maximal communication time over device pairs, which
+// this link realizes for any given tensor size.
+func (c *Cluster) SlowestLink() Link {
+	var slowest Link
+	found := false
+	for i := range c.devices {
+		for j := range c.devices {
+			if i == j {
+				continue
+			}
+			l := c.links[i][j]
+			if !found || transferCmp(l, slowest) > 0 {
+				slowest = l
+				found = true
+			}
+		}
+	}
+	return slowest
+}
+
+// transferCmp compares links by the time to move a representative 1 MiB
+// tensor; positive means a is slower than b.
+func transferCmp(a, b Link) int {
+	const probe = float64(MiB)
+	ta := a.Latency + probe/a.Bandwidth
+	tb := b.Latency + probe/b.Bandwidth
+	switch {
+	case ta > tb:
+		return 1
+	case ta < tb:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// TotalMemory returns the aggregate device memory of the cluster.
+func (c *Cluster) TotalMemory() int64 {
+	var total int64
+	for _, d := range c.devices {
+		total += d.MemoryBytes
+	}
+	return total
+}
+
+// Servers returns the number of distinct servers in the cluster.
+func (c *Cluster) Servers() int {
+	seen := make(map[int]bool)
+	for _, d := range c.devices {
+		seen[d.Server] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fastt/internal/core"
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+	"fastt/internal/sim"
+)
+
+// AblationRow compares the full strategy calculator against one with a
+// design choice disabled (DESIGN.md §5).
+type AblationRow struct {
+	Model    string
+	FullIter time.Duration
+	Ablated  time.Duration
+	// DeltaPct is the slowdown of the ablated variant in percent (negative
+	// means the ablation was faster on this model).
+	DeltaPct float64
+}
+
+// ablate computes FastT strategies with and without a design choice and
+// simulates both, using ground-truth costs to isolate the algorithmic
+// effect from cost-model learning.
+func ablate(cfg Config, modelNames []string, gpus int, mutate func(*core.Options),
+	estOverride func(*device.Cluster) cost.Estimator) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]AblationRow, 0, len(modelNames))
+	for _, name := range modelNames {
+		spec, err := models.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cluster, err := device.SingleServer(gpus)
+		if err != nil {
+			return nil, err
+		}
+		perGPU := spec.GlobalBatch / gpus
+		if perGPU < 1 {
+			perGPU = 1
+		}
+		m, err := spec.Build(perGPU)
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.BuildDataParallel(m, gpus)
+		if err != nil {
+			return nil, err
+		}
+		oracle := kernels.NewDefaultOracle(cluster)
+		engine := sim.NewEngine(cluster, oracle)
+		opts := core.Options{MaxSplitOps: cfg.MaxSplitOps, MaxSyncGroups: cfg.MaxSyncGroups}
+
+		full, err := strategyIter(engine, cluster, g, oracle, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s full: %w", name, err)
+		}
+		ablOpts := opts
+		if mutate != nil {
+			mutate(&ablOpts)
+		}
+		ablEst := cost.Estimator(oracle)
+		if estOverride != nil {
+			ablEst = estOverride(cluster)
+		}
+		ablated, err := strategyIter(engine, cluster, g, ablEst, ablOpts)
+		if err != nil {
+			return nil, fmt.Errorf("%s ablated: %w", name, err)
+		}
+		row := AblationRow{Model: name, FullIter: full, Ablated: ablated}
+		if full > 0 {
+			row.DeltaPct = (ablated.Seconds()/full.Seconds() - 1) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// strategyIter computes a strategy with the given estimator/options and
+// returns its simulated iteration time.
+func strategyIter(engine *sim.Engine, cluster *device.Cluster, g *graph.Graph,
+	est cost.Estimator, opts core.Options) (time.Duration, error) {
+	st, err := core.ComputeStrategy(g, cluster, est, opts)
+	if err != nil {
+		return 0, err
+	}
+	res, err := engine.Run(st.Graph, st.Placement, sim.Config{
+		Discipline: sim.Priority,
+		Priorities: st.Priorities,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// ablationModels keeps ablation runs quick but covers CNN and NMT shapes.
+func ablationModels() []string {
+	return []string{"VGG-19", "Inception_v3", "GNMT", "Transformer"}
+}
+
+// AblationInsertion disables idle-slot insertion.
+func AblationInsertion(cfg Config) ([]AblationRow, error) {
+	return ablate(cfg, ablationModels(), 4, func(o *core.Options) { o.DisableInsertion = true }, nil)
+}
+
+// AblationCPDevice disables dedicated critical-path device selection.
+func AblationCPDevice(cfg Config) ([]AblationRow, error) {
+	return ablate(cfg, ablationModels(), 4, func(o *core.Options) { o.DisableCPDevice = true }, nil)
+}
+
+// naiveComm estimates transfers as bytes over the slowest link's bandwidth,
+// with no per-pair distinction and no latency term — the straw-man the
+// paper's per-pair linear regression replaces.
+type naiveComm struct {
+	oracle  *kernels.Oracle
+	perByte float64 // seconds per byte
+}
+
+var _ cost.Estimator = (*naiveComm)(nil)
+
+func (n *naiveComm) Exec(op *graph.Op, d *device.Device) time.Duration {
+	return n.oracle.Exec(op, d)
+}
+
+func (n *naiveComm) Comm(bytes int64, from, to *device.Device) time.Duration {
+	if from.ID == to.ID {
+		return 0
+	}
+	return time.Duration(n.perByte * float64(bytes) * float64(time.Second))
+}
+
+// AblationCommModel replaces the communication cost model with a flat
+// bytes-over-bandwidth estimate.
+func AblationCommModel(cfg Config) ([]AblationRow, error) {
+	return ablate(cfg, ablationModels(), 4, nil, func(c *device.Cluster) cost.Estimator {
+		slowest := c.SlowestLink()
+		perByte := 0.0
+		if slowest.Bandwidth > 0 {
+			perByte = 1 / slowest.Bandwidth
+		}
+		return &naiveComm{oracle: kernels.NewDefaultOracle(c), perByte: perByte}
+	})
+}
+
+// WriteAblation prints one ablation's rows.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) error {
+	fmt.Fprintf(w, "Ablation: %s (4 GPUs, strong scaling)\n", title)
+	fmt.Fprintf(w, "%-16s %10s %10s %8s\n", "Model", "Full(s)", "Ablated(s)", "Delta")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-16s %10.4f %10.4f %+7.1f%%\n",
+			row.Model, row.FullIter.Seconds(), row.Ablated.Seconds(), row.DeltaPct)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/kernels"
+	"fastt/internal/placement"
+	"fastt/internal/sim"
+)
+
+// Figure2Row compares TensorFlow's default FIFO execution order with
+// FastT's enforced order under the same FastT placement (Fig. 2).
+type Figure2Row struct {
+	Model        string
+	DefaultIter  time.Duration // FIFO ready queue
+	EnforcedIter time.Duration // priority order
+	ReductionPct float64
+}
+
+// Figure2Models are the four CNNs of Fig. 2.
+func Figure2Models() []string {
+	return []string{"AlexNet", "VGG-19", "LeNet", "ResNet200"}
+}
+
+// Figure2 reproduces Fig. 2: per-iteration time under the default executor
+// order vs FastT's order enforcement, each model on 2 GPUs, with the FastT
+// placement held fixed. The "default" arm uses the Unordered discipline —
+// TensorFlow's executor dispatches concurrently-ready nodes through a
+// thread pool in effectively arbitrary order, which is the execution-order
+// variance the paper's order enforcement removes.
+func Figure2(r *Runner) ([]Figure2Row, error) {
+	rows := make([]Figure2Row, 0, 4)
+	for _, name := range Figure2Models() {
+		cell, err := r.Cell(name, Strong, 2, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if cell.FastTGraph == nil {
+			return nil, fmt.Errorf("%s: no FastT strategy", name)
+		}
+		cluster, err := device.NewCluster(cell.Servers, cell.GPUs/cell.Servers)
+		if err != nil {
+			return nil, err
+		}
+		engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+		deflt, err := avgRun(engine, cell, r.cfg, sim.Unordered)
+		if err != nil {
+			return nil, fmt.Errorf("%s default: %w", name, err)
+		}
+		enforced, err := avgRun(engine, cell, r.cfg, sim.Priority)
+		if err != nil {
+			return nil, fmt.Errorf("%s enforced: %w", name, err)
+		}
+		row := Figure2Row{Model: name, DefaultIter: deflt, EnforcedIter: enforced}
+		if deflt > 0 {
+			row.ReductionPct = (1 - enforced.Seconds()/deflt.Seconds()) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// avgRun executes the cell's FastT strategy under the given queue
+// discipline, averaging over MeasureIters seeds.
+func avgRun(engine *sim.Engine, cell *Cell, cfg Config, disc sim.QueueDiscipline) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i < cfg.MeasureIters; i++ {
+		c := sim.Config{
+			Discipline: disc,
+			Jitter:     cfg.Jitter,
+			Seed:       cfg.Seed + int64(i)*7919,
+		}
+		if disc == sim.Priority {
+			if cell.FastTPriorities == nil {
+				// The session fell back to FIFO; enforcement is a no-op.
+				c.Discipline = sim.FIFO
+			} else {
+				c.Priorities = cell.FastTPriorities
+			}
+		}
+		res, err := engine.Run(cell.FastTGraph, cell.FastTPlacement, c)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Makespan
+	}
+	return total / time.Duration(cfg.MeasureIters), nil
+}
+
+// WriteFigure2 prints Fig. 2's data.
+func WriteFigure2(w io.Writer, rows []Figure2Row) error {
+	fmt.Fprintf(w, "Figure 2: performance gain of order enforcement (2 GPUs)\n")
+	fmt.Fprintf(w, "%-12s %12s %14s %10s\n", "Model", "Default(s)", "OrderEnforce(s)", "Reduction")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-12s %12.4f %14.4f %9.1f%%\n",
+			row.Model, row.DefaultIter.Seconds(), row.EnforcedIter.Seconds(), row.ReductionPct)
+	}
+	return nil
+}
+
+// Figure3Bar is one bar of Fig. 3: a method's speed normalized to the DP
+// baseline.
+type Figure3Bar struct {
+	Model      string
+	Method     string
+	GPUs       int
+	Normalized float64
+	// Measured marks bars produced by this harness; the others are the
+	// published reference points the paper compares against.
+	Measured bool
+}
+
+// Figure3Models are the four panels of Fig. 3.
+func Figure3Models() []string {
+	return []string{"Inception_v3", "ResNet200", "GNMT", "RNNLM"}
+}
+
+// Figure3 reproduces Fig. 3: FastT's normalized speed (measured here)
+// alongside REINFORCE/GDP/Post/FlexFlow (from their papers, as in the
+// original evaluation).
+func Figure3(r *Runner) ([]Figure3Bar, error) {
+	var bars []Figure3Bar
+	for _, e := range placement.PublishedSpeedups() {
+		bars = append(bars, Figure3Bar{
+			Model:      e.Model,
+			Method:     e.Method.String(),
+			GPUs:       e.GPUs,
+			Normalized: e.Normalized,
+		})
+	}
+	for _, name := range Figure3Models() {
+		for _, gpus := range []int{2, 4, 8} {
+			cell, err := r.Cell(name, Strong, gpus, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s %d GPUs: %w", name, gpus, err)
+			}
+			norm := 0.0
+			if cell.DPSpeed > 0 && cell.FastTSpeed > 0 {
+				norm = cell.FastTSpeed / cell.DPSpeed
+			}
+			bars = append(bars, Figure3Bar{
+				Model:      name,
+				Method:     "FastT",
+				GPUs:       gpus,
+				Normalized: norm,
+				Measured:   true,
+			})
+		}
+	}
+	return bars, nil
+}
+
+// WriteFigure3 prints Fig. 3's data grouped by model panel.
+func WriteFigure3(w io.Writer, bars []Figure3Bar) error {
+	fmt.Fprintf(w, "Figure 3: normalized processing speed (DP = 1.0)\n")
+	for _, model := range Figure3Models() {
+		fmt.Fprintf(w, "%s:\n", model)
+		for _, b := range bars {
+			if b.Model != model {
+				continue
+			}
+			src := "published"
+			if b.Measured {
+				src = "measured"
+			}
+			fmt.Fprintf(w, "  %-10s %d GPUs: %.2f (%s)\n", b.Method, b.GPUs, b.Normalized, src)
+		}
+	}
+	return nil
+}
+
+// Figure4Row reports FastT's per-GPU operation counts (Fig. 4).
+type Figure4Row struct {
+	Model  string
+	GPUs   int
+	Counts []int
+}
+
+// Figure4Models are the three CNNs of Fig. 4.
+func Figure4Models() []string { return []string{"AlexNet", "VGG-19", "LeNet"} }
+
+// Figure4 reproduces Fig. 4: the number of operations FastT assigns to each
+// GPU, on 2 and 4 GPUs.
+func Figure4(r *Runner) ([]Figure4Row, error) {
+	var rows []Figure4Row
+	for _, gpus := range []int{2, 4} {
+		for _, name := range Figure4Models() {
+			cell, err := r.Cell(name, Strong, gpus, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s %d GPUs: %w", name, gpus, err)
+			}
+			rows = append(rows, Figure4Row{Model: name, GPUs: gpus, Counts: cell.OpsPerDevice})
+		}
+	}
+	return rows, nil
+}
+
+// WriteFigure4 prints Fig. 4's data.
+func WriteFigure4(w io.Writer, rows []Figure4Row) error {
+	fmt.Fprintf(w, "Figure 4: number of operations per GPU under FastT\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-10s %d GPUs: %v\n", row.Model, row.GPUs, row.Counts)
+	}
+	return nil
+}
+
+// Figure5Row is one model's compute/memcpy/iteration breakdown for DP and
+// FastT (Fig. 5).
+type Figure5Row struct {
+	Model string
+	DP    BreakdownMS
+	FastT BreakdownMS
+}
+
+// BreakdownMS is a breakdown in milliseconds for reporting.
+type BreakdownMS struct {
+	Computation  float64
+	Memcpy       float64
+	PerIteration float64
+}
+
+// Figure5Models are the four CNNs of Fig. 5.
+func Figure5Models() []string {
+	return []string{"VGG-19", "ResNet200", "AlexNet", "LeNet"}
+}
+
+// Figure5 reproduces Fig. 5: average computation and memcpy time per
+// iteration under DP and FastT on 2 GPUs.
+func Figure5(r *Runner) ([]Figure5Row, error) {
+	rows := make([]Figure5Row, 0, 4)
+	for _, name := range Figure5Models() {
+		cell, err := r.Cell(name, Strong, 2, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, Figure5Row{
+			Model: name,
+			DP: BreakdownMS{
+				Computation:  ms(cell.DPBreakdown.Computation),
+				Memcpy:       ms(cell.DPBreakdown.Memcpy),
+				PerIteration: ms(cell.DPBreakdown.PerIteration),
+			},
+			FastT: BreakdownMS{
+				Computation:  ms(cell.FastTBreakdown.Computation),
+				Memcpy:       ms(cell.FastTBreakdown.Memcpy),
+				PerIteration: ms(cell.FastTBreakdown.PerIteration),
+			},
+		})
+	}
+	return rows, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteFigure5 prints Fig. 5's data.
+func WriteFigure5(w io.Writer, rows []Figure5Row) error {
+	fmt.Fprintf(w, "Figure 5: average computation and memcpy time per iteration (ms, 2 GPUs)\n")
+	fmt.Fprintf(w, "%-12s %28s %28s\n", "", "Data parallel", "FastT")
+	fmt.Fprintf(w, "%-12s %9s %9s %8s %9s %9s %8s\n",
+		"Model", "compute", "memcpy", "iter", "compute", "memcpy", "iter")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-12s %9.2f %9.2f %8.2f %9.2f %9.2f %8.2f\n",
+			row.Model,
+			row.DP.Computation, row.DP.Memcpy, row.DP.PerIteration,
+			row.FastT.Computation, row.FastT.Memcpy, row.FastT.PerIteration)
+	}
+	return nil
+}

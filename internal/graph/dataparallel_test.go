@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinyModel builds input -> dense(fwd) -> loss -> dense_bp, where dense_bp
+// produces the parameter gradient for dense.
+func tinyModel(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	in := g.MustAddOp(&Op{Name: "input", Kind: KindInput, OutputBytes: 256, Batch: 8})
+	fc := g.MustAddOp(&Op{
+		Name: "dense", Kind: KindMatMul, FLOPs: 4096,
+		ParamBytes: 1024, OutputBytes: 128, Batch: 8, Channels: 16,
+	})
+	loss := g.MustAddOp(&Op{Name: "loss", Kind: KindLoss, FLOPs: 64, OutputBytes: 4, Batch: 8})
+	bp := g.MustAddOp(&Op{
+		Name: "dense_bp", Kind: KindMatMulBackprop, FLOPs: 8192,
+		OutputBytes: 1024, Batch: 8, Channels: 16, GradFor: "dense",
+	})
+	g.MustConnect(in, fc, 256)
+	g.MustConnect(fc, loss, 128)
+	g.MustConnect(loss, bp, 4)
+	return g
+}
+
+func TestBuildDataParallelSingleReplica(t *testing.T) {
+	m := tinyModel(t)
+	g, err := BuildDataParallel(m, 1)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	// 4 model ops + variable + AddN + apply.
+	if g.NumOps() != 7 {
+		t.Errorf("NumOps = %d, want 7", g.NumOps())
+	}
+	if _, ok := g.OpByName("rep0/dense"); !ok {
+		t.Error("replica 0 op missing")
+	}
+	if _, ok := g.OpByName("var/dense"); !ok {
+		t.Error("shared variable missing")
+	}
+	if _, ok := g.OpByName("sync/dense/addn"); !ok {
+		t.Error("aggregation op missing")
+	}
+	if _, ok := g.OpByName("sync/dense/apply"); !ok {
+		t.Error("apply op missing")
+	}
+}
+
+func TestBuildDataParallelReplication(t *testing.T) {
+	m := tinyModel(t)
+	const r = 4
+	g, err := BuildDataParallel(m, r)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid DP graph: %v", err)
+	}
+	// 4 ops per replica + variable + AddN + apply.
+	want := 4*r + 3
+	if g.NumOps() != want {
+		t.Errorf("NumOps = %d, want %d", g.NumOps(), want)
+	}
+
+	v, ok := g.OpByName("var/dense")
+	if !ok {
+		t.Fatal("variable missing")
+	}
+	// The variable feeds forward and backward ops of every replica.
+	if got := g.OutDegree(v.ID); got != 2*r {
+		t.Errorf("variable out-degree = %d, want %d", got, 2*r)
+	}
+	if v.ParamBytes != 1024 {
+		t.Errorf("variable ParamBytes = %d, want 1024", v.ParamBytes)
+	}
+	// Replica ops carry no parameters anymore.
+	fwd, _ := g.OpByName("rep2/dense")
+	if fwd.ParamBytes != 0 {
+		t.Errorf("replica op ParamBytes = %d, want 0", fwd.ParamBytes)
+	}
+	// Weight-fetch edges carry the parameter bytes.
+	for _, e := range g.OutEdges(v.ID) {
+		if e.Bytes != 1024 {
+			t.Errorf("weight edge bytes = %d, want 1024", e.Bytes)
+		}
+	}
+
+	agg, ok := g.OpByName("sync/dense/addn")
+	if !ok {
+		t.Fatal("aggregation op missing")
+	}
+	if got := g.InDegree(agg.ID); got != r {
+		t.Errorf("aggregation in-degree = %d, want %d", got, r)
+	}
+	if agg.ColocateWith != "var/dense" {
+		t.Errorf("aggregation ColocateWith = %q, want var/dense", agg.ColocateWith)
+	}
+	apply, ok := g.OpByName("sync/dense/apply")
+	if !ok {
+		t.Fatal("apply op missing")
+	}
+	if apply.ColocateWith != "var/dense" {
+		t.Errorf("apply ColocateWith = %q, want var/dense", apply.ColocateWith)
+	}
+}
+
+func TestBuildDataParallelReplicaTagging(t *testing.T) {
+	m := tinyModel(t)
+	g, err := BuildDataParallel(m, 2)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	for _, op := range g.Ops() {
+		switch {
+		case strings.HasPrefix(op.Name, "rep0/"):
+			if op.Replica != 0 {
+				t.Errorf("%s Replica = %d, want 0", op.Name, op.Replica)
+			}
+		case strings.HasPrefix(op.Name, "rep1/"):
+			if op.Replica != 1 {
+				t.Errorf("%s Replica = %d, want 1", op.Name, op.Replica)
+			}
+		case strings.HasPrefix(op.Name, "sync/"), strings.HasPrefix(op.Name, "var/"):
+			if op.Replica != -1 {
+				t.Errorf("%s Replica = %d, want -1", op.Name, op.Replica)
+			}
+		}
+	}
+}
+
+func TestBuildDataParallelMissingGradient(t *testing.T) {
+	g := New()
+	g.MustAddOp(&Op{Name: "w", Kind: KindMatMul, ParamBytes: 64, Batch: 4, OutputBytes: 4})
+	_, err := BuildDataParallel(g, 2)
+	if !errors.Is(err, ErrNoGradient) {
+		t.Errorf("BuildDataParallel = %v, want ErrNoGradient", err)
+	}
+}
+
+func TestBuildDataParallelRejectsBadReplicaCount(t *testing.T) {
+	m := tinyModel(t)
+	if _, err := BuildDataParallel(m, 0); err == nil {
+		t.Error("BuildDataParallel accepted replicas=0")
+	}
+}
+
+func TestBuildDataParallelGradForRewrittenPerReplica(t *testing.T) {
+	m := tinyModel(t)
+	g, err := BuildDataParallel(m, 2)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	bp, ok := g.OpByName("rep1/dense_bp")
+	if !ok {
+		t.Fatal("replica backward op missing")
+	}
+	if bp.GradFor != "rep1/dense" {
+		t.Errorf("GradFor = %q, want rep1/dense", bp.GradFor)
+	}
+}
+
+func TestBuildDataParallelParamsCountedOnce(t *testing.T) {
+	m := tinyModel(t)
+	modelParams := m.ComputeStats().ParamBytes
+	g, err := BuildDataParallel(m, 4)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	if got := g.ComputeStats().ParamBytes; got != modelParams {
+		t.Errorf("DP graph ParamBytes = %d, want %d (shared variables)", got, modelParams)
+	}
+}

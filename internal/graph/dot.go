@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format, optionally coloring ops
+// by the given placement (op ID -> device ID; pass nil for no coloring).
+// Useful for inspecting split/replication rewrites and placements.
+func (g *Graph) WriteDOT(w io.Writer, placement []int) error {
+	var b strings.Builder
+	b.WriteString("digraph G {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	colors := []string{
+		"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+		"#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+	}
+	for _, op := range g.ops {
+		label := fmt.Sprintf("%s\\n%s", op.Name, op.Kind)
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if placement != nil && op.ID < len(placement) && placement[op.ID] >= 0 {
+			c := colors[placement[op.ID]%len(colors)]
+			attrs += fmt.Sprintf(", style=filled, fillcolor=\"%s\"", c)
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", op.ID, attrs)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%dB\", fontsize=8];\n", e.From, e.To, e.Bytes)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonOp is the serialized form of an Op.
+type jsonOp struct {
+	Name           string `json:"name"`
+	Kind           string `json:"kind"`
+	FLOPs          int64  `json:"flops,omitempty"`
+	ParamBytes     int64  `json:"paramBytes,omitempty"`
+	OutputBytes    int64  `json:"outputBytes,omitempty"`
+	WorkspaceBytes int64  `json:"workspaceBytes,omitempty"`
+	Batch          int    `json:"batch,omitempty"`
+	Channels       int    `json:"channels,omitempty"`
+	Replica        int    `json:"replica,omitempty"`
+	SplitOf        string `json:"splitOf,omitempty"`
+	SplitN         int    `json:"splitN,omitempty"`
+	GradFor        string `json:"gradFor,omitempty"`
+	ColocateWith   string `json:"colocateWith,omitempty"`
+}
+
+// jsonEdge is the serialized form of an Edge, referencing ops by name so
+// the format is stable under ID renumbering.
+type jsonEdge struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Bytes int64  `json:"bytes"`
+}
+
+// jsonGraph is the on-wire document.
+type jsonGraph struct {
+	Ops   []jsonOp   `json:"ops"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+// kindByName inverts the OpKind string mapping.
+var _kindByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, len(_kindNames))
+	for k, name := range _kindNames {
+		m[name] = k
+	}
+	return m
+}()
+
+// WriteJSON serializes the graph as a stable, name-referenced JSON document
+// suitable for storing model definitions or exchanging graphs with other
+// tools.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	doc := jsonGraph{
+		Ops:   make([]jsonOp, 0, len(g.ops)),
+		Edges: make([]jsonEdge, 0, len(g.edges)),
+	}
+	for _, op := range g.ops {
+		doc.Ops = append(doc.Ops, jsonOp{
+			Name:           op.Name,
+			Kind:           op.Kind.String(),
+			FLOPs:          op.FLOPs,
+			ParamBytes:     op.ParamBytes,
+			OutputBytes:    op.OutputBytes,
+			WorkspaceBytes: op.WorkspaceBytes,
+			Batch:          op.Batch,
+			Channels:       op.Channels,
+			Replica:        op.Replica,
+			SplitOf:        op.SplitOf,
+			SplitN:         op.SplitN,
+			GradFor:        op.GradFor,
+			ColocateWith:   op.ColocateWith,
+		})
+	}
+	for _, e := range g.edges {
+		doc.Edges = append(doc.Edges, jsonEdge{
+			From:  g.ops[e.From].Name,
+			To:    g.ops[e.To].Name,
+			Bytes: e.Bytes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a graph previously produced by WriteJSON (or authored by
+// hand) and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var doc jsonGraph
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode graph: %w", err)
+	}
+	g := New()
+	for _, jo := range doc.Ops {
+		kind, ok := _kindByName[jo.Kind]
+		if !ok {
+			return nil, fmt.Errorf("op %q: unknown kind %q", jo.Name, jo.Kind)
+		}
+		op := &Op{
+			Name:           jo.Name,
+			Kind:           kind,
+			FLOPs:          jo.FLOPs,
+			ParamBytes:     jo.ParamBytes,
+			OutputBytes:    jo.OutputBytes,
+			WorkspaceBytes: jo.WorkspaceBytes,
+			Batch:          jo.Batch,
+			Channels:       jo.Channels,
+			Replica:        jo.Replica,
+			SplitOf:        jo.SplitOf,
+			SplitN:         jo.SplitN,
+			GradFor:        jo.GradFor,
+			ColocateWith:   jo.ColocateWith,
+		}
+		if _, err := g.AddOp(op); err != nil {
+			return nil, err
+		}
+	}
+	for _, je := range doc.Edges {
+		from, ok := g.OpByName(je.From)
+		if !ok {
+			return nil, fmt.Errorf("edge references unknown op %q", je.From)
+		}
+		to, ok := g.OpByName(je.To)
+		if !ok {
+			return nil, fmt.Errorf("edge references unknown op %q", je.To)
+		}
+		if err := g.Connect(from.ID, to.ID, je.Bytes); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("decoded graph: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The paper's concluding discussion notes that FastT "does not handle
+// graphs with cycles" (TensorFlow while-loops, e.g. dynamic RNNs) and
+// proposes breaking the cycles and reorganizing the graph into a DAG as
+// future work. This file implements that: strongly connected components
+// identify loop bodies, and Unroll replicates each body a fixed number of
+// times (the trip count), turning recurrent edges into iteration-to-
+// iteration dependencies — exactly what static unrolling of a dynamic RNN
+// does.
+
+// ErrNoTrips is returned for non-positive trip counts.
+var ErrNoTrips = errors.New("trip count must be positive")
+
+// SCCs returns the strongly connected components of the graph with at
+// least two ops (trivial single-op components are omitted; self-edges are
+// rejected at construction). Components are returned in reverse
+// topological order of the condensation, each as a sorted list of op IDs.
+func (g *Graph) SCCs() [][]int {
+	n := len(g.ops)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack   []int
+		counter int
+		out     [][]int
+	)
+	// Iterative Tarjan to survive deep unrolled graphs.
+	type frame struct {
+		v    int
+		succ []int
+		next int
+	}
+	var dfs func(root int)
+	dfs = func(root int) {
+		frames := []frame{{v: root, succ: g.Successors(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(f.succ) {
+				w := f.succ[f.next]
+				f.next++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succ: g.Successors(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Pop the frame.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					sort.Ints(comp)
+					out = append(out, comp)
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			dfs(v)
+		}
+	}
+	return out
+}
+
+// HasCycles reports whether the graph contains any cycle.
+func (g *Graph) HasCycles() bool {
+	_, err := g.TopoOrder()
+	return err != nil
+}
+
+// Unroll converts a cyclic graph into a DAG by statically unrolling every
+// loop body `trips` times:
+//
+//   - ops outside any cycle are copied once, keeping their names;
+//   - each loop body (a strongly connected component) is replicated per
+//     trip as "<name>/iter<t>";
+//   - forward edges inside a body connect within the same trip; back edges
+//     (edges that would close the cycle) connect trip t to trip t+1 and are
+//     dropped for the final trip;
+//   - edges entering a body feed trip 0; edges leaving a body exit from the
+//     final trip.
+//
+// An edge inside a body counts as a back edge when it points from a
+// higher-index op to a lower-or-equal one under a DFS numbering of the
+// body; for the canonical while-loop shape (cell -> state -> cell) this
+// matches TensorFlow's NextIteration edges. Acyclic graphs are returned as
+// a plain clone.
+func Unroll(g *Graph, trips int) (*Graph, error) {
+	if trips < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrNoTrips, trips)
+	}
+	comps := g.SCCs()
+	if len(comps) == 0 {
+		return g.Clone(), nil
+	}
+	compOf := make([]int, g.NumOps())
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	for ci, comp := range comps {
+		for _, id := range comp {
+			compOf[id] = ci
+		}
+	}
+	// Order each body with a deterministic DFS from its entry ops (body
+	// ops receiving external edges), so back edges are recognizable.
+	bodyPos := make([]int, g.NumOps())
+	for ci, comp := range comps {
+		pos := orderBody(g, comp, compOf, ci)
+		for id, p := range pos {
+			bodyPos[id] = p
+		}
+	}
+
+	out := New()
+	// newID maps (old ID, trip) -> new ID; non-body ops use trip 0.
+	newID := make(map[[2]int]int, g.NumOps())
+	addCopy := func(op *Op, trip int, suffix bool) error {
+		c := op.clone()
+		if suffix {
+			c.Name = fmt.Sprintf("%s/iter%d", op.Name, trip)
+			if c.GradFor != "" {
+				c.GradFor = fmt.Sprintf("%s/iter%d", c.GradFor, trip)
+			}
+			if c.ColocateWith != "" && compOf[op.ID] >= 0 {
+				c.ColocateWith = fmt.Sprintf("%s/iter%d", c.ColocateWith, trip)
+			}
+		}
+		id, err := out.AddOp(c)
+		if err != nil {
+			return err
+		}
+		newID[[2]int{op.ID, trip}] = id
+		return nil
+	}
+	for _, op := range g.Ops() {
+		if compOf[op.ID] < 0 {
+			if err := addCopy(op, 0, false); err != nil {
+				return nil, fmt.Errorf("copy op: %w", err)
+			}
+			continue
+		}
+		for t := 0; t < trips; t++ {
+			if err := addCopy(op, t, true); err != nil {
+				return nil, fmt.Errorf("unroll op: %w", err)
+			}
+		}
+	}
+
+	lastTrip := trips - 1
+	for _, e := range g.Edges() {
+		fc, tc := compOf[e.From], compOf[e.To]
+		switch {
+		case fc < 0 && tc < 0:
+			// Outside any loop.
+			if err := out.Connect(newID[[2]int{e.From, 0}], newID[[2]int{e.To, 0}], e.Bytes); err != nil {
+				return nil, fmt.Errorf("copy edge: %w", err)
+			}
+		case fc < 0 && tc >= 0:
+			// Entering a loop: feed trip 0.
+			if err := out.Connect(newID[[2]int{e.From, 0}], newID[[2]int{e.To, 0}], e.Bytes); err != nil {
+				return nil, fmt.Errorf("loop input edge: %w", err)
+			}
+		case fc >= 0 && tc < 0:
+			// Leaving a loop: exit from the final trip.
+			if err := out.Connect(newID[[2]int{e.From, lastTrip}], newID[[2]int{e.To, 0}], e.Bytes); err != nil {
+				return nil, fmt.Errorf("loop output edge: %w", err)
+			}
+		case fc != tc:
+			// Between two distinct loops: final trip of one feeds trip 0
+			// of the other (the condensation is acyclic).
+			if err := out.Connect(newID[[2]int{e.From, lastTrip}], newID[[2]int{e.To, 0}], e.Bytes); err != nil {
+				return nil, fmt.Errorf("inter-loop edge: %w", err)
+			}
+		default:
+			// Inside one body: forward edges stay within a trip; back
+			// edges advance to the next trip (and vanish after the last).
+			back := bodyPos[e.From] >= bodyPos[e.To]
+			for t := 0; t < trips; t++ {
+				dst := t
+				if back {
+					dst = t + 1
+					if dst >= trips {
+						continue
+					}
+				}
+				if err := out.Connect(newID[[2]int{e.From, t}], newID[[2]int{e.To, dst}], e.Bytes); err != nil {
+					return nil, fmt.Errorf("body edge: %w", err)
+				}
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("unrolled graph: %w", err)
+	}
+	return out, nil
+}
+
+// orderBody assigns DFS positions to a body's ops, starting from the ops
+// that receive edges from outside the component (the loop entries).
+func orderBody(g *Graph, comp []int, compOf []int, ci int) map[int]int {
+	inBody := make(map[int]bool, len(comp))
+	for _, id := range comp {
+		inBody[id] = true
+	}
+	var entries []int
+	for _, id := range comp {
+		for _, p := range g.Predecessors(id) {
+			if compOf[p] != ci {
+				entries = append(entries, id)
+				break
+			}
+		}
+	}
+	if len(entries) == 0 {
+		entries = comp[:1] // detached loop: start anywhere, deterministically
+	}
+	pos := make(map[int]int, len(comp))
+	next := 0
+	var stack []int
+	for _, e := range entries {
+		stack = append(stack, e)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, seen := pos[id]; seen {
+			continue
+		}
+		pos[id] = next
+		next++
+		succs := g.Successors(id)
+		// Push in reverse for stable left-to-right ordering.
+		for i := len(succs) - 1; i >= 0; i-- {
+			if inBody[succs[i]] {
+				if _, seen := pos[succs[i]]; !seen {
+					stack = append(stack, succs[i])
+				}
+			}
+		}
+	}
+	// Any unreached stragglers (possible in exotic shapes).
+	for _, id := range comp {
+		if _, seen := pos[id]; !seen {
+			pos[id] = next
+			next++
+		}
+	}
+	return pos
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// cyclicRNN builds input -> cell <-> state -> output, the canonical
+// while-loop shape of a dynamic RNN: cell feeds state, state feeds the
+// cell of the next iteration (the back edge).
+func cyclicRNN(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	in := g.MustAddOp(&Op{Name: "input", Kind: KindInput, OutputBytes: 1 << 10, Batch: 8})
+	cell := g.MustAddOp(&Op{
+		Name: "cell", Kind: KindLSTMCell, FLOPs: 1e6,
+		ParamBytes: 1 << 12, OutputBytes: 1 << 10, Batch: 8, Channels: 64,
+	})
+	state := g.MustAddOp(&Op{Name: "state", Kind: KindIdentity, OutputBytes: 1 << 10, Batch: 8})
+	out := g.MustAddOp(&Op{Name: "output", Kind: KindLoss, FLOPs: 1e4, OutputBytes: 4, Batch: 8})
+	g.MustConnect(in, cell, 1<<10)
+	g.MustConnect(cell, state, 1<<10)
+	g.MustConnect(state, cell, 1<<10) // back edge: recurrence
+	g.MustConnect(state, out, 1<<10)
+	return g
+}
+
+func TestSCCsFindLoopBody(t *testing.T) {
+	g := cyclicRNN(t)
+	comps := g.SCCs()
+	if len(comps) != 1 {
+		t.Fatalf("SCCs = %d, want 1", len(comps))
+	}
+	if len(comps[0]) != 2 {
+		t.Fatalf("body size = %d, want 2 (cell, state)", len(comps[0]))
+	}
+	names := map[string]bool{}
+	for _, id := range comps[0] {
+		names[g.Op(id).Name] = true
+	}
+	if !names["cell"] || !names["state"] {
+		t.Errorf("body = %v, want cell+state", names)
+	}
+}
+
+func TestSCCsAcyclicEmpty(t *testing.T) {
+	g := chainGraph(t, 4)
+	if comps := g.SCCs(); len(comps) != 0 {
+		t.Errorf("SCCs of a DAG = %v, want none", comps)
+	}
+	if g.HasCycles() {
+		t.Error("DAG reported cyclic")
+	}
+}
+
+func TestHasCycles(t *testing.T) {
+	if !cyclicRNN(t).HasCycles() {
+		t.Error("cyclic graph reported acyclic")
+	}
+}
+
+func TestUnrollProducesDAG(t *testing.T) {
+	g := cyclicRNN(t)
+	const trips = 5
+	u, err := Unroll(g, trips)
+	if err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("unrolled graph invalid: %v", err)
+	}
+	if u.HasCycles() {
+		t.Fatal("unrolled graph still cyclic")
+	}
+	// 2 non-body ops + 2 body ops x 5 trips.
+	if u.NumOps() != 2+2*trips {
+		t.Errorf("NumOps = %d, want %d", u.NumOps(), 2+2*trips)
+	}
+	for _, name := range []string{"cell/iter0", "state/iter4", "input", "output"} {
+		if _, ok := u.OpByName(name); !ok {
+			t.Errorf("op %q missing after unroll", name)
+		}
+	}
+}
+
+func TestUnrollWiresIterations(t *testing.T) {
+	g := cyclicRNN(t)
+	u, err := Unroll(g, 3)
+	if err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	// The back edge state->cell must become state/iterT -> cell/iterT+1.
+	s0, _ := u.OpByName("state/iter0")
+	c1, _ := u.OpByName("cell/iter1")
+	found := false
+	for _, succ := range u.Successors(s0.ID) {
+		if succ == c1.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("recurrence edge iter0 -> iter1 missing")
+	}
+	// The loop output must read the final iteration's state.
+	out, _ := u.OpByName("output")
+	s2, _ := u.OpByName("state/iter2")
+	found = false
+	for _, p := range u.Predecessors(out.ID) {
+		if p == s2.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("output not fed from final iteration")
+	}
+	// The external input feeds iteration 0 only.
+	in, _ := u.OpByName("input")
+	if got := u.OutDegree(in.ID); got != 1 {
+		t.Errorf("input out-degree = %d, want 1", got)
+	}
+}
+
+func TestUnrollAcyclicIsClone(t *testing.T) {
+	g := chainGraph(t, 4)
+	u, err := Unroll(g, 7)
+	if err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	if u.NumOps() != g.NumOps() || u.NumEdges() != g.NumEdges() {
+		t.Errorf("acyclic unroll changed shape: %d/%d vs %d/%d",
+			u.NumOps(), u.NumEdges(), g.NumOps(), g.NumEdges())
+	}
+}
+
+func TestUnrollBadTrips(t *testing.T) {
+	g := cyclicRNN(t)
+	if _, err := Unroll(g, 0); !errors.Is(err, ErrNoTrips) {
+		t.Errorf("err = %v, want ErrNoTrips", err)
+	}
+}
+
+func TestUnrollTripsOne(t *testing.T) {
+	g := cyclicRNN(t)
+	u, err := Unroll(g, 1)
+	if err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	// One trip: the back edge disappears entirely.
+	if u.HasCycles() {
+		t.Error("single-trip unroll still cyclic")
+	}
+	if u.NumOps() != 4 {
+		t.Errorf("NumOps = %d, want 4", u.NumOps())
+	}
+}
+
+func TestUnrollTwoIndependentLoops(t *testing.T) {
+	g := New()
+	in := g.MustAddOp(&Op{Name: "in", Kind: KindInput, OutputBytes: 8, Batch: 2})
+	a1 := g.MustAddOp(&Op{Name: "a1", Kind: KindLSTMCell, FLOPs: 10, OutputBytes: 8, Batch: 2})
+	a2 := g.MustAddOp(&Op{Name: "a2", Kind: KindIdentity, OutputBytes: 8, Batch: 2})
+	b1 := g.MustAddOp(&Op{Name: "b1", Kind: KindLSTMCell, FLOPs: 10, OutputBytes: 8, Batch: 2})
+	b2 := g.MustAddOp(&Op{Name: "b2", Kind: KindIdentity, OutputBytes: 8, Batch: 2})
+	sink := g.MustAddOp(&Op{Name: "sink", Kind: KindLoss, OutputBytes: 4, Batch: 2})
+	g.MustConnect(in, a1, 8)
+	g.MustConnect(a1, a2, 8)
+	g.MustConnect(a2, a1, 8) // loop A
+	g.MustConnect(a2, b1, 8)
+	g.MustConnect(b1, b2, 8)
+	g.MustConnect(b2, b1, 8) // loop B
+	g.MustConnect(b2, sink, 8)
+
+	u, err := Unroll(g, 2)
+	if err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	if u.HasCycles() {
+		t.Fatal("still cyclic")
+	}
+	// in + sink + 2x2 per loop body.
+	if u.NumOps() != 2+4+4 {
+		t.Errorf("NumOps = %d, want 10", u.NumOps())
+	}
+	// Loop A's final trip feeds loop B's first trip.
+	a2last, _ := u.OpByName("a2/iter1")
+	b1first, _ := u.OpByName("b1/iter0")
+	found := false
+	for _, s := range u.Successors(a2last.ID) {
+		if s == b1first.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inter-loop edge not rewired from final to first trip")
+	}
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by SplitOperation.
+var (
+	// ErrNotSplittable is returned when an op cannot be split on the
+	// requested dimension.
+	ErrNotSplittable = errors.New("operation not splittable on dimension")
+	// ErrBadSplitCount is returned for split counts below 2 or exceeding
+	// the dimension extent.
+	ErrBadSplitCount = errors.New("invalid split count")
+)
+
+// SplitDecision records one entry of the operation split list SP[] produced
+// by OS-DPOS (Alg. 2): the operation's name, the partition dimension, and
+// the number of partitions.
+type SplitDecision struct {
+	OpName string   `json:"op"`
+	Dim    SplitDim `json:"dim"`
+	N      int      `json:"n"`
+}
+
+// String formats the decision as it appears in split lists.
+func (s SplitDecision) String() string {
+	return fmt.Sprintf("(%s, %s, %d)", s.OpName, s.Dim, s.N)
+}
+
+// SplitOperation implements the SplitOperation function of Alg. 2: it
+// returns a new graph in which op `opID` of g is replaced by n
+// sub-operations s_1..s_n partitioned on dimension dim. For every
+// predecessor edge a Split node is inserted that scatters the tensor to the
+// sub-operations; for every successor edge a Concat node gathers the
+// sub-operation outputs. The input graph is not modified.
+//
+// Work (FLOPs) and output bytes divide evenly across sub-operations.
+// Parameters divide only for channel splits; a batch split replicates the
+// parameters to every sub-operation (the broadcast overhead the paper cites
+// as the reason fc layers with large weights are not split, Table 5).
+func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
+	if opID < 0 || opID >= g.NumOps() {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownOp, opID)
+	}
+	target := g.Op(opID)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSplitCount, n)
+	}
+	if err := checkSplittable(target, dim, n); err != nil {
+		return nil, err
+	}
+
+	out := New()
+	// idMap maps old op IDs to new IDs for all ops except the target.
+	idMap := make([]int, g.NumOps())
+	for _, op := range g.Ops() {
+		if op.ID == opID {
+			idMap[op.ID] = -1
+			continue
+		}
+		c := op.clone()
+		id, err := out.AddOp(c)
+		if err != nil {
+			return nil, fmt.Errorf("copy op: %w", err)
+		}
+		idMap[op.ID] = id
+	}
+
+	// Create the n sub-operations.
+	subIDs := make([]int, n)
+	for i := 0; i < n; i++ {
+		sub := target.clone()
+		sub.Name = fmt.Sprintf("%s/part%d_of%d", target.Name, i, n)
+		sub.FLOPs = divideRound(target.FLOPs, n)
+		sub.OutputBytes = divideRound(target.OutputBytes, n)
+		sub.WorkspaceBytes = divideRound(target.WorkspaceBytes, n)
+		sub.SplitOf = target.Name
+		sub.SplitN = n
+		switch dim {
+		case DimBatch:
+			sub.Batch = target.Batch / n
+			// Parameters replicate across batch partitions.
+		case DimChannel:
+			sub.Channels = target.Channels / n
+			sub.ParamBytes = divideRound(target.ParamBytes, n)
+		}
+		id, err := out.AddOp(sub)
+		if err != nil {
+			return nil, fmt.Errorf("add sub-op: %w", err)
+		}
+		subIDs[i] = id
+	}
+
+	// Copy all edges not touching the target.
+	for _, e := range g.Edges() {
+		if e.From == opID || e.To == opID {
+			continue
+		}
+		if err := out.Connect(idMap[e.From], idMap[e.To], e.Bytes); err != nil {
+			return nil, fmt.Errorf("copy edge: %w", err)
+		}
+	}
+
+	// Per predecessor edge: insert a Split node scattering the tensor into
+	// n partitions, one per sub-operation (Alg. 2 lines 20-23).
+	for pi, e := range g.InEdges(opID) {
+		sp := &Op{
+			Name:        fmt.Sprintf("%s/split%d", target.Name, pi),
+			Kind:        KindSplit,
+			OutputBytes: e.Bytes,
+			Batch:       target.Batch,
+			Replica:     target.Replica,
+			SplitOf:     target.Name,
+			SplitN:      n,
+		}
+		spID, err := out.AddOp(sp)
+		if err != nil {
+			return nil, fmt.Errorf("add split node: %w", err)
+		}
+		if err := out.Connect(idMap[e.From], spID, e.Bytes); err != nil {
+			return nil, fmt.Errorf("connect pred to split: %w", err)
+		}
+		part := divideRound(e.Bytes, n)
+		for i := 0; i < n; i++ {
+			if err := out.Connect(spID, subIDs[i], part); err != nil {
+				return nil, fmt.Errorf("connect split to sub-op: %w", err)
+			}
+		}
+	}
+
+	// Per successor edge: insert a Concat node gathering the sub-operation
+	// outputs (Alg. 2 lines 24-27).
+	for si, e := range g.OutEdges(opID) {
+		con := &Op{
+			Name:        fmt.Sprintf("%s/concat%d", target.Name, si),
+			Kind:        KindConcat,
+			OutputBytes: e.Bytes,
+			Batch:       target.Batch,
+			Replica:     target.Replica,
+			SplitOf:     target.Name,
+			SplitN:      n,
+		}
+		conID, err := out.AddOp(con)
+		if err != nil {
+			return nil, fmt.Errorf("add concat node: %w", err)
+		}
+		part := divideRound(e.Bytes, n)
+		for i := 0; i < n; i++ {
+			if err := out.Connect(subIDs[i], conID, part); err != nil {
+				return nil, fmt.Errorf("connect sub-op to concat: %w", err)
+			}
+		}
+		if err := out.Connect(conID, idMap[e.To], e.Bytes); err != nil {
+			return nil, fmt.Errorf("connect concat to succ: %w", err)
+		}
+	}
+
+	return out, nil
+}
+
+func checkSplittable(op *Op, dim SplitDim, n int) error {
+	dims := op.SplittableDims()
+	ok := false
+	for _, d := range dims {
+		if d == dim {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s on %s", ErrNotSplittable, op.Name, dim)
+	}
+	extent := 0
+	switch dim {
+	case DimBatch:
+		extent = op.Batch
+	case DimChannel:
+		extent = op.Channels
+	}
+	if n > extent {
+		return fmt.Errorf("%w: n=%d exceeds %s extent %d of %s",
+			ErrBadSplitCount, n, dim, extent, op.Name)
+	}
+	return nil
+}
+
+// divideRound divides v into n parts, rounding up so that per-part costs are
+// not underestimated.
+func divideRound(v int64, n int) int64 {
+	return (v + int64(n) - 1) / int64(n)
+}

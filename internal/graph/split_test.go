@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// splitFixture builds pre -> conv -> suc with a parameterized conv.
+func splitFixture(t *testing.T) (*Graph, int) {
+	t.Helper()
+	g := New()
+	pre := g.MustAddOp(&Op{Name: "pre", Kind: KindInput, OutputBytes: 1000, Batch: 8})
+	conv := g.MustAddOp(&Op{
+		Name:        "conv",
+		Kind:        KindConv2D,
+		FLOPs:       8000,
+		ParamBytes:  400,
+		OutputBytes: 2000,
+		Batch:       8,
+		Channels:    64,
+	})
+	suc := g.MustAddOp(&Op{Name: "suc", Kind: KindRelu, OutputBytes: 2000, Batch: 8})
+	g.MustConnect(pre, conv, 1000)
+	g.MustConnect(conv, suc, 2000)
+	return g, conv
+}
+
+func TestSplitOperationBatchDim(t *testing.T) {
+	g, conv := splitFixture(t)
+	out, err := SplitOperation(g, conv, DimBatch, 4)
+	if err != nil {
+		t.Fatalf("SplitOperation: %v", err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("split graph invalid: %v", err)
+	}
+	// 2 untouched ops + 4 sub-ops + 1 split node + 1 concat node.
+	if out.NumOps() != 8 {
+		t.Errorf("NumOps = %d, want 8", out.NumOps())
+	}
+	if _, ok := out.OpByName("conv"); ok {
+		t.Error("original op still present after split")
+	}
+	for i := 0; i < 4; i++ {
+		sub, ok := out.OpByName("conv/part" + string(rune('0'+i)) + "_of4")
+		if !ok {
+			t.Fatalf("sub-op %d missing", i)
+		}
+		if sub.FLOPs != 2000 {
+			t.Errorf("sub-op FLOPs = %d, want 2000", sub.FLOPs)
+		}
+		if sub.Batch != 2 {
+			t.Errorf("sub-op Batch = %d, want 2", sub.Batch)
+		}
+		// Batch split replicates parameters.
+		if sub.ParamBytes != 400 {
+			t.Errorf("sub-op ParamBytes = %d, want 400 (replicated)", sub.ParamBytes)
+		}
+		if sub.SplitOf != "conv" || sub.SplitN != 4 {
+			t.Errorf("sub-op lineage = (%q,%d), want (conv,4)", sub.SplitOf, sub.SplitN)
+		}
+	}
+}
+
+func TestSplitOperationChannelDimDividesParams(t *testing.T) {
+	g, conv := splitFixture(t)
+	out, err := SplitOperation(g, conv, DimChannel, 2)
+	if err != nil {
+		t.Fatalf("SplitOperation: %v", err)
+	}
+	sub, ok := out.OpByName("conv/part0_of2")
+	if !ok {
+		t.Fatal("sub-op missing")
+	}
+	if sub.ParamBytes != 200 {
+		t.Errorf("channel-split ParamBytes = %d, want 200", sub.ParamBytes)
+	}
+	if sub.Channels != 32 {
+		t.Errorf("channel-split Channels = %d, want 32", sub.Channels)
+	}
+}
+
+func TestSplitOperationWiring(t *testing.T) {
+	g, conv := splitFixture(t)
+	out, err := SplitOperation(g, conv, DimBatch, 2)
+	if err != nil {
+		t.Fatalf("SplitOperation: %v", err)
+	}
+	sp, ok := out.OpByName("conv/split0")
+	if !ok {
+		t.Fatal("split node missing")
+	}
+	con, ok := out.OpByName("conv/concat0")
+	if !ok {
+		t.Fatal("concat node missing")
+	}
+	if got := out.OutDegree(sp.ID); got != 2 {
+		t.Errorf("split node out-degree = %d, want 2", got)
+	}
+	if got := out.InDegree(con.ID); got != 2 {
+		t.Errorf("concat node in-degree = %d, want 2", got)
+	}
+	// split node receives the full predecessor tensor.
+	in := out.InEdges(sp.ID)
+	if len(in) != 1 || in[0].Bytes != 1000 {
+		t.Errorf("split in edges = %v, want one 1000B edge", in)
+	}
+	// sub-op edges carry partitioned bytes.
+	for _, e := range out.OutEdges(sp.ID) {
+		if e.Bytes != 500 {
+			t.Errorf("split->sub edge bytes = %d, want 500", e.Bytes)
+		}
+	}
+	// concat forwards the full tensor to the successor.
+	oe := out.OutEdges(con.ID)
+	if len(oe) != 1 || oe[0].Bytes != 2000 {
+		t.Errorf("concat out edges = %v, want one 2000B edge", oe)
+	}
+}
+
+func TestSplitOperationErrors(t *testing.T) {
+	g, conv := splitFixture(t)
+	tests := []struct {
+		name    string
+		op      int
+		dim     SplitDim
+		n       int
+		wantErr error
+	}{
+		{"unknown op", 99, DimBatch, 2, ErrUnknownOp},
+		{"n too small", conv, DimBatch, 1, ErrBadSplitCount},
+		{"n exceeds extent", conv, DimBatch, 16, ErrBadSplitCount},
+		{"unsplittable op", 0, DimBatch, 2, ErrNotSplittable}, // Input op
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := SplitOperation(g, tt.op, tt.dim, tt.n)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("SplitOperation = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSplitOperationDoesNotMutateInput(t *testing.T) {
+	g, conv := splitFixture(t)
+	before := g.NumOps()
+	if _, err := SplitOperation(g, conv, DimBatch, 2); err != nil {
+		t.Fatalf("SplitOperation: %v", err)
+	}
+	if g.NumOps() != before {
+		t.Errorf("input graph mutated: NumOps %d -> %d", before, g.NumOps())
+	}
+	if _, ok := g.OpByName("conv"); !ok {
+		t.Error("input graph lost the original op")
+	}
+}
+
+// TestSplitPreservesTotalWork checks the invariant that splitting never
+// loses FLOPs: the sub-operations together carry at least the original work
+// (rounding may add a little).
+func TestSplitPreservesTotalWork(t *testing.T) {
+	f := func(flops int64, n8 uint8) bool {
+		n := int(n8%7) + 2 // 2..8
+		if flops < 0 {
+			flops = -flops
+		}
+		g := New()
+		a := g.MustAddOp(&Op{Name: "a", Kind: KindInput, OutputBytes: 64, Batch: 64})
+		m := g.MustAddOp(&Op{
+			Name: "m", Kind: KindMatMul, FLOPs: flops,
+			OutputBytes: 640, Batch: 64, Channels: 64,
+		})
+		z := g.MustAddOp(&Op{Name: "z", Kind: KindLoss, Batch: 64})
+		g.MustConnect(a, m, 64)
+		g.MustConnect(m, z, 640)
+
+		out, err := SplitOperation(g, m, DimBatch, n)
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, op := range out.Ops() {
+			if op.SplitOf == "m" && op.Kind == KindMatMul {
+				total += op.FLOPs
+			}
+		}
+		return total >= flops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivideRound(t *testing.T) {
+	tests := []struct {
+		v    int64
+		n    int
+		want int64
+	}{
+		{10, 2, 5},
+		{10, 3, 4},
+		{0, 4, 0},
+		{1, 8, 1},
+	}
+	for _, tt := range tests {
+		if got := divideRound(tt.v, tt.n); got != tt.want {
+			t.Errorf("divideRound(%d,%d) = %d, want %d", tt.v, tt.n, got, tt.want)
+		}
+	}
+}

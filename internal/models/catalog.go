@@ -1,0 +1,66 @@
+package models
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fastt/internal/graph"
+)
+
+// ErrUnknownModel is returned when a model name is not in the catalog.
+var ErrUnknownModel = errors.New("unknown model")
+
+// Spec describes one benchmark model: its builder and the batch sizes the
+// paper evaluates it at (Table 1 uses GlobalBatch under strong scaling;
+// Table 2 uses PerGPUBatch under weak scaling).
+type Spec struct {
+	// Name as used in the paper's tables.
+	Name string
+	// Build returns the model graph at the given batch size. For
+	// Transformer the batch is in tokens, matching the paper; for all
+	// other models it is in samples.
+	Build func(batch int) (*graph.Graph, error)
+	// GlobalBatch is the strong-scaling global batch (Table 1).
+	GlobalBatch int
+	// PerGPUBatch is the weak-scaling per-GPU batch (Table 2).
+	PerGPUBatch int
+	// Kind groups models for analysis output ("cnn" or "nmt").
+	Kind string
+}
+
+// Catalog returns all nine benchmark models in the paper's table order.
+func Catalog() []Spec {
+	return []Spec{
+		{Name: "Inception_v3", Build: InceptionV3, GlobalBatch: 64, PerGPUBatch: 64, Kind: "cnn"},
+		{Name: "VGG-19", Build: VGG19, GlobalBatch: 64, PerGPUBatch: 64, Kind: "cnn"},
+		{Name: "ResNet200", Build: ResNet200, GlobalBatch: 32, PerGPUBatch: 32, Kind: "cnn"},
+		{Name: "LeNet", Build: LeNet, GlobalBatch: 256, PerGPUBatch: 256, Kind: "cnn"},
+		{Name: "AlexNet", Build: AlexNet, GlobalBatch: 256, PerGPUBatch: 256, Kind: "cnn"},
+		{Name: "GNMT", Build: GNMT, GlobalBatch: 128, PerGPUBatch: 128, Kind: "nmt"},
+		{Name: "RNNLM", Build: RNNLM, GlobalBatch: 64, PerGPUBatch: 64, Kind: "nmt"},
+		{Name: "Transformer", Build: Transformer, GlobalBatch: 4096, PerGPUBatch: 4096, Kind: "nmt"},
+		{Name: "Bert-large", Build: BertLarge, GlobalBatch: 16, PerGPUBatch: 16, Kind: "nmt"},
+	}
+}
+
+// ByName looks a model up by its table name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+}
+
+// Names returns the catalog's model names sorted alphabetically.
+func Names() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, s := range cat {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,144 @@
+package models
+
+import (
+	"fmt"
+
+	"fastt/internal/graph"
+)
+
+// convLayer appends conv + relu and returns the relu's ID.
+func convLayer(b *builder, name string, pred int, h, w, cin, cout, k int) int {
+	conv := b.add(opSpec{
+		name:     name,
+		kind:     graph.KindConv2D,
+		flops:    convFLOPs(b.batch, h, w, cin, cout, k),
+		params:   convParams(cin, cout, k),
+		outBytes: fm(b.batch, h, w, cout),
+		channels: cout,
+	}, pred)
+	return b.add(opSpec{
+		name:     "relu_" + name,
+		kind:     graph.KindRelu,
+		flops:    int64(b.batch) * int64(h) * int64(w) * int64(cout),
+		outBytes: fm(b.batch, h, w, cout),
+		channels: cout,
+	}, conv)
+}
+
+// poolLayer appends a max-pool halving the spatial dims.
+func poolLayer(b *builder, name string, pred int, h, w, c int) int {
+	return b.add(opSpec{
+		name:     name,
+		kind:     graph.KindMaxPool,
+		flops:    int64(b.batch) * int64(h) * int64(w) * int64(c),
+		outBytes: fm(b.batch, h/2, w/2, c),
+		channels: c,
+	}, pred)
+}
+
+// denseLayer appends a fully connected layer (+relu unless last).
+func denseLayer(b *builder, name string, pred int, in, out int, relu bool) int {
+	fc := b.add(opSpec{
+		name:     name,
+		kind:     graph.KindMatMul,
+		flops:    denseFLOPs(b.batch, in, out),
+		params:   denseParams(in, out),
+		outBytes: vec(b.batch, out),
+		channels: out,
+	}, pred)
+	if !relu {
+		return fc
+	}
+	return b.add(opSpec{
+		name:     "relu_" + name,
+		kind:     graph.KindRelu,
+		flops:    int64(b.batch) * int64(out),
+		outBytes: vec(b.batch, out),
+		channels: out,
+	}, fc)
+}
+
+// LeNet builds LeNet-5 (28x28x1 input): conv(6)-pool-conv(16)-pool-
+// fc120-fc84-fc10. ~61K parameters.
+func LeNet(batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("lenet: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	in := b.add(opSpec{
+		name: "input", kind: graph.KindInput,
+		outBytes: fm(batch, 28, 28, 1), noGrad: true,
+	})
+	c1 := convLayer(b, "conv1", in, 28, 28, 1, 6, 5)
+	p1 := poolLayer(b, "pool1", c1, 28, 28, 6)
+	c2 := convLayer(b, "conv2", p1, 14, 14, 6, 16, 5)
+	p2 := poolLayer(b, "pool2", c2, 14, 14, 16)
+	f1 := denseLayer(b, "fc1", p2, 7*7*16, 120, true)
+	f2 := denseLayer(b, "fc2", f1, 120, 84, true)
+	f3 := denseLayer(b, "fc3", f2, 84, 10, false)
+	return b.finish(f3)
+}
+
+// AlexNet builds AlexNet (224x224x3 input): 5 convolutions and 3 dense
+// layers; fc6 holds 37.7M of the ~61M parameters.
+func AlexNet(batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("alexnet: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	in := b.add(opSpec{
+		name: "input", kind: graph.KindInput,
+		outBytes: fm(batch, 224, 224, 3), noGrad: true,
+	})
+	c1 := convLayer(b, "conv1", in, 55, 55, 3, 96, 11)
+	p1 := poolLayer(b, "pool1", c1, 55, 55, 96) // -> 27
+	c2 := convLayer(b, "conv2", p1, 27, 27, 96, 256, 5)
+	p2 := poolLayer(b, "pool2", c2, 27, 27, 256) // -> 13
+	c3 := convLayer(b, "conv3", p2, 13, 13, 256, 384, 3)
+	c4 := convLayer(b, "conv4", c3, 13, 13, 384, 384, 3)
+	c5 := convLayer(b, "conv5", c4, 13, 13, 384, 256, 3)
+	p5 := poolLayer(b, "pool5", c5, 13, 13, 256) // -> 6
+	f6 := denseLayer(b, "fc6", p5, 6*6*256, 4096, true)
+	f7 := denseLayer(b, "fc7", f6, 4096, 4096, true)
+	f8 := denseLayer(b, "fc8", f7, 4096, 1000, false)
+	return b.finish(f8)
+}
+
+// VGG19 builds VGG-19 (224x224x3 input): 16 convolutions in 5 blocks and
+// 3 dense layers; fc6 alone holds 102.76M of the ~143M parameters, the op
+// the paper's Table 5 shows is *not* split because broadcasting its weights
+// would dominate.
+func VGG19(batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("vgg19: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	in := b.add(opSpec{
+		name: "input", kind: graph.KindInput,
+		outBytes: fm(batch, 224, 224, 3), noGrad: true,
+	})
+	type blk struct {
+		convs, cin, cout, hw int
+	}
+	blocks := []blk{
+		{convs: 2, cin: 3, cout: 64, hw: 224},
+		{convs: 2, cin: 64, cout: 128, hw: 112},
+		{convs: 4, cin: 128, cout: 256, hw: 56},
+		{convs: 4, cin: 256, cout: 512, hw: 28},
+		{convs: 4, cin: 512, cout: 512, hw: 14},
+	}
+	prev := in
+	for bi, blkSpec := range blocks {
+		cin := blkSpec.cin
+		for ci := 0; ci < blkSpec.convs; ci++ {
+			name := fmt.Sprintf("conv%d_%d", bi+1, ci+1)
+			prev = convLayer(b, name, prev, blkSpec.hw, blkSpec.hw, cin, blkSpec.cout, 3)
+			cin = blkSpec.cout
+		}
+		prev = poolLayer(b, fmt.Sprintf("pool%d", bi+1), prev, blkSpec.hw, blkSpec.hw, blkSpec.cout)
+	}
+	f6 := denseLayer(b, "fc6", prev, 7*7*512, 4096, true)
+	f7 := denseLayer(b, "fc7", f6, 4096, 4096, true)
+	f8 := denseLayer(b, "fc8", f7, 4096, 1000, false)
+	return b.finish(f8)
+}

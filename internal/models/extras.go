@@ -1,0 +1,82 @@
+package models
+
+import (
+	"fmt"
+
+	"fastt/internal/graph"
+)
+
+// Extras returns additional models beyond the paper's nine benchmarks —
+// useful for library users, excluded from the paper-reproduction tables so
+// those stay faithful to the original evaluation.
+func Extras() []Spec {
+	return []Spec{
+		{Name: "ResNet50", Build: ResNet50, GlobalBatch: 64, PerGPUBatch: 64, Kind: "cnn"},
+		{Name: "GPT2-small", Build: GPT2Small, GlobalBatch: 16, PerGPUBatch: 16, Kind: "nmt"},
+	}
+}
+
+// ResNet50 builds ResNet-50 (224x224x3 input): bottleneck stages
+// [3, 4, 6, 3], ~25.6M parameters.
+func ResNet50(batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("resnet50: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	in := b.add(opSpec{
+		name: "input", kind: graph.KindInput,
+		outBytes: fm(batch, 224, 224, 3), noGrad: true,
+	})
+	stem := convLayer(b, "conv1", in, 112, 112, 3, 64, 7)
+	prev := poolLayer(b, "pool1", stem, 112, 112, 64) // -> 56
+
+	type stage struct {
+		blocks, cmid, cout, hw int
+	}
+	stages := []stage{
+		{blocks: 3, cmid: 64, cout: 256, hw: 56},
+		{blocks: 4, cmid: 128, cout: 512, hw: 56},
+		{blocks: 6, cmid: 256, cout: 1024, hw: 28},
+		{blocks: 3, cmid: 512, cout: 2048, hw: 14},
+	}
+	cin := 64
+	for si, st := range stages {
+		hw := st.hw
+		for bi := 0; bi < st.blocks; bi++ {
+			name := fmt.Sprintf("stage%d/block%d", si+1, bi+1)
+			down := si > 0 && bi == 0
+			prev = bottleneck(b, name, prev, hw, cin, st.cmid, st.cout, down)
+			if down {
+				hw /= 2
+			}
+			cin = st.cout
+		}
+	}
+	gap := b.add(opSpec{
+		name:     "avgpool",
+		kind:     graph.KindMaxPool,
+		flops:    int64(batch) * 7 * 7 * 2048,
+		outBytes: vec(batch, 2048),
+		channels: 2048,
+	}, prev)
+	fc := denseLayer(b, "fc", gap, 2048, 1000, false)
+	return b.finish(fc)
+}
+
+// GPT2Small builds the GPT-2 small decoder-only transformer (12 layers,
+// d=768, ff=3072, 12 heads, 50257-token vocabulary) at sequence length 64.
+// Causal masking is cost-equivalent to full attention at this granularity.
+func GPT2Small(batch int) (*graph.Graph, error) {
+	return buildAttentionModel(attnConfig{
+		name:      "gpt2-small",
+		layers:    12,
+		decLayers: 0,
+		dModel:    768,
+		dFF:       3072,
+		heads:     12,
+		seq:       64,
+		vocab:     50257,
+		sentences: batch,
+		retain:    1,
+	})
+}

@@ -1,0 +1,96 @@
+package models
+
+import (
+	"fmt"
+
+	"fastt/internal/graph"
+)
+
+// inceptionBranchConv appends one conv+relu of an inception branch.
+func inceptionBranchConv(b *builder, name string, pred int, hw, cin, cout, k int) int {
+	return convLayer(b, name, pred, hw, hw, cin, cout, k)
+}
+
+// inceptionModule appends a four-branch inception module at spatial size
+// hw with cin input channels, returning the concat op. Branch widths are
+// chosen so module output channels equal cout.
+func inceptionModule(b *builder, name string, pred int, hw, cin, cout int) int {
+	q := cout / 4
+	m := q / 2 // bottleneck width of the 3x3 chains
+	// Branch 1: 1x1.
+	b1 := inceptionBranchConv(b, name+"/b1_1x1", pred, hw, cin, q, 1)
+	// Branch 2: 1x1 -> 3x3.
+	b2a := inceptionBranchConv(b, name+"/b2_1x1", pred, hw, cin, m, 1)
+	b2 := inceptionBranchConv(b, name+"/b2_3x3", b2a, hw, m, q, 3)
+	// Branch 3: 1x1 -> 3x3 -> 3x3 (factorized 5x5).
+	b3a := inceptionBranchConv(b, name+"/b3_1x1", pred, hw, cin, m, 1)
+	b3b := inceptionBranchConv(b, name+"/b3_3x3a", b3a, hw, m, m, 3)
+	b3 := inceptionBranchConv(b, name+"/b3_3x3b", b3b, hw, m, q, 3)
+	// Branch 4: pool -> 1x1.
+	b4a := b.add(opSpec{
+		name:     name + "/b4_pool",
+		kind:     graph.KindMaxPool,
+		flops:    int64(b.batch) * int64(hw*hw) * int64(cin),
+		outBytes: fm(b.batch, hw, hw, cin),
+		channels: cin,
+	}, pred)
+	b4 := inceptionBranchConv(b, name+"/b4_1x1", b4a, hw, cin, q, 1)
+
+	return b.add(opSpec{
+		name:     name + "/concat",
+		kind:     graph.KindConcat,
+		flops:    0,
+		outBytes: fm(b.batch, hw, hw, cout),
+		channels: cout,
+	}, b1, b2, b3, b4)
+}
+
+// InceptionV3 builds Inception-v3 (299x299x3 input): a convolutional stem
+// followed by eleven inception modules at 35/17/8 spatial resolution,
+// ~23.8M parameters.
+func InceptionV3(batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("inception_v3: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	in := b.add(opSpec{
+		name: "input", kind: graph.KindInput,
+		outBytes: fm(batch, 299, 299, 3), noGrad: true,
+	})
+	// Stem: conv stride-2 chain down to 35x35x192.
+	s1 := convLayer(b, "stem/conv1", in, 149, 149, 3, 32, 3)
+	s2 := convLayer(b, "stem/conv2", s1, 147, 147, 32, 32, 3)
+	s3 := convLayer(b, "stem/conv3", s2, 147, 147, 32, 64, 3)
+	p1 := poolLayer(b, "stem/pool1", s3, 146, 146, 64) // -> 73
+	s4 := convLayer(b, "stem/conv4", p1, 73, 73, 64, 80, 1)
+	s5 := convLayer(b, "stem/conv5", s4, 71, 71, 80, 192, 3)
+	prev := poolLayer(b, "stem/pool2", s5, 70, 70, 192) // -> 35
+
+	cin := 192
+	// 3 modules at 35x35 (mixed 0-2).
+	for i := 0; i < 3; i++ {
+		prev = inceptionModule(b, fmt.Sprintf("mixed%d", i), prev, 35, cin, 288)
+		cin = 288
+	}
+	prev = poolLayer(b, "reduce1", prev, 35, 35, 288) // -> 17
+	// 5 modules at 17x17 (mixed 3-7).
+	for i := 3; i < 8; i++ {
+		prev = inceptionModule(b, fmt.Sprintf("mixed%d", i), prev, 17, cin, 768)
+		cin = 768
+	}
+	prev = poolLayer(b, "reduce2", prev, 17, 17, 768) // -> 8
+	// 3 modules at 8x8 (mixed 8-10).
+	for i := 8; i < 11; i++ {
+		prev = inceptionModule(b, fmt.Sprintf("mixed%d", i), prev, 8, cin, 2048)
+		cin = 2048
+	}
+	gap := b.add(opSpec{
+		name:     "avgpool",
+		kind:     graph.KindMaxPool,
+		flops:    int64(batch) * 8 * 8 * 2048,
+		outBytes: vec(batch, 2048),
+		channels: 2048,
+	}, prev)
+	fc := denseLayer(b, "fc", gap, 2048, 1000, false)
+	return b.finish(fc)
+}

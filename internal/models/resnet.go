@@ -1,0 +1,126 @@
+package models
+
+import (
+	"fmt"
+
+	"fastt/internal/graph"
+)
+
+// bottleneck appends one ResNet bottleneck block (1x1 reduce, 3x3, 1x1
+// expand, skip add) and returns the output op ID.
+func bottleneck(b *builder, name string, pred int, hw, cin, cmid, cout int, downsample bool) int {
+	stride := 1
+	outHW := hw
+	if downsample {
+		stride = 2
+		outHW = hw / 2
+	}
+	r1 := b.add(opSpec{
+		name:     name + "/conv1x1a",
+		kind:     graph.KindConv2D,
+		flops:    convFLOPs(b.batch, outHW, outHW, cin, cmid, 1),
+		params:   convParams(cin, cmid, 1),
+		outBytes: fm(b.batch, outHW, outHW, cmid),
+		channels: cmid,
+	}, pred)
+	bn1 := b.add(opSpec{
+		name:     name + "/bn1",
+		kind:     graph.KindBatchNorm,
+		flops:    int64(b.batch) * int64(outHW*outHW) * int64(cmid) * 4,
+		params:   int64(cmid) * 4 * 4,
+		outBytes: fm(b.batch, outHW, outHW, cmid),
+		channels: cmid,
+	}, r1)
+	r2 := b.add(opSpec{
+		name:     name + "/conv3x3",
+		kind:     graph.KindConv2D,
+		flops:    convFLOPs(b.batch, outHW, outHW, cmid, cmid, 3),
+		params:   convParams(cmid, cmid, 3),
+		outBytes: fm(b.batch, outHW, outHW, cmid),
+		channels: cmid,
+	}, bn1)
+	bn2 := b.add(opSpec{
+		name:     name + "/bn2",
+		kind:     graph.KindBatchNorm,
+		flops:    int64(b.batch) * int64(outHW*outHW) * int64(cmid) * 4,
+		params:   int64(cmid) * 4 * 4,
+		outBytes: fm(b.batch, outHW, outHW, cmid),
+		channels: cmid,
+	}, r2)
+	r3 := b.add(opSpec{
+		name:     name + "/conv1x1b",
+		kind:     graph.KindConv2D,
+		flops:    convFLOPs(b.batch, outHW, outHW, cmid, cout, 1),
+		params:   convParams(cmid, cout, 1),
+		outBytes: fm(b.batch, outHW, outHW, cout),
+		channels: cout,
+	}, bn2)
+
+	skip := pred
+	if cin != cout || downsample {
+		skip = b.add(opSpec{
+			name:     name + "/proj",
+			kind:     graph.KindConv2D,
+			flops:    convFLOPs(b.batch, outHW, outHW, cin, cout, 1),
+			params:   convParams(cin, cout, 1),
+			outBytes: fm(b.batch, outHW, outHW, cout),
+			channels: cout,
+		}, pred)
+	}
+	_ = stride
+	return b.add(opSpec{
+		name:     name + "/add",
+		kind:     graph.KindAddN,
+		flops:    int64(b.batch) * int64(outHW*outHW) * int64(cout),
+		outBytes: fm(b.batch, outHW, outHW, cout),
+		channels: cout,
+	}, r3, skip)
+}
+
+// ResNet200 builds ResNet-200 (224x224x3 input): stages of bottleneck
+// blocks [3, 24, 36, 3] over channels 256/512/1024/2048, ~64.7M parameters.
+func ResNet200(batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("resnet200: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	in := b.add(opSpec{
+		name: "input", kind: graph.KindInput,
+		outBytes: fm(batch, 224, 224, 3), noGrad: true,
+	})
+	stem := convLayer(b, "conv1", in, 112, 112, 3, 64, 7)
+	prev := poolLayer(b, "pool1", stem, 112, 112, 64) // -> 56
+
+	type stage struct {
+		blocks, cmid, cout, hw int
+	}
+	stages := []stage{
+		{blocks: 3, cmid: 64, cout: 256, hw: 56},
+		{blocks: 24, cmid: 128, cout: 512, hw: 56},
+		{blocks: 36, cmid: 256, cout: 1024, hw: 28},
+		{blocks: 3, cmid: 512, cout: 2048, hw: 14},
+	}
+	cin := 64
+	for si, st := range stages {
+		hw := st.hw
+		for bi := 0; bi < st.blocks; bi++ {
+			name := fmt.Sprintf("stage%d/block%d", si+1, bi+1)
+			down := si > 0 && bi == 0
+			prev = bottleneck(b, name, prev, hw, cin, st.cmid, st.cout, down)
+			if down {
+				hw /= 2
+			}
+			cin = st.cout
+		}
+	}
+	// Global average pool + classifier.
+	gap := b.add(opSpec{
+		name:     "avgpool",
+		kind:     graph.KindMaxPool,
+		flops:    int64(batch) * 7 * 7 * 2048,
+		outBytes: vec(batch, 2048),
+		channels: 2048,
+	}, prev)
+	fc := denseLayer(b, "fc", gap, 2048, 1000, false)
+	return b.finish(fc)
+}

@@ -1,0 +1,207 @@
+package models
+
+import (
+	"fmt"
+
+	"fastt/internal/graph"
+)
+
+// lstmCellFLOPs returns the FLOPs of one LSTM cell step over the batch:
+// four gates, each a dense layer over [x, h].
+func lstmCellFLOPs(batch, input, hidden int) int64 {
+	return 2 * 4 * int64(batch) * int64(hidden) * int64(input+hidden)
+}
+
+// lstmCellParams returns the parameter bytes of an LSTM layer.
+func lstmCellParams(input, hidden int) int64 {
+	return (4*int64(hidden)*int64(input+hidden) + 4*int64(hidden)) * 4
+}
+
+// lstmCell appends one unrolled LSTM cell. Parameters are amortized over
+// the unrolled steps (seq) so the layer's total parameter bytes are
+// represented once; see DESIGN.md for this modelling choice. below is the
+// input from the lower layer (or embedding), left the previous step's cell
+// of the same layer (recurrent h/c), either may be -1.
+func lstmCell(b *builder, name string, below, left int, input, hidden, seq int) int {
+	preds := make([]int, 0, 2)
+	if below >= 0 {
+		preds = append(preds, below)
+	}
+	if left >= 0 {
+		preds = append(preds, left)
+	}
+	return b.add(opSpec{
+		name:     name,
+		kind:     graph.KindLSTMCell,
+		flops:    lstmCellFLOPs(b.batch, input, hidden),
+		params:   lstmCellParams(input, hidden) / int64(seq),
+		outBytes: 2 * vec(b.batch, hidden), // h and c
+		channels: hidden,
+	}, preds...)
+}
+
+// RNNLM builds the Zaremba et al. word language model: 2 LSTM layers of
+// 1500 hidden units unrolled over 35 steps, 10K vocabulary, ~66M
+// parameters.
+func RNNLM(batch int) (*graph.Graph, error) {
+	return buildRNNLM(batch, 10000, 1500, 2, 35)
+}
+
+func buildRNNLM(batch, vocab, hidden, layers, seq int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("rnnlm: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	in := b.add(opSpec{
+		name: "tokens", kind: graph.KindInput,
+		outBytes: vec(batch, seq) /* int ids */, noGrad: true,
+	})
+	emb := b.add(opSpec{
+		name:     "embedding",
+		kind:     graph.KindEmbedding,
+		flops:    int64(batch) * int64(seq) * int64(hidden),
+		params:   int64(vocab) * int64(hidden) * 4,
+		outBytes: int64(batch) * int64(seq) * int64(hidden) * 4,
+		channels: hidden,
+	}, in)
+
+	// Unrolled grid of cells: prev[l] is step t-1's cell of layer l.
+	prev := make([]int, layers)
+	for l := range prev {
+		prev[l] = -1
+	}
+	var lastTop int
+	tops := make([]int, 0, seq)
+	for t := 0; t < seq; t++ {
+		below := emb
+		inputDim := hidden
+		for l := 0; l < layers; l++ {
+			name := fmt.Sprintf("lstm_l%d_t%d", l, t)
+			cell := lstmCell(b, name, below, prev[l], inputDim, hidden, seq)
+			prev[l] = cell
+			below = cell
+			inputDim = hidden
+		}
+		lastTop = below
+		tops = append(tops, below)
+	}
+	// Output projection over all steps' top states.
+	proj := b.add(opSpec{
+		name:     "proj",
+		kind:     graph.KindMatMul,
+		flops:    denseFLOPs(batch*seq, hidden, vocab),
+		params:   denseParams(hidden, vocab),
+		outBytes: int64(batch) * int64(seq) * int64(vocab) * 4,
+		channels: vocab,
+	}, tops...)
+	_ = lastTop
+	return b.finish(proj)
+}
+
+// GNMT builds the 4-layer GNMT translation model: a 4-layer LSTM encoder,
+// a 4-layer LSTM decoder with per-step attention over the encoder memory,
+// 1024 hidden units, 32K vocabulary.
+func GNMT(batch int) (*graph.Graph, error) {
+	return buildGNMT(batch, 32000, 1024, 4, 32)
+}
+
+func buildGNMT(batch, vocab, hidden, layers, seq int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("gnmt: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	srcIn := b.add(opSpec{
+		name: "src_tokens", kind: graph.KindInput,
+		outBytes: vec(batch, seq), noGrad: true,
+	})
+	srcEmb := b.add(opSpec{
+		name:     "src_embedding",
+		kind:     graph.KindEmbedding,
+		flops:    int64(batch) * int64(seq) * int64(hidden),
+		params:   int64(vocab) * int64(hidden) * 4,
+		outBytes: int64(batch) * int64(seq) * int64(hidden) * 4,
+		channels: hidden,
+	}, srcIn)
+
+	// Encoder grid.
+	prev := make([]int, layers)
+	for l := range prev {
+		prev[l] = -1
+	}
+	encTops := make([]int, 0, seq)
+	for t := 0; t < seq; t++ {
+		below := srcEmb
+		for l := 0; l < layers; l++ {
+			name := fmt.Sprintf("enc_l%d_t%d", l, t)
+			cell := lstmCell(b, name, below, prev[l], hidden, hidden, seq)
+			prev[l] = cell
+			below = cell
+		}
+		encTops = append(encTops, below)
+	}
+	// Encoder memory: the attention keys/values for every decoder step.
+	memory := b.add(opSpec{
+		name:     "enc_memory",
+		kind:     graph.KindConcat,
+		flops:    0,
+		outBytes: int64(batch) * int64(seq) * int64(hidden) * 4,
+		channels: hidden,
+	}, encTops...)
+
+	tgtIn := b.add(opSpec{
+		name: "tgt_tokens", kind: graph.KindInput,
+		outBytes: vec(batch, seq), noGrad: true,
+	})
+	tgtEmb := b.add(opSpec{
+		name:     "tgt_embedding",
+		kind:     graph.KindEmbedding,
+		flops:    int64(batch) * int64(seq) * int64(hidden),
+		params:   int64(vocab) * int64(hidden) * 4,
+		outBytes: int64(batch) * int64(seq) * int64(hidden) * 4,
+		channels: hidden,
+	}, tgtIn)
+
+	// Decoder grid with attention after the first layer, GNMT-style.
+	for l := range prev {
+		prev[l] = -1
+	}
+	decTops := make([]int, 0, seq)
+	for t := 0; t < seq; t++ {
+		below := tgtEmb
+		var attn int = -1
+		for l := 0; l < layers; l++ {
+			name := fmt.Sprintf("dec_l%d_t%d", l, t)
+			inputDim := hidden
+			preds := below
+			if l > 0 && attn >= 0 {
+				inputDim = 2 * hidden // cell input concatenates attention context
+			}
+			cell := lstmCell(b, name, preds, prev[l], inputDim, hidden, seq)
+			if l > 0 && attn >= 0 {
+				// Attention context feeds the upper cells.
+				b.connectAux(attn, cell, vec(batch, hidden))
+			}
+			if l == 0 {
+				attn = b.add(opSpec{
+					name:     fmt.Sprintf("attention_t%d", t),
+					kind:     graph.KindSoftmax,
+					flops:    2 * int64(batch) * int64(seq) * int64(hidden) * 2,
+					outBytes: vec(batch, hidden),
+					channels: hidden,
+				}, cell, memory)
+			}
+			prev[l] = cell
+			below = cell
+		}
+		decTops = append(decTops, below)
+	}
+	proj := b.add(opSpec{
+		name:     "proj",
+		kind:     graph.KindMatMul,
+		flops:    denseFLOPs(batch*seq, hidden, vocab),
+		params:   denseParams(hidden, vocab),
+		outBytes: int64(batch) * int64(seq) * int64(vocab) * 4,
+		channels: vocab,
+	}, decTops...)
+	return b.finish(proj)
+}

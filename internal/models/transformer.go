@@ -1,0 +1,238 @@
+package models
+
+import (
+	"fmt"
+
+	"fastt/internal/graph"
+)
+
+// attnConfig parameterizes a transformer encoder/decoder stack.
+type attnConfig struct {
+	name      string
+	layers    int // encoder layers
+	decLayers int // decoder layers (0 for encoder-only models like BERT)
+	dModel    int
+	dFF       int
+	heads     int
+	seq       int
+	vocab     int
+	sentences int // batch in sentences; tokens = sentences * seq
+	retain    float64
+}
+
+// selfAttention appends one multi-head self-attention sublayer and returns
+// the output op. kv is the source of keys/values (pred itself for
+// self-attention, the encoder output for cross-attention).
+func selfAttention(b *builder, name string, pred, kv int, cfg attnConfig) int {
+	tokens := cfg.sentences * cfg.seq
+	d := cfg.dModel
+	tokBytes := int64(tokens) * int64(d) * 4
+	scoreBytes := int64(cfg.sentences) * int64(cfg.heads) * int64(cfg.seq) * int64(cfg.seq) * 4
+
+	qkv := b.add(opSpec{
+		name:     name + "/qkv",
+		kind:     graph.KindMatMul,
+		flops:    denseFLOPs(tokens, d, 3*d),
+		params:   denseParams(d, 3*d),
+		outBytes: 3 * tokBytes,
+		channels: d,
+	}, pred)
+	if kv != pred && kv >= 0 {
+		// Cross-attention reads the encoder memory.
+		b.connectAux(kv, qkv, tokBytes)
+	}
+	scores := b.add(opSpec{
+		name:     name + "/scores",
+		kind:     graph.KindMatMul,
+		flops:    2 * int64(tokens) * int64(cfg.seq) * int64(d),
+		outBytes: scoreBytes,
+		channels: cfg.heads,
+	}, qkv)
+	probs := b.add(opSpec{
+		name:     name + "/softmax",
+		kind:     graph.KindSoftmax,
+		flops:    3 * int64(cfg.sentences) * int64(cfg.heads) * int64(cfg.seq) * int64(cfg.seq),
+		outBytes: scoreBytes,
+		channels: cfg.heads,
+	}, scores)
+	ctx := b.add(opSpec{
+		name:     name + "/context",
+		kind:     graph.KindMatMul,
+		flops:    2 * int64(tokens) * int64(cfg.seq) * int64(d),
+		outBytes: tokBytes,
+		channels: d,
+	}, probs, qkv)
+	out := b.add(opSpec{
+		name:     name + "/out_proj",
+		kind:     graph.KindMatMul,
+		flops:    denseFLOPs(tokens, d, d),
+		params:   denseParams(d, d),
+		outBytes: tokBytes,
+		channels: d,
+	}, ctx)
+	return b.add(opSpec{
+		name:     name + "/ln",
+		kind:     graph.KindLayerNorm,
+		flops:    8 * int64(tokens) * int64(d),
+		params:   int64(2*d) * 4,
+		outBytes: tokBytes,
+		channels: d,
+	}, out, pred) // residual
+}
+
+// feedForward appends the position-wise FFN sublayer with residual + LN.
+func feedForward(b *builder, name string, pred int, cfg attnConfig) int {
+	tokens := cfg.sentences * cfg.seq
+	d, ff := cfg.dModel, cfg.dFF
+	tokBytes := int64(tokens) * int64(d) * 4
+	ffBytes := int64(tokens) * int64(ff) * 4
+
+	f1 := b.add(opSpec{
+		name:     name + "/ff1",
+		kind:     graph.KindMatMul,
+		flops:    denseFLOPs(tokens, d, ff),
+		params:   denseParams(d, ff),
+		outBytes: ffBytes,
+		channels: ff,
+	}, pred)
+	act := b.add(opSpec{
+		name:     name + "/gelu",
+		kind:     graph.KindRelu,
+		flops:    8 * int64(tokens) * int64(ff),
+		outBytes: ffBytes,
+		channels: ff,
+	}, f1)
+	f2 := b.add(opSpec{
+		name:     name + "/ff2",
+		kind:     graph.KindMatMul,
+		flops:    denseFLOPs(tokens, ff, d),
+		params:   denseParams(ff, d),
+		outBytes: tokBytes,
+		channels: d,
+	}, act)
+	return b.add(opSpec{
+		name:     name + "/ln",
+		kind:     graph.KindLayerNorm,
+		flops:    8 * int64(tokens) * int64(d),
+		params:   int64(2*d) * 4,
+		outBytes: tokBytes,
+		channels: d,
+	}, f2, pred) // residual
+}
+
+// buildAttentionModel assembles an embedding + encoder stack (+ optional
+// decoder stack with cross-attention) + output projection.
+func buildAttentionModel(cfg attnConfig) (*graph.Graph, error) {
+	if cfg.sentences < 1 {
+		return nil, fmt.Errorf("%s: batch %d sentences", cfg.name, cfg.sentences)
+	}
+	b := newBuilder(cfg.sentences, cfg.retain)
+	tokens := cfg.sentences * cfg.seq
+	d := cfg.dModel
+	tokBytes := int64(tokens) * int64(d) * 4
+
+	in := b.add(opSpec{
+		name: "tokens", kind: graph.KindInput,
+		outBytes: vec(cfg.sentences, cfg.seq), noGrad: true,
+	})
+	emb := b.add(opSpec{
+		name:     "embedding",
+		kind:     graph.KindEmbedding,
+		flops:    int64(tokens) * int64(d),
+		params:   int64(cfg.vocab) * int64(d) * 4,
+		outBytes: tokBytes,
+		channels: d,
+	}, in)
+
+	prev := emb
+	for l := 0; l < cfg.layers; l++ {
+		name := fmt.Sprintf("enc%d", l)
+		prev = selfAttention(b, name+"/attn", prev, prev, cfg)
+		prev = feedForward(b, name+"/ffn", prev, cfg)
+	}
+	encOut := prev
+
+	if cfg.decLayers > 0 {
+		tgt := b.add(opSpec{
+			name: "tgt_tokens", kind: graph.KindInput,
+			outBytes: vec(cfg.sentences, cfg.seq), noGrad: true,
+		})
+		tgtEmb := b.add(opSpec{
+			name:     "tgt_embedding",
+			kind:     graph.KindEmbedding,
+			flops:    int64(tokens) * int64(d),
+			params:   int64(cfg.vocab) * int64(d) * 4,
+			outBytes: tokBytes,
+			channels: d,
+		}, tgt)
+		prev = tgtEmb
+		for l := 0; l < cfg.decLayers; l++ {
+			name := fmt.Sprintf("dec%d", l)
+			prev = selfAttention(b, name+"/self", prev, prev, cfg)
+			prev = selfAttention(b, name+"/cross", prev, encOut, cfg)
+			prev = feedForward(b, name+"/ffn", prev, cfg)
+		}
+	}
+
+	proj := b.add(opSpec{
+		name:     "proj",
+		kind:     graph.KindMatMul,
+		flops:    denseFLOPs(tokens, d, cfg.vocab),
+		params:   denseParams(d, cfg.vocab),
+		outBytes: int64(tokens) * int64(cfg.vocab) * 4,
+		channels: cfg.vocab,
+	}, prev)
+	return b.finish(proj)
+}
+
+// transformerSeqLen is the sentence length assumed when converting the
+// paper's token batch (4096) into sentences.
+const transformerSeqLen = 32
+
+// Transformer builds the base Transformer (6+6 layers, d=512, ff=2048,
+// 8 heads, 32K vocabulary). batchTokens is the global batch in tokens, as
+// the paper reports it (4096).
+func Transformer(batchTokens int) (*graph.Graph, error) {
+	sentences := batchTokens / transformerSeqLen
+	if sentences < 1 {
+		sentences = 1
+	}
+	return buildAttentionModel(attnConfig{
+		name:      "transformer",
+		layers:    6,
+		decLayers: 6,
+		dModel:    512,
+		dFF:       2048,
+		heads:     8,
+		seq:       transformerSeqLen,
+		vocab:     32000,
+		sentences: sentences,
+		retain:    1,
+	})
+}
+
+// bertRetain calibrates BERT-large's resident activation footprint to the
+// memory behaviour the paper reports in Table 3 (TF 1.14 keeps
+// substantially more than the op outputs: per-head temporaries, dropout
+// masks, cast copies): batch 16 fits one 16 GB V100, batch 32 does not;
+// batch 32 fits two GPUs under data parallelism, batch 40 does not; FastT
+// fits batch 48 on two GPUs via model parallelism.
+const bertRetain = 4.45
+
+// BertLarge builds BERT-large (24 layers, d=1024, ff=4096, 16 heads) at
+// sequence length 64 (the paper's setting), ~340M parameters. batch is in
+// samples (sequences).
+func BertLarge(batch int) (*graph.Graph, error) {
+	return buildAttentionModel(attnConfig{
+		name:      "bert-large",
+		layers:    24,
+		decLayers: 0,
+		dModel:    1024,
+		dFF:       4096,
+		heads:     16,
+		seq:       64,
+		vocab:     30522,
+		sentences: batch,
+		retain:    bertRetain,
+	})
+}

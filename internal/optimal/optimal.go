@@ -1,0 +1,241 @@
+// Package optimal computes exact minimum-makespan schedules for small
+// computation graphs by branch-and-bound search. The paper proves DPOS is
+// within 2*w_opt + C_max of the optimum (Theorem 1) but cannot measure the
+// actual gap — the problem is NP-complete (Ullman 1975, cited as [42]).
+// For graphs of up to ~15 operations this package finds w_opt exactly,
+// enabling the optimality-gap studies in the benchmarks and the formal
+// verification of Theorem 1's bound in tests.
+//
+// The search enumerates active schedules: at each step one ready operation
+// is started on one device at the earliest time its inputs (including
+// cross-device transfer times) and the device allow. Communication follows
+// the same estimator interface the heuristics use. Pruning: a running best
+// bound, and a critical-path + load lower bound per node.
+package optimal
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// ErrTooLarge guards against accidentally launching an exponential search
+// on a big graph.
+var ErrTooLarge = errors.New("graph too large for exact search")
+
+// MaxOps is the largest graph Schedule accepts.
+const MaxOps = 18
+
+// Result is an optimal schedule.
+type Result struct {
+	// Makespan is the minimum end-to-end execution time found.
+	Makespan time.Duration
+	// Placement and Start describe one schedule achieving it.
+	Placement []int
+	Start     []time.Duration
+	// Nodes is the number of search nodes expanded (for reporting).
+	Nodes int64
+}
+
+// Options tunes the search.
+type Options struct {
+	// IgnoreComm searches the ideal system of Theorem 1 (zero transfer
+	// time) instead of using the estimator's communication costs.
+	IgnoreComm bool
+	// MaxNodes aborts the search after this many expansions (0 = 50M).
+	MaxNodes int64
+}
+
+type searcher struct {
+	g        *graph.Graph
+	devs     []*device.Device
+	exec     [][]time.Duration // [op][dev]
+	comm     func(bytes int64, from, to int) time.Duration
+	succ     [][]int
+	pred     [][]graph.Edge
+	restRank []time.Duration // compute-only critical path from each op
+
+	best      time.Duration
+	bestPlace []int
+	bestStart []time.Duration
+	place     []int
+	start     []time.Duration
+	finish    []time.Duration
+	indeg     []int
+	avail     []time.Duration
+	nodes     int64
+	maxNodes  int64
+}
+
+// Schedule finds the optimal makespan of g over the cluster with the given
+// estimator.
+func Schedule(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Result, error) {
+	n := g.NumOps()
+	if n > MaxOps {
+		return nil, fmt.Errorf("%w: %d ops (max %d)", ErrTooLarge, n, MaxOps)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	devs := cluster.Devices()
+	s := &searcher{
+		g:         g,
+		devs:      devs,
+		exec:      make([][]time.Duration, n),
+		succ:      make([][]int, n),
+		pred:      make([][]graph.Edge, n),
+		restRank:  make([]time.Duration, n),
+		best:      1<<62 - 1,
+		bestPlace: make([]int, n),
+		bestStart: make([]time.Duration, n),
+		place:     make([]int, n),
+		start:     make([]time.Duration, n),
+		finish:    make([]time.Duration, n),
+		indeg:     make([]int, n),
+		avail:     make([]time.Duration, len(devs)),
+		maxNodes:  opts.MaxNodes,
+	}
+	if s.maxNodes == 0 {
+		s.maxNodes = 50_000_000
+	}
+	if opts.IgnoreComm {
+		s.comm = func(int64, int, int) time.Duration { return 0 }
+	} else {
+		s.comm = func(bytes int64, from, to int) time.Duration {
+			return est.Comm(bytes, devs[from], devs[to])
+		}
+	}
+	for _, op := range g.Ops() {
+		s.exec[op.ID] = make([]time.Duration, len(devs))
+		for di, d := range devs {
+			s.exec[op.ID][di] = est.Exec(op, d)
+		}
+		s.succ[op.ID] = g.Successors(op.ID)
+		s.pred[op.ID] = g.InEdges(op.ID)
+		s.indeg[op.ID] = g.InDegree(op.ID)
+	}
+	// Compute-only downward rank (minimum exec per op) for lower bounds.
+	order, _ := g.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		minExec := s.exec[id][0]
+		for _, t := range s.exec[id][1:] {
+			if t < minExec {
+				minExec = t
+			}
+		}
+		var tail time.Duration
+		for _, sc := range s.succ[id] {
+			if s.restRank[sc] > tail {
+				tail = s.restRank[sc]
+			}
+		}
+		s.restRank[id] = minExec + tail
+	}
+
+	if !s.search(0, 0) && s.nodes >= s.maxNodes {
+		return nil, fmt.Errorf("search aborted after %d nodes", s.nodes)
+	}
+	return &Result{
+		Makespan:  s.best,
+		Placement: s.bestPlace,
+		Start:     s.bestStart,
+		Nodes:     s.nodes,
+	}, nil
+}
+
+// search expands one level: pick any ready op and device. done counts
+// scheduled ops; span is the current partial makespan. Returns false when
+// the node budget is exhausted.
+func (s *searcher) search(done int, span time.Duration) bool {
+	s.nodes++
+	if s.nodes >= s.maxNodes {
+		return false
+	}
+	n := s.g.NumOps()
+	if done == n {
+		if span < s.best {
+			s.best = span
+			copy(s.bestPlace, s.place)
+			copy(s.bestStart, s.start)
+		}
+		return true
+	}
+	for id := 0; id < n; id++ {
+		if s.indeg[id] != 0 {
+			continue
+		}
+		// Lower bound: the op's remaining critical path must fit under
+		// the current best even if started immediately.
+		var ready time.Duration
+		for _, e := range s.pred[id] {
+			if s.finish[e.From] > ready {
+				ready = s.finish[e.From]
+			}
+		}
+		if ready+s.restRank[id] >= s.best {
+			continue
+		}
+		s.indeg[id] = -1
+		for di := range s.devs {
+			st := s.readyOn(id, di)
+			ft := st + s.exec[id][di]
+			if ft+s.restRank[id]-minExecOf(s.exec[id]) >= s.best {
+				continue // even this op's tail cannot beat the best
+			}
+			oldAvail := s.avail[di]
+			s.place[id] = di
+			s.start[id] = st
+			s.finish[id] = ft
+			s.avail[di] = ft
+			for _, sc := range s.succ[id] {
+				s.indeg[sc]--
+			}
+			newSpan := span
+			if ft > newSpan {
+				newSpan = ft
+			}
+			ok := s.search(done+1, newSpan)
+			for _, sc := range s.succ[id] {
+				s.indeg[sc]++
+			}
+			s.avail[di] = oldAvail
+			if !ok {
+				s.indeg[id] = 0
+				return false
+			}
+		}
+		s.indeg[id] = 0
+	}
+	return true
+}
+
+// readyOn returns the earliest start of op id on device di given current
+// placements: device availability and input arrivals with transfers.
+func (s *searcher) readyOn(id, di int) time.Duration {
+	st := s.avail[di]
+	for _, e := range s.pred[id] {
+		arr := s.finish[e.From]
+		if from := s.place[e.From]; from != di {
+			arr += s.comm(e.Bytes, from, di)
+		}
+		if arr > st {
+			st = arr
+		}
+	}
+	return st
+}
+
+func minExecOf(ts []time.Duration) time.Duration {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}

@@ -1,0 +1,212 @@
+package optimal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastt/internal/core"
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// unitEst gives homogeneous execution times encoded in FLOPs (ns) and
+// affine comm.
+type unitEst struct {
+	perByte time.Duration
+	latency time.Duration
+}
+
+func (u *unitEst) Exec(op *graph.Op, _ *device.Device) time.Duration {
+	return time.Duration(op.FLOPs)
+}
+
+func (u *unitEst) Comm(bytes int64, from, to *device.Device) time.Duration {
+	if from.ID == to.ID {
+		return 0
+	}
+	return u.latency + time.Duration(bytes)*u.perByte
+}
+
+var _ cost.Estimator = (*unitEst)(nil)
+
+func twoDev(t *testing.T) *device.Cluster {
+	t.Helper()
+	c, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	return c
+}
+
+func TestScheduleIndependentOpsPacksPerfectly(t *testing.T) {
+	// Four independent 10us ops on two devices: optimum is 20us.
+	g := graph.New()
+	for i := 0; i < 4; i++ {
+		g.MustAddOp(&graph.Op{
+			Name: fmt.Sprintf("op%d", i), Kind: graph.KindMatMul,
+			FLOPs: int64(10 * time.Microsecond),
+		})
+	}
+	res, err := Schedule(g, twoDev(t), &unitEst{}, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if res.Makespan != 20*time.Microsecond {
+		t.Errorf("Makespan = %v, want 20us", res.Makespan)
+	}
+}
+
+func TestScheduleChainCannotParallelize(t *testing.T) {
+	g := graph.New()
+	prev := -1
+	for i := 0; i < 4; i++ {
+		id := g.MustAddOp(&graph.Op{
+			Name: fmt.Sprintf("op%d", i), Kind: graph.KindMatMul,
+			FLOPs: int64(5 * time.Microsecond), OutputBytes: 10,
+		})
+		if prev >= 0 {
+			g.MustConnect(prev, id, 10)
+		}
+		prev = id
+	}
+	res, err := Schedule(g, twoDev(t), &unitEst{perByte: time.Microsecond}, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if res.Makespan != 20*time.Microsecond {
+		t.Errorf("chain Makespan = %v, want 20us (stay on one device)", res.Makespan)
+	}
+	// With expensive comm, everything stays on one device.
+	dev := res.Placement[0]
+	for id, d := range res.Placement {
+		if d != dev {
+			t.Errorf("op %d moved to device %d despite expensive comm", id, d)
+		}
+	}
+}
+
+func TestScheduleCommTradeoff(t *testing.T) {
+	// Diamond a -> {b, c} -> d with cheap comm: parallelizing b and c wins
+	// despite one transfer each way.
+	g := graph.New()
+	a := g.MustAddOp(&graph.Op{Name: "a", Kind: graph.KindMatMul, FLOPs: int64(2 * time.Microsecond), OutputBytes: 10})
+	b := g.MustAddOp(&graph.Op{Name: "b", Kind: graph.KindMatMul, FLOPs: int64(10 * time.Microsecond), OutputBytes: 10})
+	c := g.MustAddOp(&graph.Op{Name: "c", Kind: graph.KindMatMul, FLOPs: int64(10 * time.Microsecond), OutputBytes: 10})
+	d := g.MustAddOp(&graph.Op{Name: "d", Kind: graph.KindMatMul, FLOPs: int64(2 * time.Microsecond)})
+	g.MustConnect(a, b, 10)
+	g.MustConnect(a, c, 10)
+	g.MustConnect(b, d, 10)
+	g.MustConnect(c, d, 10)
+
+	cheap := &unitEst{perByte: 100 * time.Nanosecond} // 10B -> 1us
+	res, err := Schedule(g, twoDev(t), cheap, Options{})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	// Best: a,b on one device (a:0-2, b:2-12), c remote (3-13), d joins c
+	// on the remote device (b arrives 13): 13 + 2 = 15us. Serial is 24us.
+	if res.Makespan != 15*time.Microsecond {
+		t.Errorf("diamond Makespan = %v, want 15us", res.Makespan)
+	}
+}
+
+func TestScheduleRejectsLargeGraphs(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < MaxOps+1; i++ {
+		g.MustAddOp(&graph.Op{Name: fmt.Sprintf("op%d", i), Kind: graph.KindRelu, FLOPs: 1})
+	}
+	if _, err := Schedule(g, twoDev(t), &unitEst{}, Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestDPOSNeverBeatsOptimal is the sanity direction: the heuristic can never
+// be faster than the exact optimum under the same cost model.
+func TestDPOSNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cluster := twoDev(t)
+	est := &unitEst{perByte: 50 * time.Nanosecond, latency: time.Microsecond}
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, rng.Intn(6)+3)
+		opt, err := Schedule(g, cluster, est, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Schedule: %v", trial, err)
+		}
+		sched, err := core.DPOS(g, cluster, est, core.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: DPOS: %v", trial, err)
+		}
+		var heuristic time.Duration
+		for i := 0; i < g.NumOps(); i++ {
+			if sched.Finish[i] > heuristic {
+				heuristic = sched.Finish[i]
+			}
+		}
+		if heuristic < opt.Makespan {
+			t.Errorf("trial %d: DPOS %v beat the exact optimum %v",
+				trial, heuristic, opt.Makespan)
+		}
+	}
+}
+
+// TestTheorem1AgainstExactOptimum verifies the bound of Theorem 1 with the
+// exact optimum of the ideal (zero-comm) system, as the theorem states it.
+func TestTheorem1AgainstExactOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cluster := twoDev(t)
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, rng.Intn(6)+3)
+		est := &unitEst{
+			perByte: time.Duration(rng.Intn(100)) * time.Nanosecond,
+			latency: time.Duration(rng.Intn(3)) * time.Microsecond,
+		}
+		opt, err := Schedule(g, cluster, est, Options{IgnoreComm: true})
+		if err != nil {
+			t.Fatalf("trial %d: Schedule: %v", trial, err)
+		}
+		sched, err := core.DPOS(g, cluster, est, core.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: DPOS: %v", trial, err)
+		}
+		ranks, err := core.ComputeRanks(g, cluster, est)
+		if err != nil {
+			t.Fatalf("trial %d: ranks: %v", trial, err)
+		}
+		cmax := core.MaxChainComm(g, ranks)
+		var heuristic time.Duration
+		for i := 0; i < g.NumOps(); i++ {
+			if sched.Finish[i] > heuristic {
+				heuristic = sched.Finish[i]
+			}
+		}
+		if heuristic > 2*opt.Makespan+cmax {
+			t.Errorf("trial %d: bound violated: DPOS=%v opt=%v Cmax=%v",
+				trial, heuristic, opt.Makespan, cmax)
+		}
+	}
+}
+
+// randomDAG builds a small random DAG with durations in FLOPs-nanoseconds.
+func randomDAG(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.MustAddOp(&graph.Op{
+			Name:        fmt.Sprintf("op%d", i),
+			Kind:        graph.KindMatMul,
+			FLOPs:       int64(rng.Intn(40)+1) * int64(time.Microsecond),
+			OutputBytes: rng.Int63n(100) + 1,
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				g.MustConnect(i, j, rng.Int63n(100)+1)
+			}
+		}
+	}
+	return g
+}

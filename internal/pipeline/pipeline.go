@@ -1,0 +1,306 @@
+// Package pipeline implements GPipe-style pipeline parallelism as a
+// complement to FastT, as the paper's related-work discussion proposes:
+// "After FastT obtains operation placement and execution order, it can
+// further split a mini-batch into micro-batches and allow pipelined
+// training in the similar fashion as proposed in GPipe."
+//
+// A pipelined deployment is a model-parallel staging of the layers plus a
+// micro-batched execution: the mini-batch is divided into m micro-batches,
+// each flowing through the stages independently, so stage s can process
+// micro-batch k while stage s+1 processes micro-batch k-1. Structurally a
+// micro-batch is a data-parallel replica at batch/m that shares the staged
+// placement instead of owning a device — which is exactly how this package
+// builds it: graph.BuildDataParallel provides the replication and the
+// gradient accumulation across micro-batches (GPipe's synchronous update
+// semantics), and the placement maps every micro-batch copy of an
+// operation onto its layer's stage.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// ErrBadMicroBatches is returned for non-positive micro-batch counts.
+var ErrBadMicroBatches = errors.New("micro-batch count must be >= 1")
+
+// Plan is a pipelined deployment: the micro-batched training graph, the
+// stage-wise placement, and the pipeline schedule as executor priorities.
+type Plan struct {
+	// Graph is the micro-batched training graph (micro-batch k's copies
+	// are named "repk/...").
+	Graph *graph.Graph
+	// Placement maps op ID -> device (stage).
+	Placement []int
+	// Priorities encode the pipeline schedule (op ID -> priority index):
+	// earlier micro-batches run first whenever ready, so micro-batch 0
+	// drains into stage 1 while stage 0 starts micro-batch 1. Without this
+	// a FIFO executor round-robins the micro-batches within a stage and no
+	// pipelining happens at all.
+	Priorities []int
+	// MicroBatches and Stages describe the pipeline shape.
+	MicroBatches int
+	Stages       int
+}
+
+// BuildOption customizes a pipeline plan.
+type BuildOption func(*buildCfg)
+
+type buildCfg struct {
+	recompute bool
+}
+
+// WithRecomputation enables GPipe-style activation rematerialization: each
+// stage retains only its input tensors and re-runs its forward operations
+// when the backward pass arrives, trading ~one extra forward pass of
+// compute for a large reduction in resident activation memory.
+func WithRecomputation() BuildOption {
+	return func(c *buildCfg) { c.recompute = true }
+}
+
+// Build constructs a pipelined deployment of a model over the cluster. The
+// model graph must be built at the *micro-batch* size (mini-batch divided
+// by microBatches); Build replicates it per micro-batch and assigns every
+// copy of a layer to that layer's stage.
+func Build(model *graph.Graph, cluster *device.Cluster, mm graph.MemoryModel, microBatches int, opts ...BuildOption) (*Plan, error) {
+	if microBatches < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadMicroBatches, microBatches)
+	}
+	var cfg buildCfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if mm == (graph.MemoryModel{}) {
+		mm = graph.DefaultMemoryModel()
+	}
+	// Stage the single-micro-batch model layer-wise. Unlike the
+	// memory-balanced model parallelism FastT bootstraps from (whose goal
+	// is fitting, not throughput), a pipeline's stages must be
+	// compute-balanced — the slowest stage sets the pipeline's rate.
+	stageByName, err := stageByCompute(model, cluster.NumDevices())
+	if err != nil {
+		return nil, fmt.Errorf("stage model: %w", err)
+	}
+
+	g, err := graph.BuildDataParallel(model, microBatches)
+	if err != nil {
+		return nil, fmt.Errorf("micro-batch model: %w", err)
+	}
+	place := make([]int, g.NumOps())
+	for i := range place {
+		place[i] = -1
+	}
+	for _, op := range g.Ops() {
+		if base, ok := baseModelName(op.Name); ok {
+			if s, ok := stageByName[base]; ok {
+				place[op.ID] = s
+			}
+		}
+	}
+	// Shared variables sit on their consumers' stage; sync ops follow
+	// their colocation targets; anything left follows a placed neighbour.
+	for _, op := range g.Ops() {
+		if place[op.ID] >= 0 {
+			continue
+		}
+		if op.ColocateWith != "" {
+			if tgt, ok := g.OpByName(op.ColocateWith); ok && place[tgt.ID] >= 0 {
+				place[op.ID] = place[tgt.ID]
+				continue
+			}
+		}
+		place[op.ID] = neighbourStage(g, place, op.ID)
+	}
+	// Second pass for colocation chains resolved out of order.
+	for _, op := range g.Ops() {
+		if op.ColocateWith == "" {
+			continue
+		}
+		if tgt, ok := g.OpByName(op.ColocateWith); ok && place[tgt.ID] >= 0 {
+			place[op.ID] = place[tgt.ID]
+		}
+	}
+	if cfg.recompute {
+		g, place, err = applyRecompute(g, place)
+		if err != nil {
+			return nil, fmt.Errorf("recomputation: %w", err)
+		}
+	}
+	prio, err := scheduleOrder(g)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline schedule: %w", err)
+	}
+	return &Plan{
+		Graph:        g,
+		Placement:    place,
+		Priorities:   prio,
+		MicroBatches: microBatches,
+		Stages:       cluster.NumDevices(),
+	}, nil
+}
+
+// scheduleOrder derives the pipeline's execution priorities: ops sort by
+// (micro-batch, topological position), so whenever a stage has a choice it
+// advances the oldest in-flight micro-batch — the GPipe fill/drain order,
+// which also lets backward passes of early micro-batches preempt forward
+// passes of late ones (1F1B-style memory behaviour).
+func scheduleOrder(g *graph.Graph) ([]int, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, g.NumOps())
+	for i, id := range topo {
+		pos[id] = i
+	}
+	order := make([]int, g.NumOps())
+	for i := range order {
+		order[i] = i
+	}
+	mb := func(id int) int {
+		r := g.Op(id).Replica
+		if r < 0 {
+			return int(^uint(0) >> 1) // shared sync ops run last
+		}
+		return r
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		ma, mbt := mb(a), mb(b)
+		if ma != mbt {
+			return ma < mbt
+		}
+		return pos[a] < pos[b]
+	})
+	prio := make([]int, g.NumOps())
+	for i, id := range order {
+		prio[id] = i
+	}
+	return prio, nil
+}
+
+// stageByCompute cuts the model's forward operations into contiguous
+// stages of roughly equal compute (forward plus the mirrored backward
+// work), then lets every backward op follow the stage of the forward op
+// whose activation it consumes. Returns op name -> stage.
+func stageByCompute(model *graph.Graph, stages int) (map[string]int, error) {
+	order, err := model.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	isStaged := func(op *graph.Op) bool {
+		return !graph.IsBackwardKind(op.Kind) && op.Kind != graph.KindVariable
+	}
+	// Weight of a forward op: its FLOPs plus its backward mirror's (the
+	// builders name mirrors "<name>_bp"); without a mirror, backward work
+	// is approximated as twice the forward.
+	weight := func(op *graph.Op) int64 {
+		w := op.FLOPs
+		if bp, ok := model.OpByName(op.Name + "_bp"); ok {
+			w += bp.FLOPs
+		} else {
+			w += 2 * op.FLOPs
+		}
+		return w
+	}
+	var total int64
+	for _, op := range model.Ops() {
+		if isStaged(op) {
+			total += weight(op)
+		}
+	}
+	budget := total / int64(stages)
+	stage := make(map[string]int, model.NumOps())
+	dev := 0
+	var used int64
+	for _, id := range order {
+		op := model.Op(id)
+		if !isStaged(op) {
+			continue
+		}
+		w := weight(op)
+		if dev < stages-1 && used > 0 && used+w > budget {
+			dev++
+			used = 0
+		}
+		stage[op.Name] = dev
+		used += w
+	}
+	// Backward ops and variables follow their forward neighbours.
+	for _, id := range order {
+		op := model.Op(id)
+		if _, done := stage[op.Name]; done {
+			continue
+		}
+		s, found := -1, false
+		for _, p := range model.Predecessors(id) {
+			if v, ok := stage[model.Op(p).Name]; ok {
+				if !graph.IsBackwardKind(model.Op(p).Kind) {
+					s, found = v, true
+					break
+				}
+				if !found {
+					s, found = v, true
+				}
+			}
+		}
+		if !found {
+			for _, sc := range model.Successors(id) {
+				if v, ok := stage[model.Op(sc).Name]; ok {
+					s, found = v, true
+					break
+				}
+			}
+		}
+		if !found {
+			s = 0
+		}
+		stage[op.Name] = s
+	}
+	return stage, nil
+}
+
+// baseModelName strips the micro-batch prefix ("rep3/conv1" -> "conv1");
+// variable and sync ops return false.
+func baseModelName(name string) (string, bool) {
+	if !strings.HasPrefix(name, "rep") {
+		return "", false
+	}
+	i := strings.Index(name, "/")
+	if i < 0 {
+		return "", false
+	}
+	return name[i+1:], true
+}
+
+// neighbourStage picks the stage of the first placed neighbour (successor
+// preferred: variables should sit where they are consumed), defaulting to
+// stage 0.
+func neighbourStage(g *graph.Graph, place []int, id int) int {
+	for _, s := range g.Successors(id) {
+		if place[s] >= 0 {
+			return place[s]
+		}
+	}
+	for _, p := range g.Predecessors(id) {
+		if place[p] >= 0 {
+			return place[p]
+		}
+	}
+	return 0
+}
+
+// BubbleFraction estimates the pipeline bubble of a balanced s-stage,
+// m-micro-batch pipeline: (s-1)/(m+s-1), GPipe's idle fraction. Useful for
+// choosing micro-batch counts.
+func BubbleFraction(stages, microBatches int) float64 {
+	if stages <= 1 || microBatches < 1 {
+		return 0
+	}
+	return float64(stages-1) / float64(microBatches+stages-1)
+}

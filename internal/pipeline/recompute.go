@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fastt/internal/graph"
+)
+
+// Activation recomputation (GPipe's rematerialization): instead of keeping
+// every forward activation resident until its backward consumer runs, a
+// stage retains only its input tensors and re-executes its forward
+// operations when the backward pass reaches it. Memory per stage drops from
+// O(activations of the whole micro-batch set) to O(stage inputs), at the
+// cost of roughly one extra forward pass of compute.
+//
+// Graph mechanics: every forward op f with a backward mirror f_bp gets a
+// recompute clone f_rc; the activation edge f -> f_bp is rewired to
+// f_rc -> f_bp (so f's own output is freed as soon as its forward consumers
+// are done), f_rc reads the same inputs as f (from the rc clones of its
+// producers where they exist), and the stage-entry rc ops are gated on the
+// gradient arriving at the stage so recomputation starts exactly when the
+// backward pass needs it.
+
+// applyRecompute rewrites the micro-batched graph for rematerialization and
+// returns the new graph with an extended placement.
+func applyRecompute(g *graph.Graph, place []int) (*graph.Graph, []int, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	topoPos := make([]int, g.NumOps())
+	for i, id := range topo {
+		topoPos[id] = i
+	}
+
+	// Activation edges: f -> f_bp by the builders' naming convention.
+	isActivationEdge := func(e graph.Edge) bool {
+		from, to := g.Op(e.From), g.Op(e.To)
+		return graph.IsBackwardKind(to.Kind) && to.Name == from.Name+"_bp"
+	}
+	needsRC := make(map[int]bool) // forward op -> has a mirror
+	for _, e := range g.Edges() {
+		if isActivationEdge(e) {
+			needsRC[e.From] = true
+		}
+	}
+
+	out := graph.New()
+	newID := make([]int, g.NumOps())
+	rcID := make(map[int]int, len(needsRC))
+	newPlace := make([]int, 0, g.NumOps()+len(needsRC))
+	for _, op := range g.Ops() {
+		c := *op
+		id, err := out.AddOp(&c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("copy op: %w", err)
+		}
+		newID[op.ID] = id
+		newPlace = append(newPlace, place[op.ID])
+	}
+	for fid := range needsRC {
+		f := g.Op(fid)
+		rc := *f
+		rc.Name = f.Name + "_rc"
+		rc.GradFor = "" // the original's gradient bookkeeping stays put
+		id, err := out.AddOp(&rc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("add recompute op: %w", err)
+		}
+		rcID[fid] = id
+		newPlace = append(newPlace, place[fid])
+	}
+
+	// Copy edges, rerouting activation edges through the rc clones.
+	for _, e := range g.Edges() {
+		if isActivationEdge(e) {
+			if err := out.Connect(rcID[e.From], newID[e.To], e.Bytes); err != nil {
+				return nil, nil, fmt.Errorf("reroute activation: %w", err)
+			}
+			continue
+		}
+		if err := out.Connect(newID[e.From], newID[e.To], e.Bytes); err != nil {
+			return nil, nil, fmt.Errorf("copy edge: %w", err)
+		}
+	}
+	// Recompute clones read the same inputs as their originals: the rc
+	// clone of a same-stage producer (chaining the recomputation within
+	// the stage), or the retained original tensor when the producer lives
+	// on another stage — GPipe's "retain only the stage inputs" rule. A
+	// previous stage's rc clone must never be used: it is gated on a
+	// gradient this stage's backward produces, which would deadlock.
+	for fid, rid := range rcID {
+		for _, e := range g.InEdges(fid) {
+			src := newID[e.From]
+			if prc, ok := rcID[e.From]; ok && place[e.From] == place[fid] {
+				src = prc
+			}
+			if err := out.Connect(src, rid, e.Bytes); err != nil {
+				return nil, nil, fmt.Errorf("recompute input: %w", err)
+			}
+		}
+	}
+
+	// Gate stage-entry recompute ops on the gradient reaching the stage:
+	// group rc ops by (replica, stage), find the stage's last forward op L,
+	// and use the backward producer feeding L_bp as the gate.
+	type groupKey struct{ replica, stage int }
+	groups := make(map[groupKey][]int) // original forward IDs
+	for fid := range needsRC {
+		k := groupKey{replica: g.Op(fid).Replica, stage: place[fid]}
+		groups[k] = append(groups[k], fid)
+	}
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool {
+			return topoPos[members[i]] < topoPos[members[j]]
+		})
+		last := members[len(members)-1]
+		gate := gradientInto(g, last)
+		if gate < 0 {
+			continue // no incoming gradient (e.g. the loss stage): no gate
+		}
+		for _, fid := range members {
+			if hasSameStageRCPred(g, rcID, place, fid) {
+				continue // chained off another rc op; already deferred
+			}
+			if err := out.Connect(newID[gate], rcID[fid], 0); err != nil {
+				// The gate may already feed the op through a data edge.
+				if !errors.Is(err, graph.ErrDuplicateEdge) {
+					return nil, nil, fmt.Errorf("gate recompute: %w", err)
+				}
+			}
+		}
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("recompute graph: %w", err)
+	}
+	return out, newPlace, nil
+}
+
+// gradientInto returns the backward op feeding f's mirror with the incoming
+// gradient (any backward-kind predecessor of f_bp other than f's own
+// activation), or -1.
+func gradientInto(g *graph.Graph, fid int) int {
+	bp, ok := g.OpByName(g.Op(fid).Name + "_bp")
+	if !ok {
+		return -1
+	}
+	for _, p := range g.Predecessors(bp.ID) {
+		if p == fid {
+			continue
+		}
+		if graph.IsBackwardKind(g.Op(p).Kind) {
+			return p
+		}
+	}
+	return -1
+}
+
+// hasSameStageRCPred reports whether any same-stage producer of f also has
+// a recompute clone (so f's clone is already deferred through the chain).
+func hasSameStageRCPred(g *graph.Graph, rcID map[int]int, place []int, fid int) bool {
+	for _, p := range g.Predecessors(fid) {
+		if _, ok := rcID[p]; ok && place[p] == place[fid] {
+			return true
+		}
+	}
+	return false
+}

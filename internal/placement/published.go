@@ -1,0 +1,102 @@
+package placement
+
+// Published baseline results for Fig. 3. The paper compares FastT against
+// REINFORCE, GDP, Post and FlexFlow using numbers *extracted from those
+// papers* (their code or clusters were unavailable); this file records the
+// same reference points, digitized approximately from Fig. 3, normalized to
+// the strong-scaling data-parallel baseline (DP = 1.0). A zero entry means
+// the method reported no result for that model/GPU count.
+
+// Method identifies a published comparison system.
+type Method int
+
+// Comparison systems of Fig. 3.
+const (
+	MethodREINFORCE Method = iota + 1
+	MethodGDP
+	MethodPost
+	MethodFlexFlow
+)
+
+// String returns the method name used in the figure.
+func (m Method) String() string {
+	switch m {
+	case MethodREINFORCE:
+		return "REINFORCE"
+	case MethodGDP:
+		return "GDP"
+	case MethodPost:
+		return "Post"
+	case MethodFlexFlow:
+		return "FlexFlow"
+	default:
+		return "unknown"
+	}
+}
+
+// PublishedEntry is one bar of Fig. 3.
+type PublishedEntry struct {
+	Model  string
+	Method Method
+	GPUs   int
+	// Normalized is processing speed divided by the data-parallel
+	// strategy's speed (DP = 1.0).
+	Normalized float64
+}
+
+// PublishedSpeedups returns the Fig. 3 reference bars. Models follow the
+// figure's four panels: Inception V3, ResNet, GNMT, RNNLM.
+func PublishedSpeedups() []PublishedEntry {
+	return []PublishedEntry{
+		// Inception V3: REINFORCE, GDP, Post, FlexFlow.
+		{Model: "Inception_v3", Method: MethodREINFORCE, GPUs: 2, Normalized: 0.98},
+		{Model: "Inception_v3", Method: MethodREINFORCE, GPUs: 4, Normalized: 1.02},
+		{Model: "Inception_v3", Method: MethodGDP, GPUs: 2, Normalized: 1.00},
+		{Model: "Inception_v3", Method: MethodGDP, GPUs: 4, Normalized: 1.04},
+		{Model: "Inception_v3", Method: MethodPost, GPUs: 2, Normalized: 1.01},
+		{Model: "Inception_v3", Method: MethodPost, GPUs: 4, Normalized: 1.06},
+		{Model: "Inception_v3", Method: MethodFlexFlow, GPUs: 2, Normalized: 1.08},
+		{Model: "Inception_v3", Method: MethodFlexFlow, GPUs: 4, Normalized: 1.15},
+
+		// ResNet: Post and FlexFlow.
+		{Model: "ResNet200", Method: MethodPost, GPUs: 2, Normalized: 0.97},
+		{Model: "ResNet200", Method: MethodPost, GPUs: 4, Normalized: 1.00},
+		{Model: "ResNet200", Method: MethodFlexFlow, GPUs: 2, Normalized: 1.05},
+		{Model: "ResNet200", Method: MethodFlexFlow, GPUs: 4, Normalized: 1.08},
+
+		// GNMT: GDP, Post, FlexFlow (FastT's bars read 1.06/1.18/1.25).
+		{Model: "GNMT", Method: MethodGDP, GPUs: 2, Normalized: 1.00},
+		{Model: "GNMT", Method: MethodGDP, GPUs: 4, Normalized: 1.08},
+		{Model: "GNMT", Method: MethodGDP, GPUs: 8, Normalized: 1.10},
+		{Model: "GNMT", Method: MethodPost, GPUs: 2, Normalized: 1.02},
+		{Model: "GNMT", Method: MethodPost, GPUs: 4, Normalized: 1.10},
+		{Model: "GNMT", Method: MethodPost, GPUs: 8, Normalized: 1.14},
+		{Model: "GNMT", Method: MethodFlexFlow, GPUs: 2, Normalized: 1.07},
+		{Model: "GNMT", Method: MethodFlexFlow, GPUs: 4, Normalized: 1.20},
+		{Model: "GNMT", Method: MethodFlexFlow, GPUs: 8, Normalized: 1.28},
+
+		// RNNLM: GDP, Post, FlexFlow (FastT's bars read 1.08/1.21/1.22).
+		{Model: "RNNLM", Method: MethodGDP, GPUs: 2, Normalized: 1.01},
+		{Model: "RNNLM", Method: MethodGDP, GPUs: 4, Normalized: 1.09},
+		{Model: "RNNLM", Method: MethodGDP, GPUs: 8, Normalized: 1.12},
+		{Model: "RNNLM", Method: MethodPost, GPUs: 2, Normalized: 1.03},
+		{Model: "RNNLM", Method: MethodPost, GPUs: 4, Normalized: 1.12},
+		{Model: "RNNLM", Method: MethodPost, GPUs: 8, Normalized: 1.15},
+		{Model: "RNNLM", Method: MethodFlexFlow, GPUs: 2, Normalized: 1.09},
+		{Model: "RNNLM", Method: MethodFlexFlow, GPUs: 4, Normalized: 1.23},
+		{Model: "RNNLM", Method: MethodFlexFlow, GPUs: 8, Normalized: 1.25},
+	}
+}
+
+// FastTPaperBars returns the FastT bars of Fig. 3 as reported in the paper,
+// for paper-vs-measured comparison in EXPERIMENTS.md.
+func FastTPaperBars() []PublishedEntry {
+	return []PublishedEntry{
+		{Model: "GNMT", GPUs: 2, Normalized: 1.06},
+		{Model: "GNMT", GPUs: 4, Normalized: 1.18},
+		{Model: "GNMT", GPUs: 8, Normalized: 1.25},
+		{Model: "RNNLM", GPUs: 2, Normalized: 1.08},
+		{Model: "RNNLM", GPUs: 4, Normalized: 1.21},
+		{Model: "RNNLM", GPUs: 8, Normalized: 1.22},
+	}
+}

@@ -1,0 +1,88 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+	"fastt/internal/placement"
+	"fastt/internal/sim"
+	"fastt/internal/validate"
+)
+
+// TestFullZooSessions drives the complete FastT workflow for every
+// benchmark model on 2 GPUs, asserting the rollback guarantee (FastT never
+// ends meaningfully slower than the DP start) and that the final active
+// strategy validates structurally.
+func TestFullZooSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model zoo is slow")
+	}
+	for _, spec := range models.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			cluster, err := device.SingleServer(2)
+			if err != nil {
+				t.Fatalf("SingleServer: %v", err)
+			}
+			per := spec.GlobalBatch / 2
+			if per < 1 {
+				per = 1
+			}
+			m, err := spec.Build(per)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			g, err := graph.BuildDataParallel(m, 2)
+			if err != nil {
+				t.Fatalf("BuildDataParallel: %v", err)
+			}
+
+			// DP reference.
+			engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+			place, err := placement.DataParallel(g, cluster)
+			if err != nil {
+				t.Fatalf("DataParallel: %v", err)
+			}
+			dp, err := engine.Run(g, place, sim.Config{Seed: 3})
+			if err != nil {
+				t.Fatalf("DP run: %v", err)
+			}
+
+			s, err := New(cluster, g, Config{Seed: 3, MaxRounds: 2})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			rep, err := s.Bootstrap()
+			if err != nil {
+				t.Fatalf("Bootstrap: %v", err)
+			}
+			stats, err := s.Run(3)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if stats.AvgIter <= 0 {
+				t.Fatal("non-positive iteration time")
+			}
+			// Rollback guarantee modulo measurement noise.
+			slack := time.Duration(float64(dp.Makespan) * 0.08)
+			if stats.AvgIter > dp.Makespan+slack {
+				t.Errorf("FastT %v slower than DP %v beyond noise", stats.AvgIter, dp.Makespan)
+			}
+			if rep.StartMeasured <= 0 || len(rep.Rounds) == 0 {
+				t.Error("incomplete bootstrap report")
+			}
+			// The active strategy must be structurally sound.
+			if err := validate.Placement(s.ActiveGraph(), s.ActivePlacement(),
+				cluster, validate.Options{SkipMemory: true}); err != nil {
+				t.Errorf("active placement invalid: %v", err)
+			}
+			if err := validate.Splits(s.ActiveGraph(), s.ActiveSplits()); err != nil {
+				t.Errorf("active split list invalid: %v", err)
+			}
+		})
+	}
+}

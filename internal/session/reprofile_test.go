@@ -1,0 +1,85 @@
+package session
+
+import (
+	"testing"
+)
+
+func TestRunPeriodicReprofilingCounts(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{Seed: 13, MaxRounds: 1, ReprofileEvery: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Bootstrap(); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	stats, err := s.Run(9)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Reprofiles != 3 {
+		t.Errorf("Reprofiles = %d, want 3", stats.Reprofiles)
+	}
+	// The hardware did not change: no drift, no recomputation.
+	if stats.Recomputed != 0 {
+		t.Errorf("Recomputed = %d on stable hardware, want 0", stats.Recomputed)
+	}
+}
+
+func TestRunDetectsHardwareDrift(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{Seed: 17, MaxRounds: 1, ReprofileEvery: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Bootstrap(); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	before, err := s.Run(2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if before.Recomputed != 0 {
+		t.Fatalf("drift before hardware change: %d", before.Recomputed)
+	}
+
+	// The "hardware" degrades mid-training: device 1 loses two thirds of
+	// its throughput (thermal throttling, a noisy neighbour...). The
+	// periodic profiler must notice the drift; with the cluster now
+	// asymmetric, the recomputed strategy may or may not beat the running
+	// one, but the check itself must fire.
+	c.Device(1).PeakFLOPS /= 3
+	c.Device(1).MemBandwidth /= 3
+	after, err := s.Run(6)
+	if err != nil {
+		t.Fatalf("Run after drift: %v", err)
+	}
+	if after.Reprofiles == 0 {
+		t.Fatal("no reprofiling checks performed")
+	}
+	if after.AvgIter <= before.AvgIter {
+		t.Errorf("degraded hardware did not slow training: %v vs %v",
+			after.AvgIter, before.AvgIter)
+	}
+}
+
+func TestDriftedThresholds(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{Seed: 19, MaxRounds: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Bootstrap(); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	res, err := s.runOnce(s.cur)
+	if err != nil {
+		t.Fatalf("runOnce: %v", err)
+	}
+	if s.drifted(res) {
+		t.Error("stable hardware reported as drifted")
+	}
+}

@@ -1,0 +1,559 @@
+// Package session drives FastT's training workflow (Sec. 4 of the paper):
+// start from data parallelism (or model parallelism when the model exceeds
+// one GPU), profile a few iterations to bootstrap the cost models, compute
+// a new strategy with OS-DPOS, activate it via checkpoint/restart, roll
+// back if the measured per-iteration time regressed, and finish the
+// pre-training stage once the cost models are stable. Afterwards Run
+// executes normal training under the final strategy.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"fastt/internal/checkpoint"
+	"fastt/internal/core"
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/placement"
+	"fastt/internal/sim"
+	"fastt/internal/validate"
+)
+
+// ErrNoFeasibleStart is returned when neither data parallelism nor model
+// parallelism fits the cluster.
+var ErrNoFeasibleStart = errors.New("no feasible start strategy")
+
+// Config tunes a session.
+type Config struct {
+	// ProfileIters is the number of iterations per profiling round.
+	ProfileIters int
+	// MaxRounds bounds the pre-training strategy-search rounds.
+	MaxRounds int
+	// StableCV is the coefficient-of-variation threshold below which the
+	// computation cost model counts as stable.
+	StableCV float64
+	// MinSamples is the per-key sample count required for stability.
+	MinSamples int64
+	// Jitter is the simulator's measurement noise.
+	Jitter float64
+	// Seed makes the session reproducible.
+	Seed int64
+	// Memory is the memory model for placement and OOM accounting.
+	Memory graph.MemoryModel
+	// Sched passes through scheduling options (e.g. MaxSplitOps).
+	Sched core.Options
+	// DisableSplitting restricts the strategy calculator to DPOS
+	// (placement + order, no operation splitting) — the "No split" arm of
+	// Table 6.
+	DisableSplitting bool
+	// DisableOrderEnforcement executes computed strategies with the
+	// default FIFO executor instead of priority order — the "Default" arm
+	// of Fig. 2.
+	DisableOrderEnforcement bool
+	// ReprofileEvery enables the paper's periodic profiling during normal
+	// training: every N iterations Run profiles one iteration, and when
+	// execution times have drifted significantly from the cost models it
+	// updates them and recomputes the strategy. 0 disables.
+	ReprofileEvery int
+	// DriftThreshold is the relative deviation of an op's measured time
+	// from its cost-model mean that counts as drift (default 0.3).
+	DriftThreshold float64
+	// DriftFraction is the fraction of ops that must drift before the
+	// strategy is recomputed (default 0.05).
+	DriftFraction float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.ProfileIters == 0 {
+		c.ProfileIters = 3
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 4
+	}
+	if c.StableCV == 0 {
+		c.StableCV = 0.08
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 2
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.02
+	}
+	if c.Memory == (graph.MemoryModel{}) {
+		c.Memory = graph.DefaultMemoryModel()
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.3
+	}
+	if c.DriftFraction == 0 {
+		c.DriftFraction = 0.05
+	}
+	if c.Sched.Memory == (graph.MemoryModel{}) {
+		c.Sched.Memory = c.Memory
+	}
+	return c
+}
+
+// active is the currently activated strategy: a graph, a placement and
+// (optionally) an execution order.
+type active struct {
+	graph      *graph.Graph
+	placement  []int
+	priorities []int // nil means FIFO
+	splits     []graph.SplitDecision
+	label      string
+}
+
+// Round records one pre-training strategy-search round.
+type Round struct {
+	// Index numbers the round from 1.
+	Index int
+	// CalcWall is the wall-clock time the strategy calculator spent —
+	// the quantity Table 4 reports.
+	CalcWall time.Duration
+	// Predicted is the calculator's estimated iteration time.
+	Predicted time.Duration
+	// Measured is the profiled iteration time after this round.
+	Measured time.Duration
+	// Activated reports whether the candidate replaced the current
+	// strategy; RolledBack whether it was activated and then reverted.
+	Activated  bool
+	RolledBack bool
+	// Splits is the number of accepted operation splits in the candidate.
+	Splits int
+}
+
+// Report summarizes the pre-training stage.
+type Report struct {
+	// Start names the bootstrap strategy ("data-parallel" or
+	// "model-parallel").
+	Start string
+	// StartMeasured is the start strategy's profiled iteration time.
+	StartMeasured time.Duration
+	// Rounds are the strategy-search rounds.
+	Rounds []Round
+	// FinalMeasured is the active strategy's iteration time when the
+	// stage ended.
+	FinalMeasured time.Duration
+	// CalcWallTotal is the total strategy-calculation wall time.
+	CalcWallTotal time.Duration
+	// SimulatedOverhead is the training-timeline cost of pre-training:
+	// profiled iterations plus checkpoint/restart cycles.
+	SimulatedOverhead time.Duration
+	// Stable reports whether the cost models converged before MaxRounds.
+	Stable bool
+}
+
+// RunStats summarizes a normal-training run.
+type RunStats struct {
+	Iterations int
+	AvgIter    time.Duration
+	// Last is the last iteration's full simulation result (spans,
+	// transfers, memory peaks) for trace export and breakdown analysis.
+	Last *sim.Result
+	// Reprofiles counts the periodic profiling checks performed;
+	// Recomputed counts strategy recomputations triggered by cost-model
+	// drift (each implies a checkpoint/restart on the training timeline).
+	Reprofiles int
+	Recomputed int
+}
+
+// Session owns the training loop state.
+type Session struct {
+	cfg     Config
+	cluster *device.Cluster
+	engine  *sim.Engine
+	base    *graph.Graph
+	costs   *cost.Model
+	store   *checkpoint.Store
+	ckCost  checkpoint.CostModel
+
+	cur         active
+	curMeasured time.Duration
+	seed        int64
+	step        int
+	boot        *Report
+}
+
+// New creates a session for training the given graph (a data-parallel
+// training graph, or a plain model graph for models exceeding one GPU) on
+// the cluster.
+func New(cluster *device.Cluster, trainGraph *graph.Graph, cfg Config) (*Session, error) {
+	if err := trainGraph.Validate(); err != nil {
+		return nil, fmt.Errorf("train graph: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	return &Session{
+		cfg:     cfg,
+		cluster: cluster,
+		engine:  sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster)),
+		base:    trainGraph,
+		costs:   cost.NewModel(cluster),
+		store:   checkpoint.NewStore(),
+		ckCost:  checkpoint.DefaultCostModel(),
+		seed:    cfg.Seed,
+	}, nil
+}
+
+// Costs exposes the learned cost models (read-mostly; used by analysis).
+func (s *Session) Costs() *cost.Model { return s.costs }
+
+// SaveCosts writes the learned cost models, so a later session training the
+// same model can skip most of the pre-training exploration.
+func (s *Session) SaveCosts(w io.Writer) error { return s.costs.WriteJSON(w) }
+
+// LoadCosts merges previously saved cost models into this session's. Call
+// before Bootstrap.
+func (s *Session) LoadCosts(r io.Reader) error { return s.costs.ReadJSON(r) }
+
+// BootstrapReport returns the pre-training report, or nil before Bootstrap.
+func (s *Session) BootstrapReport() *Report { return s.boot }
+
+// ActiveGraph returns the graph of the currently activated strategy.
+func (s *Session) ActiveGraph() *graph.Graph { return s.cur.graph }
+
+// ActivePlacement returns the active placement (op ID -> device).
+func (s *Session) ActivePlacement() []int { return s.cur.placement }
+
+// ActiveSplits returns the active strategy's split list.
+func (s *Session) ActiveSplits() []graph.SplitDecision { return s.cur.splits }
+
+// ActivePriorities returns the active execution-order priorities, or nil
+// when the active strategy runs under the default FIFO order.
+func (s *Session) ActivePriorities() []int { return s.cur.priorities }
+
+// Bootstrap runs the pre-training stage and returns its report. It must be
+// called before Run.
+func (s *Session) Bootstrap() (*Report, error) {
+	start, label, err := s.startStrategy()
+	if err != nil {
+		return nil, err
+	}
+	s.cur = active{graph: s.base, placement: start, label: label}
+	rep := &Report{Start: label}
+
+	measured, _, err := s.profile(s.cur)
+	if err != nil {
+		return nil, fmt.Errorf("profile start strategy: %w", err)
+	}
+	s.curMeasured = measured
+	rep.StartMeasured = measured
+	rep.SimulatedOverhead += measured * time.Duration(s.cfg.ProfileIters)
+
+	for round := 1; round <= s.cfg.MaxRounds; round++ {
+		r := Round{Index: round}
+		t0 := time.Now()
+		cand, err := s.compute()
+		r.CalcWall = time.Since(t0)
+		rep.CalcWallTotal += r.CalcWall
+		if errors.Is(err, core.ErrNoFeasiblePlacement) {
+			// The calculator found no placement within memory (its static
+			// model can be more conservative than runtime behaviour); keep
+			// the current strategy and continue refining the cost models.
+			m, _, perr := s.profile(s.cur)
+			if perr != nil {
+				return nil, fmt.Errorf("round %d: re-profile: %w", round, perr)
+			}
+			s.curMeasured = m
+			r.Measured = m
+			rep.SimulatedOverhead += m * time.Duration(s.cfg.ProfileIters)
+			rep.Rounds = append(rep.Rounds, r)
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("round %d: compute strategy: %w", round, err)
+		}
+		r.Predicted = cand.Predicted
+		r.Splits = len(cand.Splits)
+
+		// Guard against calculator bugs before touching the executor; the
+		// runtime memory check (with rollback) covers capacity, so only
+		// structural soundness is asserted here.
+		if err := validate.Strategy(cand, s.cluster, validate.Options{SkipMemory: true}); err != nil {
+			return nil, fmt.Errorf("round %d: invalid strategy: %w", round, err)
+		}
+
+		if cand.Predicted < s.curMeasured {
+			next := active{
+				graph:      cand.Graph,
+				placement:  cand.Placement,
+				priorities: cand.Priorities,
+				splits:     cand.Splits,
+				label:      "fastt",
+			}
+			if err := s.activate(); err != nil {
+				return nil, fmt.Errorf("round %d: activate: %w", round, err)
+			}
+			rep.SimulatedOverhead += s.restartCost()
+			m, oom, err := s.profile(next)
+			switch {
+			case oom != nil:
+				// The candidate OOMs at runtime (activation lifetimes the
+				// static check missed): roll back.
+				s.rollback()
+				rep.SimulatedOverhead += s.restartCost()
+				r.RolledBack = true
+				r.Measured = s.curMeasured
+			case err != nil:
+				return nil, fmt.Errorf("round %d: profile candidate: %w", round, err)
+			case m > s.curMeasured:
+				// Paper: if the new strategy is slower, roll back.
+				s.rollback()
+				rep.SimulatedOverhead += s.restartCost() + m*time.Duration(s.cfg.ProfileIters)
+				r.RolledBack = true
+				r.Measured = m
+			default:
+				s.cur = next
+				s.curMeasured = m
+				r.Activated = true
+				r.Measured = m
+				rep.SimulatedOverhead += m * time.Duration(s.cfg.ProfileIters)
+			}
+		} else {
+			// Not promising: keep profiling the current strategy to refine
+			// the cost models.
+			m, _, err := s.profile(s.cur)
+			if err != nil {
+				return nil, fmt.Errorf("round %d: re-profile: %w", round, err)
+			}
+			s.curMeasured = m
+			r.Measured = m
+			rep.SimulatedOverhead += m * time.Duration(s.cfg.ProfileIters)
+		}
+		rep.Rounds = append(rep.Rounds, r)
+
+		if s.costs.Comp.Stable(s.cfg.MinSamples, s.cfg.StableCV) {
+			rep.Stable = true
+			break
+		}
+	}
+	rep.FinalMeasured = s.curMeasured
+	s.boot = rep
+	return rep, nil
+}
+
+// Run executes `iters` normal-training iterations under the active
+// strategy. Bootstrap must have been called.
+func (s *Session) Run(iters int) (*RunStats, error) {
+	if s.cur.graph == nil {
+		return nil, errors.New("session not bootstrapped")
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("iters must be >= 1, got %d", iters)
+	}
+	var total time.Duration
+	var last *sim.Result
+	stats := &RunStats{Iterations: iters}
+	for i := 0; i < iters; i++ {
+		res, err := s.runOnce(s.cur)
+		if err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", i, err)
+		}
+		total += res.Makespan
+		last = res
+		s.step++
+
+		if s.cfg.ReprofileEvery > 0 && (i+1)%s.cfg.ReprofileEvery == 0 {
+			stats.Reprofiles++
+			if s.drifted(res) {
+				// Execution times changed significantly: refresh the cost
+				// models and recompute the strategy (Sec. 4).
+				s.observe(s.cur.graph, res)
+				recomputed, err := s.refreshStrategy(res.Makespan)
+				if err != nil {
+					return nil, fmt.Errorf("iteration %d: reprofile: %w", i, err)
+				}
+				if recomputed {
+					stats.Recomputed++
+				}
+			}
+		}
+	}
+	stats.AvgIter = total / time.Duration(iters)
+	stats.Last = last
+	return stats, nil
+}
+
+// drifted reports whether the iteration's measured op times deviate from
+// the cost models beyond the configured thresholds.
+func (s *Session) drifted(res *sim.Result) bool {
+	drifted, checked := 0, 0
+	for _, span := range res.Spans {
+		mean, ok := s.costs.Comp.Lookup(s.cur.graph.Op(span.Op).Name, span.Device)
+		if !ok || mean == 0 {
+			continue
+		}
+		checked++
+		obs := span.End - span.Start
+		dev := float64(obs-mean) / float64(mean)
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > s.cfg.DriftThreshold {
+			drifted++
+		}
+	}
+	if checked == 0 {
+		return false
+	}
+	return float64(drifted)/float64(checked) > s.cfg.DriftFraction
+}
+
+// refreshStrategy recomputes the strategy against the refreshed cost models
+// and activates it when its estimate beats the latest measurement. Returns
+// whether a new strategy was activated.
+func (s *Session) refreshStrategy(latest time.Duration) (bool, error) {
+	cand, err := s.compute()
+	if errors.Is(err, core.ErrNoFeasiblePlacement) {
+		return false, nil // keep the running strategy
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := validate.Strategy(cand, s.cluster, validate.Options{SkipMemory: true}); err != nil {
+		return false, err
+	}
+	if cand.Predicted >= latest {
+		s.curMeasured = latest
+		return false, nil
+	}
+	next := active{
+		graph:      cand.Graph,
+		placement:  cand.Placement,
+		priorities: cand.Priorities,
+		splits:     cand.Splits,
+		label:      "fastt",
+	}
+	if err := s.activate(); err != nil {
+		return false, err
+	}
+	m, oom, err := s.profile(next)
+	if err != nil {
+		return false, err
+	}
+	if oom != nil || m > latest {
+		s.rollback()
+		return false, nil
+	}
+	s.cur = next
+	s.curMeasured = m
+	return true, nil
+}
+
+// compute invokes the strategy calculator on the base graph with the
+// learned cost models.
+func (s *Session) compute() (*core.Strategy, error) {
+	if s.cfg.DisableSplitting {
+		return core.ComputePlacementOnly(s.base, s.cluster, s.costs, s.cfg.Sched)
+	}
+	return core.ComputeStrategy(s.base, s.cluster, s.costs, s.cfg.Sched)
+}
+
+// startStrategy picks data parallelism when it executes without OOM, and
+// memory-balanced model parallelism otherwise.
+func (s *Session) startStrategy() ([]int, string, error) {
+	if place, err := placement.DataParallel(s.base, s.cluster); err == nil {
+		if _, err := s.engine.Run(s.base, place, s.simConfig(nil)); err == nil {
+			return place, "data-parallel", nil
+		} else {
+			var oom *sim.OOMError
+			if !errors.As(err, &oom) {
+				return nil, "", fmt.Errorf("start strategy: %w", err)
+			}
+		}
+	}
+	place, err := placement.ModelParallel(s.base, s.cluster, s.cfg.Memory)
+	if err != nil {
+		return nil, "", fmt.Errorf("%w: %v", ErrNoFeasibleStart, err)
+	}
+	if _, err := s.engine.Run(s.base, place, s.simConfig(nil)); err != nil {
+		return nil, "", fmt.Errorf("%w: model parallel: %v", ErrNoFeasibleStart, err)
+	}
+	return place, "model-parallel", nil
+}
+
+func (s *Session) simConfig(priorities []int) sim.Config {
+	cfg := sim.Config{
+		Memory: s.cfg.Memory,
+		Jitter: s.cfg.Jitter,
+		Seed:   s.nextSeed(),
+	}
+	if priorities != nil && !s.cfg.DisableOrderEnforcement {
+		cfg.Discipline = sim.Priority
+		cfg.Priorities = priorities
+	}
+	return cfg
+}
+
+func (s *Session) nextSeed() int64 {
+	s.seed++
+	return s.seed
+}
+
+func (s *Session) runOnce(a active) (*sim.Result, error) {
+	return s.engine.Run(a.graph, a.placement, s.simConfig(a.priorities))
+}
+
+// profile runs ProfileIters iterations of the strategy, feeding the cost
+// models from the spans and transfers (the RunMetadata path), and returns
+// the mean iteration time. An OOM is reported separately so the caller can
+// roll back instead of failing.
+func (s *Session) profile(a active) (time.Duration, *sim.OOMError, error) {
+	var total time.Duration
+	for i := 0; i < s.cfg.ProfileIters; i++ {
+		res, err := s.runOnce(a)
+		if err != nil {
+			var oom *sim.OOMError
+			if errors.As(err, &oom) {
+				return 0, oom, nil
+			}
+			return 0, nil, err
+		}
+		s.observe(a.graph, res)
+		total += res.Makespan
+	}
+	return total / time.Duration(s.cfg.ProfileIters), nil, nil
+}
+
+// observe feeds one iteration's profile into the cost models.
+func (s *Session) observe(g *graph.Graph, res *sim.Result) {
+	for _, span := range res.Spans {
+		s.costs.Comp.Observe(g.Op(span.Op).Name, span.Device, span.End-span.Start)
+	}
+	for _, tr := range res.Transfers {
+		s.costs.Link.Observe(tr.From, tr.To, tr.Bytes, tr.End-tr.Start)
+	}
+}
+
+// activate checkpoints the current state so a rollback can restore it; the
+// caller swaps in the new strategy only after a successful profile.
+func (s *Session) activate() error {
+	snap := checkpoint.Snapshot{
+		Step:       s.step,
+		ParamBytes: s.cur.graph.ComputeStats().ParamBytes,
+		Placement:  s.cur.placement,
+		Splits:     s.cur.splits,
+	}
+	return s.store.Save(snap)
+}
+
+// rollback restores the checkpointed strategy (s.cur is unchanged since
+// activate never overwrote it; the checkpoint models the parameter
+// restore).
+func (s *Session) rollback() {
+	if _, err := s.store.Restore(); err != nil {
+		// Nothing to restore is a programming error upstream but not
+		// fatal: the current strategy is still in place.
+		return
+	}
+}
+
+func (s *Session) restartCost() time.Duration {
+	return s.ckCost.RestartCost(s.cur.graph.ComputeStats().ParamBytes)
+}

@@ -1,0 +1,279 @@
+package session
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/models"
+)
+
+// dpTrainGraph builds a small LeNet data-parallel training graph.
+func dpTrainGraph(t *testing.T, replicas, batchPerReplica int) *graph.Graph {
+	t.Helper()
+	m, err := models.LeNet(batchPerReplica)
+	if err != nil {
+		t.Fatalf("LeNet: %v", err)
+	}
+	g, err := graph.BuildDataParallel(m, replicas)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	return g
+}
+
+func cluster2(t *testing.T) *device.Cluster {
+	t.Helper()
+	c, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	return c
+}
+
+func TestBootstrapProducesStrategy(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{Seed: 1, MaxRounds: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if rep.Start != "data-parallel" {
+		t.Errorf("Start = %q, want data-parallel", rep.Start)
+	}
+	if rep.StartMeasured <= 0 {
+		t.Error("non-positive start measurement")
+	}
+	if len(rep.Rounds) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if rep.FinalMeasured <= 0 {
+		t.Error("non-positive final measurement")
+	}
+	if rep.CalcWallTotal <= 0 {
+		t.Error("no strategy calculation time recorded")
+	}
+	if s.ActiveGraph() == nil || len(s.ActivePlacement()) != s.ActiveGraph().NumOps() {
+		t.Error("active strategy malformed")
+	}
+}
+
+func TestBootstrapNeverEndsSlowertThanStart(t *testing.T) {
+	// Rollback guarantees the final strategy is never worse than the start
+	// strategy beyond measurement noise.
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{Seed: 3, MaxRounds: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	slack := rep.StartMeasured / 10 // 10% noise allowance
+	if rep.FinalMeasured > rep.StartMeasured+slack {
+		t.Errorf("final %v slower than start %v", rep.FinalMeasured, rep.StartMeasured)
+	}
+}
+
+func TestRunAfterBootstrap(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{Seed: 5, MaxRounds: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Bootstrap(); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	stats, err := s.Run(5)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Iterations != 5 || stats.AvgIter <= 0 {
+		t.Errorf("RunStats = %+v", stats)
+	}
+	if stats.Last == nil || len(stats.Last.Spans) == 0 {
+		t.Error("no final iteration result captured")
+	}
+}
+
+func TestRunRequiresBootstrap(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Run(1); err == nil {
+		t.Error("Run before Bootstrap succeeded")
+	}
+}
+
+func TestModelParallelStartForLargeModel(t *testing.T) {
+	// A model whose replicated parameters exceed one GPU must start
+	// model-parallel.
+	m := graph.New()
+	prev := -1
+	for i := 0; i < 4; i++ {
+		name := "fc" + string(rune('a'+i))
+		id := m.MustAddOp(&graph.Op{
+			Name: name, Kind: graph.KindMatMul, FLOPs: 1e9,
+			ParamBytes: 1 * device.GiB, OutputBytes: 1 << 20,
+			Batch: 8, Channels: 1024,
+		})
+		bp := m.MustAddOp(&graph.Op{
+			Name: name + "_bp", Kind: graph.KindMatMulBackprop, FLOPs: 2e9,
+			OutputBytes: 1 << 20, Batch: 8, GradFor: name,
+		})
+		if prev >= 0 {
+			m.MustConnect(prev, id, 1<<20)
+		}
+		m.MustConnect(id, bp, 1<<20)
+		prev = id
+	}
+	g, err := graph.BuildDataParallel(m, 1)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	// 4 GiB params -> 16 GiB static with optimizer state: needs 2 GPUs at
+	// 12 GiB each.
+	c, err := device.SingleServer(2, device.WithMemory(12*device.GiB))
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	s, err := New(c, g, Config{Seed: 7, MaxRounds: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if rep.Start != "model-parallel" {
+		t.Errorf("Start = %q, want model-parallel", rep.Start)
+	}
+}
+
+func TestNoFeasibleStart(t *testing.T) {
+	m := graph.New()
+	h := m.MustAddOp(&graph.Op{
+		Name: "huge", Kind: graph.KindMatMul, FLOPs: 1e9,
+		ParamBytes: 64 * device.GiB, OutputBytes: 1 << 20, Batch: 8,
+	})
+	bp := m.MustAddOp(&graph.Op{
+		Name: "huge_bp", Kind: graph.KindMatMulBackprop, FLOPs: 2e9,
+		OutputBytes: 1 << 20, Batch: 8, GradFor: "huge",
+	})
+	m.MustConnect(h, bp, 1<<20)
+	g, err := graph.BuildDataParallel(m, 1)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	c, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	s, err := New(c, g, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Bootstrap(); !errors.Is(err, ErrNoFeasibleStart) {
+		t.Errorf("err = %v, want ErrNoFeasibleStart", err)
+	}
+}
+
+func TestDisableSplittingYieldsNoSplits(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{Seed: 9, MaxRounds: 2, DisableSplitting: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Bootstrap(); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if len(s.ActiveSplits()) != 0 {
+		t.Errorf("splits present with splitting disabled: %v", s.ActiveSplits())
+	}
+}
+
+func TestCostModelsPopulatedByBootstrap(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, g, Config{Seed: 11, MaxRounds: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := s.Bootstrap(); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if s.Costs().Comp.NumEntries() == 0 {
+		t.Error("computation cost model empty after bootstrap")
+	}
+	if cov := s.Costs().Comp.Coverage(g); cov < 0.9 {
+		t.Errorf("cost model coverage = %v, want >= 0.9", cov)
+	}
+	if s.Costs().Link.NumPairs() == 0 {
+		t.Error("communication cost model saw no traffic")
+	}
+}
+
+func TestBootstrapReproducible(t *testing.T) {
+	c := cluster2(t)
+	run := func() *Report {
+		g := dpTrainGraph(t, 2, 64)
+		s, err := New(c, g, Config{Seed: 21, MaxRounds: 2})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		rep, err := s.Bootstrap()
+		if err != nil {
+			t.Fatalf("Bootstrap: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.StartMeasured != b.StartMeasured || a.FinalMeasured != b.FinalMeasured {
+		t.Errorf("bootstrap not reproducible: %v/%v vs %v/%v",
+			a.StartMeasured, a.FinalMeasured, b.StartMeasured, b.FinalMeasured)
+	}
+}
+
+func TestCostPersistenceAcrossSessions(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	first, err := New(c, g, Config{Seed: 31, MaxRounds: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := first.Bootstrap(); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	var blob strings.Builder
+	if err := first.SaveCosts(&blob); err != nil {
+		t.Fatalf("SaveCosts: %v", err)
+	}
+
+	second, err := New(c, dpTrainGraph(t, 2, 64), Config{Seed: 33, MaxRounds: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := second.LoadCosts(strings.NewReader(blob.String())); err != nil {
+		t.Fatalf("LoadCosts: %v", err)
+	}
+	// With the costs preloaded, coverage is complete before any profiling.
+	if cov := second.Costs().Comp.Coverage(second.base); cov < 0.99 {
+		t.Errorf("preloaded coverage = %v, want ~1", cov)
+	}
+	if _, err := second.Bootstrap(); err != nil {
+		t.Fatalf("Bootstrap after LoadCosts: %v", err)
+	}
+}

@@ -1,0 +1,558 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+)
+
+// eventKind discriminates heap events.
+type eventKind int
+
+const (
+	evOpDone eventKind = iota + 1
+	evXferDone
+)
+
+type event struct {
+	at   int64 // nanoseconds
+	seq  int   // tie-break for determinism
+	kind eventKind
+	op   int      // evOpDone: the op; evXferDone: unused
+	dev  int      // evOpDone: the device
+	ch   *channel // evXferDone: the channel that completed its head
+}
+
+// eventHeap is a binary min-heap on (at, seq).
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && eventLess((*h)[l], (*h)[small]) {
+			small = l
+		}
+		if r < len(*h) && eventLess((*h)[r], (*h)[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// readyNode is one entry of a device ready queue.
+type readyNode struct {
+	k1, k2 int64 // FIFO: (readyTime, opID); Priority: (priority, opID)
+	op     int
+}
+
+// readyQueue is a binary min-heap of readyNodes.
+type readyQueue []readyNode
+
+func (q *readyQueue) push(n readyNode) {
+	*q = append(*q, n)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nodeLess((*q)[i], (*q)[p]) {
+			break
+		}
+		(*q)[i], (*q)[p] = (*q)[p], (*q)[i]
+		i = p
+	}
+}
+
+func (q *readyQueue) pop() readyNode {
+	old := *q
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*q = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*q) && nodeLess((*q)[l], (*q)[small]) {
+			small = l
+		}
+		if r < len(*q) && nodeLess((*q)[r], (*q)[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*q)[i], (*q)[small] = (*q)[small], (*q)[i]
+		i = small
+	}
+	return top
+}
+
+func nodeLess(a, b readyNode) bool {
+	if a.k1 != b.k1 {
+		return a.k1 < b.k1
+	}
+	if a.k2 != b.k2 {
+		return a.k2 < b.k2
+	}
+	return a.op < b.op
+}
+
+// xfer is one pending or in-flight tensor copy. One xfer serves every
+// consumer of the producer's output on the destination device (TensorFlow
+// sends one copy per device, not per edge).
+type xfer struct {
+	producer  int
+	consumers []int
+	src, dest int // device endpoints (channels may be shared across pairs)
+	bytes     int64
+	enqueued  int64
+	started   int64
+}
+
+// channel is the copy engine for one ordered device pair: transfers on the
+// same pair serialize; different pairs proceed in parallel.
+type channel struct {
+	from, to int
+	queue    []xfer
+	busy     bool
+}
+
+type copyKey struct {
+	producer int
+	dev      int
+}
+
+type runState struct {
+	e     *Engine
+	g     *graph.Graph
+	place []int
+	cfg   Config
+
+	now    int64
+	events eventHeap
+	seq    int
+
+	pendingInputs []int
+	finished      []bool
+	finishedCount int
+
+	deviceBusy []bool
+	queues     []readyQueue
+	channels   map[[2]int]*channel
+
+	memUsed  []int64
+	memPeak  []int64
+	outRefs  []int // remaining releases before an op's output is freed
+	copyRefs map[copyKey]int
+
+	spans      []Span
+	transfers  []Transfer
+	computeNS  []int64
+	memcpyNS   []int64
+	rng        *rand.Rand
+	priorities []int
+}
+
+func newRunState(e *Engine, g *graph.Graph, placement []int, cfg Config) *runState {
+	n := g.NumOps()
+	d := e.cluster.NumDevices()
+	r := &runState{
+		e:             e,
+		g:             g,
+		place:         placement,
+		cfg:           cfg,
+		pendingInputs: make([]int, n),
+		finished:      make([]bool, n),
+		deviceBusy:    make([]bool, d),
+		queues:        make([]readyQueue, d),
+		channels:      make(map[[2]int]*channel),
+		memUsed:       make([]int64, d),
+		memPeak:       make([]int64, d),
+		outRefs:       make([]int, n),
+		copyRefs:      make(map[copyKey]int),
+		computeNS:     make([]int64, d),
+		memcpyNS:      make([]int64, d),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		priorities:    cfg.Priorities,
+	}
+	for i := range r.outRefs {
+		r.outRefs[i] = -1 // unset until the op finishes
+	}
+	return r
+}
+
+// jitter perturbs d by ±cfg.Jitter multiplicatively.
+func (r *runState) jitter(d time.Duration) int64 {
+	ns := int64(d)
+	if r.cfg.Jitter <= 0 || ns == 0 {
+		return ns
+	}
+	f := 1 + r.cfg.Jitter*(2*r.rng.Float64()-1)
+	return int64(float64(ns) * f)
+}
+
+// alloc charges bytes to device dev, returning an OOM error when enabled
+// and the capacity would be exceeded.
+func (r *runState) alloc(dev int, bytes int64) error {
+	r.memUsed[dev] += bytes
+	if r.memUsed[dev] > r.memPeak[dev] {
+		r.memPeak[dev] = r.memUsed[dev]
+	}
+	if !r.cfg.DisableMemoryCheck && r.memUsed[dev] > r.e.cluster.Device(dev).MemoryBytes {
+		return &OOMError{
+			Device:   dev,
+			Needed:   r.memUsed[dev],
+			Capacity: r.e.cluster.Device(dev).MemoryBytes,
+		}
+	}
+	return nil
+}
+
+func (r *runState) free(dev int, bytes int64) {
+	r.memUsed[dev] -= bytes
+}
+
+func (r *runState) execute() (*Result, error) {
+	// Charge resident parameter/optimizer state up front.
+	for _, op := range r.g.Ops() {
+		static := int64(r.cfg.Memory.ParamStateFactor * float64(op.ParamBytes))
+		if static > 0 {
+			if err := r.alloc(r.place[op.ID], static); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Seed the ready queues with entry ops.
+	for _, op := range r.g.Ops() {
+		r.pendingInputs[op.ID] = r.g.InDegree(op.ID)
+		if r.pendingInputs[op.ID] == 0 {
+			r.enqueueReady(op.ID)
+		}
+	}
+	for dev := range r.queues {
+		if err := r.kick(dev); err != nil {
+			return nil, err
+		}
+	}
+
+	for len(r.events) > 0 {
+		ev := r.events.pop()
+		r.now = ev.at
+		var err error
+		switch ev.kind {
+		case evOpDone:
+			err = r.onOpDone(ev.op, ev.dev)
+		case evXferDone:
+			err = r.onXferDone(ev.ch)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if r.finishedCount != r.g.NumOps() {
+		return nil, ErrStalled
+	}
+	return r.buildResult(), nil
+}
+
+func (r *runState) enqueueReady(op int) {
+	dev := r.place[op]
+	var n readyNode
+	switch r.cfg.Discipline {
+	case Priority:
+		n = readyNode{k1: int64(r.priorities[op]), k2: int64(op), op: op}
+	case Unordered:
+		n = readyNode{k1: int64(splitmix(uint64(op) + uint64(r.cfg.Seed))), k2: int64(op), op: op}
+	default:
+		n = readyNode{k1: r.now, k2: int64(op), op: op}
+	}
+	r.queues[dev].push(n)
+}
+
+// splitmix is SplitMix64, giving a deterministic but arbitrary ordering key
+// for the Unordered discipline. The result is masked positive so heap keys
+// compare sanely.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return (x ^ (x >> 31)) & (1<<62 - 1)
+}
+
+// kick starts the next ready op on dev if the device is idle.
+func (r *runState) kick(dev int) error {
+	if r.deviceBusy[dev] || len(r.queues[dev]) == 0 {
+		return nil
+	}
+	n := r.queues[dev].pop()
+	op := r.g.Op(n.op)
+	if err := r.alloc(dev, op.OutputBytes+op.WorkspaceBytes); err != nil {
+		return err
+	}
+	dur := r.jitter(r.e.oracle.Exec(op, r.e.cluster.Device(dev)))
+	r.deviceBusy[dev] = true
+	r.spans = append(r.spans, Span{
+		Op:     n.op,
+		Device: dev,
+		Start:  time.Duration(r.now),
+		End:    time.Duration(r.now + dur),
+	})
+	r.computeNS[dev] += dur
+	r.seq++
+	r.events.push(event{at: r.now + dur, seq: r.seq, kind: evOpDone, op: n.op, dev: dev})
+	return nil
+}
+
+func (r *runState) onOpDone(opID, dev int) error {
+	op := r.g.Op(opID)
+	r.finished[opID] = true
+	r.finishedCount++
+	r.free(dev, op.WorkspaceBytes)
+
+	// Release inputs this op was holding.
+	for _, e := range r.g.InEdges(opID) {
+		pdev := r.place[e.From]
+		if pdev == dev {
+			r.releaseRef(e.From)
+		} else {
+			k := copyKey{producer: e.From, dev: dev}
+			r.copyRefs[k]--
+			if r.copyRefs[k] == 0 {
+				r.free(dev, e.Bytes)
+				delete(r.copyRefs, k)
+			}
+		}
+	}
+
+	// Route the output: group consumers by destination device.
+	sameDev := 0
+	remote := make(map[int][]int) // dest device -> consumers
+	var remoteBytes int64
+	for _, e := range r.g.OutEdges(opID) {
+		cdev := r.place[e.To]
+		if cdev == dev {
+			sameDev++
+			if err := r.notifyInput(e.To); err != nil {
+				return err
+			}
+		} else {
+			remote[cdev] = append(remote[cdev], e.To)
+			if e.Bytes > remoteBytes {
+				remoteBytes = e.Bytes
+			}
+		}
+	}
+	r.outRefs[opID] = sameDev + len(remote)
+	if r.outRefs[opID] == 0 {
+		r.free(dev, op.OutputBytes)
+	}
+	// Deterministic channel order.
+	dests := make([]int, 0, len(remote))
+	for d := range remote {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	for _, d := range dests {
+		r.enqueueTransfer(dev, d, xfer{
+			producer:  opID,
+			consumers: remote[d],
+			src:       dev,
+			dest:      d,
+			bytes:     remoteBytes,
+			enqueued:  r.now,
+		})
+	}
+
+	r.deviceBusy[dev] = false
+	return r.kick(dev)
+}
+
+// releaseRef releases one hold on op's output, freeing it at zero.
+func (r *runState) releaseRef(op int) {
+	r.outRefs[op]--
+	if r.outRefs[op] == 0 {
+		r.free(r.place[op], r.g.Op(op).OutputBytes)
+	}
+}
+
+// notifyInput marks one input of op as available; when the last input
+// arrives the op is enqueued and its device kicked. The only possible error
+// is an OOM raised while starting the op.
+func (r *runState) notifyInput(op int) error {
+	r.pendingInputs[op]--
+	if r.pendingInputs[op] == 0 {
+		r.enqueueReady(op)
+		return r.kick(r.place[op])
+	}
+	return nil
+}
+
+func (r *runState) enqueueTransfer(from, to int, x xfer) {
+	key := r.channelKey(from, to)
+	ch, ok := r.channels[key]
+	if !ok {
+		ch = &channel{from: from, to: to}
+		r.channels[key] = ch
+	}
+	ch.queue = append(ch.queue, x)
+	r.pump(ch)
+}
+
+// channelKey picks the serialization domain of a transfer: per ordered
+// device pair by default; per ordered server pair when SharedNIC models a
+// single network interface per machine. Shared channels are keyed with
+// negative values so they can never collide with device-pair keys.
+func (r *runState) channelKey(from, to int) [2]int {
+	if r.cfg.SharedNIC {
+		fs := r.e.cluster.Device(from).Server
+		ts := r.e.cluster.Device(to).Server
+		if fs != ts {
+			return [2]int{-1 - fs, -1 - ts}
+		}
+	}
+	return [2]int{from, to}
+}
+
+// pump starts the channel's next transfer if the channel is idle. Under
+// FIFO the queue order (enqueue order) is kept; under Priority the pending
+// transfer whose most urgent consumer has the smallest priority index goes
+// first — FastT's order enforcement covers send/recv scheduling too.
+func (r *runState) pump(ch *channel) {
+	if ch.busy || len(ch.queue) == 0 {
+		return
+	}
+	if r.cfg.Discipline == Priority && len(ch.queue) > 1 {
+		best := 0
+		bestKey := r.xferPriority(ch.queue[0])
+		for i := 1; i < len(ch.queue); i++ {
+			if k := r.xferPriority(ch.queue[i]); k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best != 0 {
+			ch.queue[0], ch.queue[best] = ch.queue[best], ch.queue[0]
+		}
+	}
+	ch.busy = true
+	head := &ch.queue[0]
+	head.started = r.now
+	link := r.e.cluster.Link(head.src, head.dest)
+	dur := r.jitter(kernels.TransferTime(head.bytes, link))
+	r.seq++
+	r.events.push(event{at: r.now + dur, seq: r.seq, kind: evXferDone, ch: ch})
+}
+
+// xferPriority returns the urgency of a pending transfer: the smallest
+// priority index among its consumers.
+func (r *runState) xferPriority(x xfer) int {
+	best := int(^uint(0) >> 1)
+	for _, c := range x.consumers {
+		if p := r.priorities[c]; p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+func (r *runState) onXferDone(ch *channel) error {
+	head := ch.queue[0]
+	ch.queue = ch.queue[1:]
+	ch.busy = false
+
+	// Allocate the received copy on the destination.
+	if err := r.alloc(head.dest, head.bytes); err != nil {
+		return err
+	}
+	r.copyRefs[copyKey{producer: head.producer, dev: head.dest}] = len(head.consumers)
+	r.releaseRef(head.producer)
+
+	end := time.Duration(r.now)
+	start := time.Duration(head.started)
+	for _, c := range head.consumers {
+		r.transfers = append(r.transfers, Transfer{
+			From:     head.src,
+			To:       head.dest,
+			Producer: head.producer,
+			Consumer: c,
+			Bytes:    head.bytes,
+			Enqueued: time.Duration(head.enqueued),
+			Start:    start,
+			End:      end,
+		})
+	}
+	r.memcpyNS[head.dest] += int64(end - start)
+
+	for _, c := range head.consumers {
+		if err := r.notifyInput(c); err != nil {
+			return err
+		}
+	}
+	r.pump(ch)
+	return nil
+}
+
+func (r *runState) buildResult() *Result {
+	res := &Result{
+		Spans:       r.spans,
+		Transfers:   r.transfers,
+		ComputeBusy: make([]time.Duration, len(r.computeNS)),
+		MemcpyBusy:  make([]time.Duration, len(r.memcpyNS)),
+		PeakMemory:  append([]int64(nil), r.memPeak...),
+	}
+	for i, ns := range r.computeNS {
+		res.ComputeBusy[i] = time.Duration(ns)
+	}
+	for i, ns := range r.memcpyNS {
+		res.MemcpyBusy[i] = time.Duration(ns)
+	}
+	var makespan time.Duration
+	for _, s := range r.spans {
+		if s.End > makespan {
+			makespan = s.End
+		}
+	}
+	res.Makespan = makespan
+	sort.Slice(res.Spans, func(i, j int) bool {
+		if res.Spans[i].Start != res.Spans[j].Start {
+			return res.Spans[i].Start < res.Spans[j].Start
+		}
+		return res.Spans[i].Op < res.Spans[j].Op
+	})
+	return res
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+)
+
+// crossServerFanIn builds two producers on server 0 feeding two consumers
+// on server 1 over distinct device pairs.
+func crossServerFanIn(t *testing.T) (*Engine, *graph.Graph, []int) {
+	t.Helper()
+	c, err := device.NewCluster(2, 2)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	e := NewEngine(c, kernels.NewDefaultOracle(c))
+	g := graph.New()
+	const bytes = 30_000_000 // 10ms on the 3 GB/s inter-server link
+	a := g.MustAddOp(&graph.Op{Name: "a", Kind: graph.KindIdentity, OutputBytes: bytes})
+	b := g.MustAddOp(&graph.Op{Name: "b", Kind: graph.KindIdentity, OutputBytes: bytes})
+	ca := g.MustAddOp(&graph.Op{Name: "ca", Kind: graph.KindIdentity})
+	cb := g.MustAddOp(&graph.Op{Name: "cb", Kind: graph.KindIdentity})
+	g.MustConnect(a, ca, bytes)
+	g.MustConnect(b, cb, bytes)
+	// a,b on server 0 (devices 0,1); consumers on server 1 (devices 2,3).
+	return e, g, []int{0, 1, 2, 3}
+}
+
+func TestSharedNICSerializesCrossServerTransfers(t *testing.T) {
+	e, g, place := crossServerFanIn(t)
+
+	parallel, err := e.Run(g, place, Config{})
+	if err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+	shared, err := e.Run(g, place, Config{SharedNIC: true})
+	if err != nil {
+		t.Fatalf("shared-NIC run: %v", err)
+	}
+	// Default: the 0->2 and 1->3 transfers ride independent channels and
+	// overlap; SharedNIC: they serialize on the server0->server1 NIC, so
+	// the makespan grows by roughly one transfer time (~10ms).
+	if shared.Makespan < parallel.Makespan+8*time.Millisecond {
+		t.Errorf("shared NIC did not serialize: shared=%v parallel=%v",
+			shared.Makespan, parallel.Makespan)
+	}
+}
+
+func TestSharedNICLeavesIntraServerAlone(t *testing.T) {
+	c, err := device.NewCluster(2, 2)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	e := NewEngine(c, kernels.NewDefaultOracle(c))
+	g := graph.New()
+	const bytes = 22_000_000 // 1ms on NVLink
+	a := g.MustAddOp(&graph.Op{Name: "a", Kind: graph.KindIdentity, OutputBytes: bytes})
+	b := g.MustAddOp(&graph.Op{Name: "b", Kind: graph.KindIdentity, OutputBytes: bytes})
+	ca := g.MustAddOp(&graph.Op{Name: "ca", Kind: graph.KindIdentity})
+	cb := g.MustAddOp(&graph.Op{Name: "cb", Kind: graph.KindIdentity})
+	g.MustConnect(a, ca, bytes)
+	g.MustConnect(b, cb, bytes)
+	// Everything within server 0: 0->1 and 1->0 transfers.
+	place := []int{0, 1, 1, 0}
+
+	plain, err := e.Run(g, place, Config{})
+	if err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+	shared, err := e.Run(g, place, Config{SharedNIC: true})
+	if err != nil {
+		t.Fatalf("shared-NIC run: %v", err)
+	}
+	if plain.Makespan != shared.Makespan {
+		t.Errorf("SharedNIC changed intra-server behaviour: %v vs %v",
+			plain.Makespan, shared.Makespan)
+	}
+}
+
+func TestSharedNICTransfersKeepTrueEndpoints(t *testing.T) {
+	e, g, place := crossServerFanIn(t)
+	res, err := e.Run(g, place, Config{SharedNIC: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Transfers) != 2 {
+		t.Fatalf("transfers = %d, want 2", len(res.Transfers))
+	}
+	seen := map[[2]int]bool{}
+	for _, tr := range res.Transfers {
+		seen[[2]int{tr.From, tr.To}] = true
+	}
+	if !seen[[2]int{0, 2}] || !seen[[2]int{1, 3}] {
+		t.Errorf("transfer endpoints lost on shared channel: %v", seen)
+	}
+}

@@ -1,0 +1,206 @@
+// Package sim is the discrete-event execution engine that stands in for the
+// TensorFlow dataflow executor running on a multi-GPU testbed. It executes
+// a placed computation graph with:
+//
+//   - one compute stream per GPU (one kernel at a time, like a single CUDA
+//     stream);
+//   - one copy channel per ordered device pair, so transfers overlap with
+//     computation and with transfers on other pairs, but serialize on the
+//     same pair;
+//   - a ready queue per device drained either FIFO (TensorFlow's default
+//     executor policy) or by scheduler-assigned priorities (FastT's order
+//     enforcement);
+//   - memory accounting: resident parameter/optimizer state plus live
+//     activations with consumer-driven lifetimes, producing OOM errors
+//     exactly where a 16 GB V100 would produce them.
+//
+// The engine reports per-op spans and per-transfer records — the
+// RunMetadata equivalent FastT's profiler feeds into the cost models — plus
+// the compute/memcpy/iteration breakdown of Fig. 5.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+)
+
+// QueueDiscipline selects how a device drains its ready queue.
+type QueueDiscipline int
+
+const (
+	// FIFO runs ops in ready order (arrival time, then op ID) — an
+	// idealized default executor and the conservative baseline for the
+	// speed tables.
+	FIFO QueueDiscipline = iota + 1
+	// Priority runs the ready op with the smallest assigned priority
+	// index — FastT's order enforcement.
+	Priority
+	// Unordered picks among ready ops in a deterministic but arbitrary
+	// (hashed) order, modelling TensorFlow's default executor, whose
+	// inter-op thread pool dispatches concurrently-ready nodes in
+	// effectively arbitrary order — the execution-order variance the
+	// paper's order enforcement eliminates (Fig. 2).
+	Unordered
+)
+
+// Errors returned by Run.
+var (
+	// ErrBadPlacement is returned when the placement vector is malformed.
+	ErrBadPlacement = errors.New("bad placement")
+	// ErrStalled is returned when execution cannot make progress (a bug
+	// guard; a valid DAG with a full placement never stalls).
+	ErrStalled = errors.New("execution stalled")
+)
+
+// OOMError reports a device exceeding its memory capacity.
+type OOMError struct {
+	Device   int
+	Needed   int64
+	Capacity int64
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("OOM on device %d: need %d bytes, capacity %d",
+		e.Device, e.Needed, e.Capacity)
+}
+
+// Config controls one simulated iteration.
+type Config struct {
+	// Discipline selects FIFO or Priority ready queues. Zero value means
+	// FIFO.
+	Discipline QueueDiscipline
+	// Priorities maps op ID -> priority index (lower runs first). Required
+	// when Discipline is Priority.
+	Priorities []int
+	// Memory converts parameter bytes into resident bytes. Zero value
+	// falls back to graph.DefaultMemoryModel.
+	Memory graph.MemoryModel
+	// Jitter adds multiplicative uniform noise of ±Jitter to kernel and
+	// transfer times, emulating real measurement variance for the cost
+	// models to average over. Zero disables noise.
+	Jitter float64
+	// Seed seeds the jitter generator; runs with equal seeds are
+	// reproducible.
+	Seed int64
+	// DisableMemoryCheck runs without OOM enforcement (used by tests and
+	// by what-if analysis).
+	DisableMemoryCheck bool
+	// SharedNIC models one network interface per server: all transfers
+	// between a given pair of servers serialize on one channel instead of
+	// one channel per device pair. Off by default (the paper-era testbeds
+	// had multiple rails, and the conservative default keeps the DP
+	// baseline strong); turn on for congested-network what-if analysis.
+	SharedNIC bool
+}
+
+// Span records one op execution — the computation half of RunMetadata.
+type Span struct {
+	Op     int
+	Device int
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Transfer records one tensor movement — the memcpy half of RunMetadata.
+// Start is when the channel began moving the tensor (queueing excluded) so
+// the communication cost model learns the link law, not queue contention.
+type Transfer struct {
+	From, To int // device IDs
+	Producer int // op that produced the tensor
+	Consumer int // op awaiting it
+	Bytes    int64
+	Enqueued time.Duration
+	Start    time.Duration
+	End      time.Duration
+}
+
+// Result is the outcome of one simulated iteration.
+type Result struct {
+	// Makespan is the per-iteration time.
+	Makespan time.Duration
+	// Spans are per-op executions ordered by start time.
+	Spans []Span
+	// Transfers are all cross-device tensor movements.
+	Transfers []Transfer
+	// ComputeBusy is per-device total kernel time.
+	ComputeBusy []time.Duration
+	// MemcpyBusy is per-device total transfer time (counted on the
+	// receiving device, where TensorFlow's memcpy shows up).
+	MemcpyBusy []time.Duration
+	// PeakMemory is the per-device peak resident bytes.
+	PeakMemory []int64
+}
+
+// AvgComputeBusy returns the mean per-device compute time over devices that
+// executed at least one op, matching Fig. 5's "computation time".
+func (r *Result) AvgComputeBusy() time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, d := range r.ComputeBusy {
+		if d > 0 {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// TotalMemcpy returns the total transfer time across devices, matching
+// Fig. 5's "memcpy time".
+func (r *Result) TotalMemcpy() time.Duration {
+	var sum time.Duration
+	for _, d := range r.MemcpyBusy {
+		sum += d
+	}
+	return sum
+}
+
+// Engine executes placed graphs on a cluster with ground-truth latencies
+// from the kernel oracle.
+type Engine struct {
+	cluster *device.Cluster
+	oracle  *kernels.Oracle
+}
+
+// NewEngine returns an engine for the cluster.
+func NewEngine(cluster *device.Cluster, oracle *kernels.Oracle) *Engine {
+	return &Engine{cluster: cluster, oracle: oracle}
+}
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *device.Cluster { return e.cluster }
+
+// Run simulates one training iteration of g under the given placement
+// (op ID -> device ID) and configuration.
+func (e *Engine) Run(g *graph.Graph, placement []int, cfg Config) (*Result, error) {
+	if len(placement) != g.NumOps() {
+		return nil, fmt.Errorf("%w: have %d entries for %d ops",
+			ErrBadPlacement, len(placement), g.NumOps())
+	}
+	for id, d := range placement {
+		if d < 0 || d >= e.cluster.NumDevices() {
+			return nil, fmt.Errorf("%w: op %d on device %d", ErrBadPlacement, id, d)
+		}
+	}
+	if cfg.Discipline == 0 {
+		cfg.Discipline = FIFO
+	}
+	if cfg.Discipline == Priority && len(cfg.Priorities) != g.NumOps() {
+		return nil, fmt.Errorf("%w: priority list has %d entries for %d ops",
+			ErrBadPlacement, len(cfg.Priorities), g.NumOps())
+	}
+	if cfg.Memory == (graph.MemoryModel{}) {
+		cfg.Memory = graph.DefaultMemoryModel()
+	}
+	run := newRunState(e, g, placement, cfg)
+	return run.execute()
+}

@@ -1,0 +1,227 @@
+// Package trace renders simulation results for humans and tools: Chrome
+// trace-event JSON (load in chrome://tracing or Perfetto), a plain-text
+// Gantt timeline, and per-device utilization / compute-vs-memcpy breakdowns
+// (the quantities behind Fig. 5 of the paper).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fastt/internal/graph"
+	"fastt/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format.
+type chromeEvent struct {
+	Name     string  `json:"name"`
+	Category string  `json:"cat"`
+	Phase    string  `json:"ph"`
+	TsMicros float64 `json:"ts"`
+	DurMicro float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+}
+
+// WriteChromeTrace writes the result as Chrome trace-event JSON. Compute
+// spans appear one track per device (pid 0); transfers one track per
+// destination device (pid 1).
+func WriteChromeTrace(w io.Writer, g *graph.Graph, res *sim.Result) error {
+	events := make([]chromeEvent, 0, len(res.Spans)+len(res.Transfers))
+	for _, s := range res.Spans {
+		events = append(events, chromeEvent{
+			Name:     g.Op(s.Op).Name,
+			Category: "compute",
+			Phase:    "X",
+			TsMicros: float64(s.Start) / float64(time.Microsecond),
+			DurMicro: float64(s.End-s.Start) / float64(time.Microsecond),
+			PID:      0,
+			TID:      s.Device,
+		})
+	}
+	for _, t := range res.Transfers {
+		events = append(events, chromeEvent{
+			Name:     fmt.Sprintf("%s->%d", g.Op(t.Producer).Name, t.To),
+			Category: "memcpy",
+			Phase:    "X",
+			TsMicros: float64(t.Start) / float64(time.Microsecond),
+			DurMicro: float64(t.End-t.Start) / float64(time.Microsecond),
+			PID:      1,
+			TID:      t.To,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// Utilization summarizes one device's activity over an iteration.
+type Utilization struct {
+	Device       int
+	ComputeBusy  time.Duration
+	MemcpyBusy   time.Duration
+	ComputeFrac  float64
+	PeakMemBytes int64
+	Ops          int
+}
+
+// Utilizations computes per-device utilization for the result.
+func Utilizations(res *sim.Result) []Utilization {
+	n := len(res.ComputeBusy)
+	out := make([]Utilization, n)
+	opCounts := make([]int, n)
+	for _, s := range res.Spans {
+		opCounts[s.Device]++
+	}
+	for d := 0; d < n; d++ {
+		u := Utilization{
+			Device:      d,
+			ComputeBusy: res.ComputeBusy[d],
+			MemcpyBusy:  res.MemcpyBusy[d],
+			Ops:         opCounts[d],
+		}
+		if res.Makespan > 0 {
+			u.ComputeFrac = float64(res.ComputeBusy[d]) / float64(res.Makespan)
+		}
+		if d < len(res.PeakMemory) {
+			u.PeakMemBytes = res.PeakMemory[d]
+		}
+		out[d] = u
+	}
+	return out
+}
+
+// WriteUtilization prints a per-device utilization table.
+func WriteUtilization(w io.Writer, res *sim.Result) error {
+	if _, err := fmt.Fprintf(w, "%-8s %12s %12s %8s %10s %6s\n",
+		"device", "compute", "memcpy", "util", "peak mem", "ops"); err != nil {
+		return err
+	}
+	for _, u := range Utilizations(res) {
+		if _, err := fmt.Fprintf(w, "gpu%-5d %12v %12v %7.1f%% %9.1fMB %6d\n",
+			u.Device, u.ComputeBusy.Round(time.Microsecond),
+			u.MemcpyBusy.Round(time.Microsecond),
+			100*u.ComputeFrac, float64(u.PeakMemBytes)/1e6, u.Ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTimeline renders an ASCII Gantt chart: one row per device, `width`
+// character columns spanning the makespan, '#' for compute and '-' for
+// idle.
+func WriteTimeline(w io.Writer, res *sim.Result, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if res.Makespan == 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	rows := make(map[int][]byte)
+	for d := range res.ComputeBusy {
+		rows[d] = []byte(strings.Repeat("-", width))
+	}
+	scale := float64(width) / float64(res.Makespan)
+	for _, s := range res.Spans {
+		row := rows[s.Device]
+		lo := int(float64(s.Start) * scale)
+		hi := int(float64(s.End) * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		for i := lo; i <= hi; i++ {
+			row[i] = '#'
+		}
+	}
+	devs := make([]int, 0, len(rows))
+	for d := range rows {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	for _, d := range devs {
+		if _, err := fmt.Fprintf(w, "gpu%d |%s|\n", d, rows[d]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "     0%s%v\n", strings.Repeat(" ", width-6), res.Makespan.Round(time.Microsecond))
+	return err
+}
+
+// WriteSpansCSV exports the compute spans as CSV (op, kind, device,
+// start_us, end_us, dur_us) for analysis in external tooling.
+func WriteSpansCSV(w io.Writer, g *graph.Graph, res *sim.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"op", "kind", "device", "start_us", "end_us", "dur_us"}); err != nil {
+		return err
+	}
+	for _, s := range res.Spans {
+		op := g.Op(s.Op)
+		rec := []string{
+			op.Name,
+			op.Kind.String(),
+			strconv.Itoa(s.Device),
+			formatMicros(s.Start),
+			formatMicros(s.End),
+			formatMicros(s.End - s.Start),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTransfersCSV exports the transfers as CSV (producer, consumer, from,
+// to, bytes, enqueued_us, start_us, end_us).
+func WriteTransfersCSV(w io.Writer, g *graph.Graph, res *sim.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"producer", "consumer", "from", "to", "bytes", "enqueued_us", "start_us", "end_us"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range res.Transfers {
+		rec := []string{
+			g.Op(t.Producer).Name,
+			g.Op(t.Consumer).Name,
+			strconv.Itoa(t.From),
+			strconv.Itoa(t.To),
+			strconv.FormatInt(t.Bytes, 10),
+			formatMicros(t.Enqueued),
+			formatMicros(t.Start),
+			formatMicros(t.End),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatMicros(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Microsecond), 'f', 3, 64)
+}
+
+// Breakdown is the Fig. 5 triple for one configuration.
+type Breakdown struct {
+	Computation  time.Duration // average per-device kernel time
+	Memcpy       time.Duration // total transfer time
+	PerIteration time.Duration // makespan
+}
+
+// BreakdownOf extracts the compute/memcpy/iteration breakdown.
+func BreakdownOf(res *sim.Result) Breakdown {
+	return Breakdown{
+		Computation:  res.AvgComputeBusy(),
+		Memcpy:       res.TotalMemcpy(),
+		PerIteration: res.Makespan,
+	}
+}

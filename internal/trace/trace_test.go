@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/sim"
+)
+
+// sampleResult runs a small cross-device graph through the simulator.
+func sampleResult(t *testing.T) (*graph.Graph, *sim.Result) {
+	t.Helper()
+	c, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	e := sim.NewEngine(c, kernels.NewDefaultOracle(c))
+	g := graph.New()
+	a := g.MustAddOp(&graph.Op{Name: "producer", Kind: graph.KindConv2D, FLOPs: 1e9, OutputBytes: 1 << 20})
+	b := g.MustAddOp(&graph.Op{Name: "consumer", Kind: graph.KindRelu, FLOPs: 1e6, OutputBytes: 1 << 10})
+	g.MustConnect(a, b, 1<<20)
+	res, err := e.Run(g, []int{0, 1}, sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return g, res
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	g, res := sampleResult(t)
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, g, res); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 { // 2 spans + 1 transfer
+		t.Errorf("traceEvents = %d, want 3", len(doc.TraceEvents))
+	}
+	cats := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		cats[e["cat"].(string)]++
+	}
+	if cats["compute"] != 2 || cats["memcpy"] != 1 {
+		t.Errorf("categories = %v", cats)
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	_, res := sampleResult(t)
+	us := Utilizations(res)
+	if len(us) != 2 {
+		t.Fatalf("Utilizations = %d entries, want 2", len(us))
+	}
+	if us[0].Ops != 1 || us[1].Ops != 1 {
+		t.Errorf("op counts = %d,%d, want 1,1", us[0].Ops, us[1].Ops)
+	}
+	if us[0].ComputeFrac <= 0 || us[0].ComputeFrac > 1 {
+		t.Errorf("ComputeFrac = %v", us[0].ComputeFrac)
+	}
+	if us[1].MemcpyBusy == 0 {
+		t.Error("receiving device has no memcpy time")
+	}
+}
+
+func TestWriteUtilizationTable(t *testing.T) {
+	_, res := sampleResult(t)
+	var sb strings.Builder
+	if err := WriteUtilization(&sb, res); err != nil {
+		t.Fatalf("WriteUtilization: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"device", "gpu0", "gpu1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("utilization table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	_, res := sampleResult(t)
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, res, 40); err != nil {
+		t.Fatalf("WriteTimeline: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "gpu0 |") || !strings.Contains(out, "gpu1 |") {
+		t.Errorf("timeline missing device rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("timeline has no busy cells:\n%s", out)
+	}
+}
+
+func TestWriteTimelineEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTimeline(&sb, &sim.Result{}, 40); err != nil {
+		t.Fatalf("WriteTimeline: %v", err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty timeline output = %q", sb.String())
+	}
+}
+
+func TestBreakdownOf(t *testing.T) {
+	_, res := sampleResult(t)
+	b := BreakdownOf(res)
+	if b.PerIteration != res.Makespan {
+		t.Errorf("PerIteration = %v, want %v", b.PerIteration, res.Makespan)
+	}
+	if b.Computation <= 0 || b.Memcpy <= 0 {
+		t.Errorf("Breakdown = %+v", b)
+	}
+	if b.PerIteration < b.Computation {
+		t.Error("iteration time below average compute time")
+	}
+	_ = time.Second
+}
+
+func TestWriteSpansCSV(t *testing.T) {
+	g, res := sampleResult(t)
+	var sb strings.Builder
+	if err := WriteSpansCSV(&sb, g, res); err != nil {
+		t.Fatalf("WriteSpansCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 { // header + 2 spans
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "op,kind,device") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(sb.String(), "producer,Conv2D,0") {
+		t.Errorf("span row missing:\n%s", sb.String())
+	}
+}
+
+func TestWriteTransfersCSV(t *testing.T) {
+	g, res := sampleResult(t)
+	var sb strings.Builder
+	if err := WriteTransfersCSV(&sb, g, res); err != nil {
+		t.Fatalf("WriteTransfersCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 { // header + 1 transfer
+		t.Fatalf("CSV lines = %d, want 2:\n%s", len(lines), sb.String())
+	}
+	if !strings.Contains(lines[1], "producer,consumer,0,1,1048576") {
+		t.Errorf("transfer row unexpected: %s", lines[1])
+	}
+}

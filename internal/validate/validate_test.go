@@ -1,0 +1,146 @@
+package validate
+
+import (
+	"errors"
+	"testing"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+)
+
+// realStrategy computes a genuine FastT strategy for a small model.
+func realStrategy(t *testing.T) (*core.Strategy, *device.Cluster) {
+	t.Helper()
+	c, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	m, err := models.LeNet(64)
+	if err != nil {
+		t.Fatalf("LeNet: %v", err)
+	}
+	g, err := graph.BuildDataParallel(m, 2)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	st, err := core.ComputeStrategy(g, c, kernels.NewDefaultOracle(c), core.Options{})
+	if err != nil {
+		t.Fatalf("ComputeStrategy: %v", err)
+	}
+	return st, c
+}
+
+func TestStrategyAcceptsRealOutput(t *testing.T) {
+	st, c := realStrategy(t)
+	if err := Strategy(st, c, Options{}); err != nil {
+		t.Errorf("real strategy rejected: %v", err)
+	}
+}
+
+func TestPlacementViolations(t *testing.T) {
+	st, c := realStrategy(t)
+	g := st.Graph
+
+	short := st.Placement[:len(st.Placement)-1]
+	if err := Placement(g, short, c, Options{}); !errors.Is(err, ErrPlacementShape) {
+		t.Errorf("short placement: %v", err)
+	}
+
+	bad := append([]int(nil), st.Placement...)
+	bad[0] = 99
+	if err := Placement(g, bad, c, Options{}); !errors.Is(err, ErrDeviceRange) {
+		t.Errorf("out-of-range device: %v", err)
+	}
+
+	// Break a colocation constraint.
+	broken := append([]int(nil), st.Placement...)
+	for _, op := range g.Ops() {
+		if op.ColocateWith == "" {
+			continue
+		}
+		target, ok := g.OpByName(op.ColocateWith)
+		if !ok {
+			continue
+		}
+		broken[op.ID] = 1 - broken[target.ID]
+		break
+	}
+	if err := Placement(g, broken, c, Options{}); !errors.Is(err, ErrColocation) {
+		t.Errorf("broken colocation: %v", err)
+	}
+}
+
+func TestPlacementMemoryViolation(t *testing.T) {
+	g := graph.New()
+	g.MustAddOp(&graph.Op{Name: "w", Kind: graph.KindMatMul, ParamBytes: 8 * device.GiB})
+	c, err := device.SingleServer(1, device.WithMemory(4*device.GiB))
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	if err := Placement(g, []int{0}, c, Options{}); !errors.Is(err, ErrMemory) {
+		t.Errorf("memory violation: %v", err)
+	}
+	if err := Placement(g, []int{0}, c, Options{SkipMemory: true}); err != nil {
+		t.Errorf("SkipMemory still checks: %v", err)
+	}
+}
+
+func TestOrderViolations(t *testing.T) {
+	st, _ := realStrategy(t)
+	g := st.Graph
+
+	dup := append([]int(nil), st.Order...)
+	dup[1] = dup[0]
+	if err := Order(g, dup); !errors.Is(err, ErrOrderShape) {
+		t.Errorf("duplicate order entry: %v", err)
+	}
+
+	// Swap a producer behind one of its consumers.
+	rev := append([]int(nil), st.Order...)
+	pos := make([]int, g.NumOps())
+	for i, id := range rev {
+		pos[id] = i
+	}
+	e := g.Edges()[0]
+	rev[pos[e.From]], rev[pos[e.To]] = rev[pos[e.To]], rev[pos[e.From]]
+	if err := Order(g, rev); !errors.Is(err, ErrOrderPrecedence) {
+		t.Errorf("precedence violation: %v", err)
+	}
+}
+
+func TestSplitsViolations(t *testing.T) {
+	st, _ := realStrategy(t)
+	g := st.Graph
+
+	// A split claiming an op that still exists.
+	var existing string
+	for _, op := range g.Ops() {
+		if op.SplitOf == "" {
+			existing = op.Name
+			break
+		}
+	}
+	err := Splits(g, []graph.SplitDecision{{OpName: existing, Dim: graph.DimBatch, N: 2}})
+	if !errors.Is(err, ErrSplitList) {
+		t.Errorf("phantom split: %v", err)
+	}
+
+	// A split with the wrong partition count.
+	if len(st.Splits) > 0 {
+		wrong := st.Splits[0]
+		wrong.N++
+		if err := Splits(g, []graph.SplitDecision{wrong}); !errors.Is(err, ErrSplitList) {
+			t.Errorf("wrong split count: %v", err)
+		}
+	}
+}
+
+func TestStrategyNil(t *testing.T) {
+	_, c := realStrategy(t)
+	if err := Strategy(nil, c, Options{}); !errors.Is(err, ErrPlacementShape) {
+		t.Errorf("nil strategy: %v", err)
+	}
+}
