@@ -417,6 +417,48 @@ func BenchmarkDPOSThroughput(b *testing.B) {
 	b.ReportMetric(float64(g.NumOps()), "ops-per-graph")
 }
 
+// BenchmarkOSDPOSParallel measures the concurrent OS-DPOS candidate search
+// on the split-heavy models at 8 GPUs across worker counts. workers=1 is
+// the sequential baseline; the ratio to it is the parallel speedup the
+// Table 4 extension reports.
+func BenchmarkOSDPOSParallel(b *testing.B) {
+	cluster, err := device.SingleServer(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	for _, name := range []string{"VGG-19", "Transformer"} {
+		spec, err := models.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := spec.Build(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := graph.BuildDataParallel(m, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, w), func(b *testing.B) {
+				evaluated := 0
+				for i := 0; i < b.N; i++ {
+					res, err := core.OSDPOS(g, cluster, oracle, core.Options{MaxSplitOps: 8, Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Schedule.Makespan <= 0 {
+						b.Fatal("bad schedule")
+					}
+					evaluated = res.Evaluated
+				}
+				b.ReportMetric(float64(evaluated), "candidates")
+			})
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the discrete-event engine on the
 // same workload, reporting simulated ops per wall second.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	fastt -model VGG-19 -gpus 4 [-servers 1] [-batch 64] [-weak]
-//	      [-trace out.json] [-dot out.dot] [-timeline]
+//	      [-workers N] [-trace out.json] [-dot out.dot] [-timeline]
 package main
 
 import (
@@ -54,6 +54,7 @@ func run() error {
 		timeline = flag.Bool("timeline", false, "print an ASCII timeline")
 		graphIn  = flag.String("graph", "", "schedule a JSON graph (see graph.WriteJSON) instead of a catalog model")
 		export   = flag.String("export", "", "write the selected model's training graph as JSON and exit")
+		workers  = flag.Int("workers", 0, "strategy-calculator worker goroutines (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func run() error {
 		return nil
 	}
 	if *graphIn != "" {
-		return runCustomGraph(*graphIn, *gpus, *servers, *iters, *seed, *timeline)
+		return runCustomGraph(*graphIn, *gpus, *servers, *iters, *workers, *seed, *timeline)
 	}
 	spec, err := models.ByName(*model)
 	if err != nil {
@@ -136,6 +137,7 @@ func run() error {
 	s, err := session.New(cluster, train, session.Config{Seed: *seed, Sched: core.Options{
 		MaxSplitOps:   8,
 		MaxSyncGroups: 8,
+		Workers:       *workers,
 	}})
 	if err != nil {
 		return err
@@ -236,7 +238,7 @@ func measureDP(engine *sim.Engine, cluster *device.Cluster, g *graph.Graph, iter
 // runCustomGraph schedules a user-provided JSON graph with DPOS/OS-DPOS and
 // simulates the result — the library path for graphs that are not in the
 // model catalog.
-func runCustomGraph(path string, gpus, servers, iters int, seed int64, timeline bool) error {
+func runCustomGraph(path string, gpus, servers, iters, workers int, seed int64, timeline bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -254,7 +256,7 @@ func runCustomGraph(path string, gpus, servers, iters int, seed int64, timeline 
 		return err
 	}
 	oracle := kernels.NewDefaultOracle(cluster)
-	st, err := core.ComputeStrategy(g, cluster, oracle, core.Options{MaxSplitOps: 8, MaxSyncGroups: 8})
+	st, err := core.ComputeStrategy(g, cluster, oracle, core.Options{MaxSplitOps: 8, MaxSyncGroups: 8, Workers: workers})
 	if err != nil {
 		return fmt.Errorf("compute strategy: %w", err)
 	}

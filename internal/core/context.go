@@ -1,0 +1,260 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// scheduleContext caches the graph-derived structures every scheduling pass
+// would otherwise re-derive per call: the topological order and the per-op
+// incoming/outgoing edge indexes. All fields are immutable after
+// construction, so one context may serve any number of concurrent readers.
+// Validity is keyed on (graph pointer, version): a structural mutation of
+// the graph bumps its version counter and makes the context stale.
+type scheduleContext struct {
+	g       *graph.Graph
+	version uint64
+	topo    []int
+	outIdx  [][]int // op ID -> indices into g.Edges() (outgoing)
+	inIdx   [][]int // op ID -> indices into g.Edges() (incoming)
+}
+
+// newScheduleContext derives a fresh context; it fails only on cyclic
+// graphs.
+func newScheduleContext(g *graph.Graph) (*scheduleContext, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	c := &scheduleContext{
+		g:       g,
+		version: g.Version(),
+		topo:    topo,
+		outIdx:  make([][]int, g.NumOps()),
+		inIdx:   make([][]int, g.NumOps()),
+	}
+	for i, e := range g.Edges() {
+		c.outIdx[e.From] = append(c.outIdx[e.From], i)
+		c.inIdx[e.To] = append(c.inIdx[e.To], i)
+	}
+	return c, nil
+}
+
+// stale reports whether the graph was structurally mutated (AddOp, Connect)
+// after the context was built.
+func (c *scheduleContext) stale() bool { return c.version != c.g.Version() }
+
+// ctxCacheSize bounds the global context cache. Each cached entry keeps its
+// graph reachable, so the cache is a small fixed ring rather than an
+// unbounded map: repeated calculator invocations over the handful of live
+// graphs (the session's model graph, the gsc/OS-DPOS working graph) hit,
+// and throwaway candidate graphs cycle out.
+const ctxCacheSize = 8
+
+var ctxCache struct {
+	sync.Mutex
+	entries [ctxCacheSize]*scheduleContext
+	next    int
+}
+
+// contextFor returns a scheduleContext for g, reusing a cached one when g
+// was seen before and has not been mutated since. A stale entry for the
+// same graph is replaced in place.
+func contextFor(g *graph.Graph) (*scheduleContext, error) {
+	ctxCache.Lock()
+	for _, c := range ctxCache.entries {
+		if c != nil && c.g == g && !c.stale() {
+			ctxCache.Unlock()
+			return c, nil
+		}
+	}
+	ctxCache.Unlock()
+
+	c, err := newScheduleContext(g)
+	if err != nil {
+		return nil, err
+	}
+
+	ctxCache.Lock()
+	slot := -1
+	for i, old := range ctxCache.entries {
+		if old != nil && old.g == g {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = ctxCache.next
+		ctxCache.next = (ctxCache.next + 1) % ctxCacheSize
+	}
+	ctxCache.entries[slot] = c
+	ctxCache.Unlock()
+	return c, nil
+}
+
+// maxCommCache memoizes the maximal transfer time of a tensor over all
+// ordered device pairs (the c_{i,j} of the rank computation) per distinct
+// tensor size. One cache spans a whole strategy calculation — candidate
+// graphs produced by SplitOperation share most tensor sizes with their
+// parent — and it is safe for the calculator's concurrent workers.
+type maxCommCache struct {
+	mu    sync.RWMutex
+	devs  []*device.Device
+	est   cost.Estimator
+	cache map[int64]time.Duration
+}
+
+func newMaxCommCache(cluster *device.Cluster, est cost.Estimator) *maxCommCache {
+	return &maxCommCache{
+		devs:  cluster.Devices(),
+		est:   est,
+		cache: make(map[int64]time.Duration),
+	}
+}
+
+func (c *maxCommCache) get(bytes int64) time.Duration {
+	c.mu.RLock()
+	v, ok := c.cache[bytes]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	var maxT time.Duration
+	for _, a := range c.devs {
+		for _, b := range c.devs {
+			if a.ID == b.ID {
+				continue
+			}
+			if t := c.est.Comm(bytes, a, b); t > maxT {
+				maxT = t
+			}
+		}
+	}
+	c.mu.Lock()
+	c.cache[bytes] = maxT
+	c.mu.Unlock()
+	return maxT
+}
+
+// Scratch recycling. OS-DPOS runs one full DPOS per candidate split, and a
+// session recomputes strategies every profiling round; without reuse each
+// run re-allocates O(ops + edges + devices) working state. sync.Pool keeps
+// the recycling safe for the concurrent candidate workers.
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+		return s
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func resizeDurations(s []time.Duration, n int) []time.Duration {
+	if cap(s) < n {
+		return make([]time.Duration, n)
+	}
+	return s[:n]
+}
+
+var ranksPool = sync.Pool{New: func() any { return &Ranks{} }}
+
+// ranksFromPool returns a Ranks sized for nOps/nEdges; every element is
+// overwritten by computeRanksCtx, so no zeroing is needed.
+func ranksFromPool(nOps, nEdges int) *Ranks {
+	r := ranksPool.Get().(*Ranks)
+	r.W = resizeDurations(r.W, nOps)
+	r.CMax = resizeDurations(r.CMax, nEdges)
+	r.Rank = resizeDurations(r.Rank, nOps)
+	return r
+}
+
+// releaseRanks recycles a Ranks the caller no longer references. Never
+// release ranks returned to package clients (ComputeRanks).
+func releaseRanks(r *Ranks) {
+	if r != nil {
+		ranksPool.Put(r)
+	}
+}
+
+var schedulePool = sync.Pool{New: func() any { return &Schedule{} }}
+
+// scheduleFromPool returns a Schedule with all per-op slices sized to n.
+// Start/Finish/Placement/Order/Priorities are fully written by dposCtx.
+func scheduleFromPool(n int) *Schedule {
+	s := schedulePool.Get().(*Schedule)
+	s.Placement = resizeInts(s.Placement, n)
+	s.Order = resizeInts(s.Order, n)
+	s.Priorities = resizeInts(s.Priorities, n)
+	s.Start = resizeDurations(s.Start, n)
+	s.Finish = resizeDurations(s.Finish, n)
+	s.Makespan = 0
+	s.CriticalPath = nil
+	return s
+}
+
+// releaseSchedule recycles a schedule that lost a candidate comparison or
+// was superseded. Never release a schedule that escapes to a caller.
+func releaseSchedule(s *Schedule) {
+	if s != nil {
+		schedulePool.Put(s)
+	}
+}
+
+// dposScratch is the per-run working state of one DPOS list-scheduling
+// pass.
+type dposScratch struct {
+	onCP      []bool
+	placed    []bool
+	queue     []int
+	states    []deviceState
+	chanAvail map[[2]int]time.Duration
+	copyDone  map[[2]int]time.Duration
+	// probeChan/probeCopy are the non-committing overlays used while
+	// probing a device for EFT; cleared per probe.
+	probeChan map[[2]int]time.Duration
+	probeCopy map[[2]int]time.Duration
+}
+
+var scratchPool = sync.Pool{New: func() any { return &dposScratch{} }}
+
+func (s *dposScratch) reset(nOps, nDevs int) {
+	s.onCP = resizeBools(s.onCP, nOps)
+	s.placed = resizeBools(s.placed, nOps)
+	s.queue = resizeInts(s.queue, nOps)
+	if cap(s.states) >= nDevs {
+		s.states = s.states[:nDevs]
+	} else {
+		s.states = make([]deviceState, nDevs)
+	}
+	for i := range s.states {
+		s.states[i].intervals = s.states[i].intervals[:0]
+		s.states[i].memFree = 0
+		s.states[i].lastEnd = 0
+	}
+	if s.chanAvail == nil {
+		s.chanAvail = make(map[[2]int]time.Duration)
+		s.copyDone = make(map[[2]int]time.Duration)
+		s.probeChan = make(map[[2]int]time.Duration)
+		s.probeCopy = make(map[[2]int]time.Duration)
+	} else {
+		clear(s.chanAvail)
+		clear(s.copyDone)
+		clear(s.probeChan)
+		clear(s.probeCopy)
+	}
+}

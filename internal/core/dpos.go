@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -33,6 +34,12 @@ type Options struct {
 	// MaxSyncGroups bounds how many gradient-sync groups the colocation
 	// pass examines; 0 means unlimited.
 	MaxSyncGroups int
+	// Workers bounds the goroutines evaluating OS-DPOS split candidates
+	// concurrently. 0 (the default) uses runtime.GOMAXPROCS(0); 1 forces
+	// the sequential path. Any value yields byte-identical strategies:
+	// candidates are reduced in deterministic (makespan, dim, n) order
+	// regardless of evaluation order.
+	Workers int
 	// DisableInsertion turns off idle-slot insertion (ablation): operations
 	// are appended after the device's last scheduled interval instead of
 	// filling earlier gaps.
@@ -48,6 +55,13 @@ func (o Options) memory() graph.MemoryModel {
 		return graph.DefaultMemoryModel()
 	}
 	return o.Memory
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Schedule is the output of DPOS: device placement, execution order, and
@@ -80,6 +94,7 @@ type interval struct {
 type deviceState struct {
 	intervals []interval // sorted by start
 	memFree   int64
+	lastEnd   time.Duration // max interval end, the append-only frontier
 }
 
 // insertionSlot finds the earliest start >= ready on the device that fits
@@ -89,16 +104,8 @@ type deviceState struct {
 func (d *deviceState) insertionSlot(ready, dur time.Duration, appendOnly bool) time.Duration {
 	cand := ready
 	if appendOnly {
-		if n := len(d.intervals); n > 0 {
-			var last time.Duration
-			for _, iv := range d.intervals {
-				if iv.end > last {
-					last = iv.end
-				}
-			}
-			if last > cand {
-				cand = last
-			}
+		if d.lastEnd > cand {
+			cand = d.lastEnd
 		}
 		return cand
 	}
@@ -121,41 +128,69 @@ func (d *deviceState) commit(iv interval) {
 	d.intervals = append(d.intervals, interval{})
 	copy(d.intervals[i+1:], d.intervals[i:])
 	d.intervals[i] = iv
+	if iv.end > d.lastEnd {
+		d.lastEnd = iv.end
+	}
 }
 
 // DPOS implements Alg. 1 (Device Placement and Operation Sequencing):
 // list scheduling with critical-path-aware device selection and
 // insertion-based earliest-finish-time placement for off-path operations.
 func DPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Schedule, error) {
-	ranks, err := ComputeRanks(g, cluster, est)
+	ctx, err := contextFor(g)
 	if err != nil {
 		return nil, fmt.Errorf("compute ranks: %w", err)
 	}
-	return dposWithRanks(g, cluster, est, opts, ranks)
+	ranks := computeRanksCtx(ctx, cluster, est, newMaxCommCache(cluster, est))
+	defer releaseRanks(ranks)
+	return dposCtx(ctx, cluster, est, opts, ranks)
 }
 
-func dposWithRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
+// dposFresh schedules a throwaway graph (an OS-DPOS split candidate): the
+// context is derived locally and never enters the global cache, while the
+// maximal-transfer-time memo is shared with the rest of the calculation.
+func dposFresh(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
+	opts Options, mc *maxCommCache) (*Schedule, error) {
+	ctx, err := newScheduleContext(g)
+	if err != nil {
+		return nil, err
+	}
+	ranks := computeRanksCtx(ctx, cluster, est, mc)
+	defer releaseRanks(ranks)
+	return dposCtx(ctx, cluster, est, opts, ranks)
+}
+
+// dposCtx is the core list scheduler. All per-run working state comes from
+// the scratch pool; the returned Schedule comes from the schedule pool and
+// belongs to the caller.
+func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	opts Options, ranks *Ranks) (*Schedule, error) {
+	g := ctx.g
 	n := g.NumOps()
 	mm := opts.memory()
 	devs := cluster.Devices()
+	edges := g.Edges()
 
-	cp := CriticalPath(g, ranks)
-	onCP := make([]bool, n)
+	scratch := scratchPool.Get().(*dposScratch)
+	scratch.reset(n, len(devs))
+	defer scratchPool.Put(scratch)
+
+	cp := criticalPathCtx(ctx, ranks)
+	onCP := scratch.onCP
 	if !opts.DisableCPDevice {
 		for _, id := range cp {
 			onCP[id] = true
 		}
 	}
 
-	states := make([]*deviceState, len(devs))
+	states := scratch.states
 	for i, d := range devs {
-		states[i] = &deviceState{memFree: d.MemoryBytes}
+		states[i].memFree = d.MemoryBytes
 	}
 
 	// Priority queue: ops in decreasing rank_u order (ancestors first,
 	// since rank strictly decreases along edges).
-	queue := make([]int, n)
+	queue := scratch.queue
 	for i := range queue {
 		queue[i] = i
 	}
@@ -167,13 +202,8 @@ func dposWithRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		return queue[a] < queue[b]
 	})
 
-	sched := &Schedule{
-		Placement:    make([]int, n),
-		Priorities:   make([]int, n),
-		Start:        make([]time.Duration, n),
-		Finish:       make([]time.Duration, n),
-		CriticalPath: cp,
-	}
+	sched := scheduleFromPool(n)
+	sched.CriticalPath = cp
 	for i := range sched.Placement {
 		sched.Placement[i] = -1
 	}
@@ -211,7 +241,7 @@ func dposWithRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		return bestDev
 	}
 
-	placed := make([]bool, n)
+	placed := scratch.placed
 
 	// Channel booking: the schedule estimate accounts for transfer
 	// serialization on each ordered device pair (one copy engine per pair,
@@ -220,19 +250,21 @@ func dposWithRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 	// is sent once. Without this, the estimate hides exactly the
 	// congestion that gradient-sync colocation removes, and the strategy
 	// calculator cannot see colocation's benefit.
-	chanAvail := make(map[[2]int]time.Duration)
-	copyDone := make(map[[2]int]time.Duration) // (producer, dest dev) -> arrival
+	chanAvail := scratch.chanAvail
+	copyDone := scratch.copyDone
 
 	// arrivals returns when op's inputs are all present on dev; when
 	// commit is true the implied transfers are booked on their channels.
 	arrivals := func(op *graph.Op, dev int, commit bool) time.Duration {
 		var t time.Duration
-		// Local overlays so probing does not mutate the books.
+		// Probe overlays so probing does not mutate the books.
 		var localChan map[[2]int]time.Duration
 		var localCopy map[[2]int]time.Duration
 		if !commit {
-			localChan = make(map[[2]int]time.Duration, 2)
-			localCopy = make(map[[2]int]time.Duration, 2)
+			localChan = scratch.probeChan
+			localCopy = scratch.probeCopy
+			clear(localChan)
+			clear(localCopy)
 		}
 		getChan := func(k [2]int) time.Duration {
 			if !commit {
@@ -242,7 +274,8 @@ func dposWithRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 			}
 			return chanAvail[k]
 		}
-		for _, e := range g.InEdges(op.ID) {
+		for _, ei := range ctx.inIdx[op.ID] {
+			e := edges[ei]
 			if !placed[e.From] {
 				continue // unplaced preds cannot happen in rank order, but be safe
 			}
@@ -356,13 +389,14 @@ func dposWithRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 
 		dev, err := bestEFT(op)
 		if err != nil {
+			releaseSchedule(sched)
 			return nil, err
 		}
 		place(op, dev)
 	}
 
 	// Execution list A: ops by ascending ST (Alg. 1 line 23).
-	order := make([]int, n)
+	order := sched.Order
 	for i := range order {
 		order[i] = i
 	}
@@ -377,12 +411,11 @@ func dposWithRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		}
 		return order[a] < order[b]
 	})
-	sched.Order = order
 	for i, id := range order {
 		sched.Priorities[id] = i
 	}
-	for _, id := range g.ExitOps() {
-		if sched.Finish[id] > sched.Makespan {
+	for id := 0; id < n; id++ {
+		if len(ctx.outIdx[id]) == 0 && sched.Finish[id] > sched.Makespan {
 			sched.Makespan = sched.Finish[id]
 		}
 	}

@@ -119,9 +119,24 @@ func GradientSyncGroups(g *graph.Graph) []SyncGroup {
 //
 // It returns the accepted pins (possibly empty) and the schedule under
 // them.
+// Unlike the OS-DPOS candidate search, the per-group probes cannot fan out:
+// each trial pins the group at sched.Placement[grp.Variable] of the
+// previously accepted schedule, and the pass ends at the first
+// non-improving probe — so the first probe of any speculative batch always
+// decides before the rest could matter. Instead the pass reuses one
+// scheduling context and one rank computation across the initial DPOS and
+// every probe (pins alter placement, never ranks, which depend only on the
+// graph and the estimator).
 func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 	opts Options) (map[string]int, *Schedule, error) {
-	sched, err := DPOS(g, cluster, est, opts)
+	est = cost.ReadSnapshot(est)
+	ctx, err := contextFor(g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("colocate sync: %w", err)
+	}
+	ranks := computeRanksCtx(ctx, cluster, est, newMaxCommCache(cluster, est))
+	defer releaseRanks(ranks)
+	sched, err := dposCtx(ctx, cluster, est, opts, ranks)
 	if err != nil {
 		return nil, nil, fmt.Errorf("colocate sync: %w", err)
 	}
@@ -155,15 +170,17 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		}
 		trialOpts := opts
 		trialOpts.Pinned = mergePins(opts.Pinned, trial)
-		cand, err := DPOS(g, cluster, est, trialOpts)
+		cand, err := dposCtx(ctx, cluster, est, trialOpts, ranks)
 		if err != nil {
 			continue // infeasible under pins; try the next group
 		}
 		if cand.Makespan < best {
 			best = cand.Makespan
 			pins = trial
+			releaseSchedule(sched)
 			sched = cand
 		} else {
+			releaseSchedule(cand)
 			break // first non-improving group ends the pass
 		}
 	}

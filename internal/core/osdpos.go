@@ -24,14 +24,42 @@ type SplitResult struct {
 	Evaluated int
 }
 
+// splitCand is one (dimension, split count) candidate for a CP op.
+type splitCand struct {
+	dim graph.SplitDim
+	n   int
+}
+
+// candResult is the outcome of one candidate evaluation; s == nil marks a
+// candidate that could not be built or scheduled.
+type candResult struct {
+	g *graph.Graph
+	s *Schedule
+}
+
 // OSDPOS implements Alg. 2 (Operation Splitting DPOS): run DPOS, compute
 // the placement-aware critical path, then walk its operations in descending
 // computation time, trying every parallelizable dimension and split count;
 // a split is kept only if it strictly reduces the finish time of the exit
 // operation, and the walk stops at the first operation whose best split
 // does not improve it.
+//
+// The candidate (dimension, split count) evaluations for one operation are
+// independent — each clones the graph and runs a full DPOS — so they fan
+// out across opts.Workers goroutines. The winner is reduced from the
+// position-indexed results in enumeration order with a strictly-less
+// comparison, which reproduces the sequential first-minimum choice exactly:
+// any worker count returns byte-identical strategies.
 func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*SplitResult, error) {
-	sched, err := DPOS(g, cluster, est, opts)
+	est = cost.ReadSnapshot(est)
+	ctx, err := contextFor(g)
+	if err != nil {
+		return nil, fmt.Errorf("initial DPOS: %w", err)
+	}
+	mc := newMaxCommCache(cluster, est)
+	ranks := computeRanksCtx(ctx, cluster, est, mc)
+	sched, err := dposCtx(ctx, cluster, est, opts, ranks)
+	releaseRanks(ranks)
 	if err != nil {
 		return nil, fmt.Errorf("initial DPOS: %w", err)
 	}
@@ -40,16 +68,14 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 
 	// Critical path based on S_new and G (Alg. 2 line 4): ranks evaluated
 	// at the placed devices rather than worst-case maxima.
-	cp, execOnPlaced, err := placedCriticalPath(g, cluster, est, sched)
-	if err != nil {
-		return nil, fmt.Errorf("placed critical path: %w", err)
-	}
+	cp, execOnPlaced := placedCriticalPath(ctx, cluster, est, sched)
 	// Sort CP by descending computation time (line 5).
 	sort.SliceStable(cp, func(a, b int) bool {
 		return execOnPlaced[cp[a]] > execOnPlaced[cp[b]]
 	})
 
 	numDev := cluster.NumDevices()
+	workers := opts.workers()
 	attempted := 0
 	for _, cpID := range cp {
 		opName := g.Op(cpID).Name // names survive rewrites; IDs do not
@@ -66,6 +92,29 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 		}
 		attempted++
 
+		// Enumerate candidates in the canonical (dim order, ascending n)
+		// order the reduce below depends on.
+		cands := make([]splitCand, 0, len(dims)*(numDev-1))
+		for _, dim := range dims {
+			for n := 2; n <= numDev; n++ {
+				cands = append(cands, splitCand{dim: dim, n: n})
+			}
+		}
+		results := make([]candResult, len(cands))
+		base, curID := res.Graph, cur.ID
+		runParallel(len(cands), workers, func(i int) {
+			c := cands[i]
+			candidate, err := graph.SplitOperation(base, curID, c.dim, c.n)
+			if err != nil {
+				return // extent too small for this n, etc.
+			}
+			s, err := dposFresh(candidate, cluster, est, opts, mc)
+			if err != nil {
+				return // infeasible under memory constraints
+			}
+			results[i] = candResult{g: candidate, s: s}
+		})
+
 		var (
 			bestFT    time.Duration
 			bestGraph *graph.Graph
@@ -73,24 +122,21 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 			bestDec   graph.SplitDecision
 			found     bool
 		)
-		for _, dim := range dims {
-			for n := 2; n <= numDev; n++ {
-				candidate, err := graph.SplitOperation(res.Graph, cur.ID, dim, n)
-				if err != nil {
-					continue // extent too small for this n, etc.
-				}
-				s, err := DPOS(candidate, cluster, est, opts)
-				if err != nil {
-					continue // infeasible under memory constraints
-				}
-				res.Evaluated++
-				if !found || s.Makespan < bestFT {
-					found = true
-					bestFT = s.Makespan
-					bestGraph = candidate
-					bestSched = s
-					bestDec = graph.SplitDecision{OpName: opName, Dim: dim, N: n}
-				}
+		for i := range results {
+			r := results[i]
+			if r.s == nil {
+				continue
+			}
+			res.Evaluated++
+			if !found || r.s.Makespan < bestFT {
+				releaseSchedule(bestSched)
+				found = true
+				bestFT = r.s.Makespan
+				bestGraph = r.g
+				bestSched = r.s
+				bestDec = graph.SplitDecision{OpName: opName, Dim: cands[i].dim, N: cands[i].n}
+			} else {
+				releaseSchedule(r.s)
 			}
 		}
 		if !found {
@@ -98,12 +144,14 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 		}
 		if bestFT < ftOld {
 			ftOld = bestFT
+			releaseSchedule(res.Schedule)
 			res.Graph = bestGraph
 			res.Schedule = bestSched
 			res.Splits = append(res.Splits, bestDec)
 		} else {
 			// First non-improving operation ends the exploration
 			// (Alg. 2 lines 11-13).
+			releaseSchedule(bestSched)
 			break
 		}
 	}
@@ -114,24 +162,20 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 // placement: w_i is the execution time on the op's assigned device, and
 // edge costs are the transfer times between the assigned devices. It
 // returns the path and the per-op placed execution times.
-func placedCriticalPath(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
-	sched *Schedule) ([]int, []time.Duration, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, nil, err
-	}
+func placedCriticalPath(ctx *scheduleContext, cluster *device.Cluster,
+	est cost.Estimator, sched *Schedule) ([]int, []time.Duration) {
+	g := ctx.g
 	n := g.NumOps()
 	exec := make([]time.Duration, n)
 	for _, op := range g.Ops() {
 		exec[op.ID] = est.Exec(op, cluster.Device(sched.Placement[op.ID]))
 	}
 	rank := make([]time.Duration, n)
-	idx := edgeIndex(g)
 	edges := g.Edges()
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
+	for i := len(ctx.topo) - 1; i >= 0; i-- {
+		id := ctx.topo[i]
 		var best time.Duration
-		for _, ei := range idx[id] {
+		for _, ei := range ctx.outIdx[id] {
 			e := edges[ei]
 			comm := est.Comm(e.Bytes,
 				cluster.Device(sched.Placement[e.From]),
@@ -143,5 +187,5 @@ func placedCriticalPath(g *graph.Graph, cluster *device.Cluster, est cost.Estima
 		rank[id] = exec[id] + best
 	}
 	r := &Ranks{W: exec, Rank: rank}
-	return CriticalPath(g, r), exec, nil
+	return criticalPathCtx(ctx, r), exec
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel invokes fn(0..n-1) across at most `workers` goroutines and
+// returns when all calls have finished. Indices are handed out by an atomic
+// counter, so call order is unspecified — callers that need deterministic
+// results write into an index-addressed slice and reduce in order
+// afterwards. workers <= 1 (or n <= 1) degenerates to a plain sequential
+// loop on the calling goroutine.
+func runParallel(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

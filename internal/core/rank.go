@@ -27,18 +27,23 @@ type Ranks struct {
 }
 
 // ComputeRanks computes w_i, c_{i,j} and rank_u for every op of g using the
-// estimator, per Sec. 5.1.
+// estimator, per Sec. 5.1. The returned Ranks is owned by the caller.
 func ComputeRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator) (*Ranks, error) {
-	order, err := g.TopoOrder()
+	ctx, err := contextFor(g)
 	if err != nil {
 		return nil, err
 	}
-	n := g.NumOps()
-	r := &Ranks{
-		W:    make([]time.Duration, n),
-		CMax: make([]time.Duration, len(g.Edges())),
-		Rank: make([]time.Duration, n),
-	}
+	return computeRanksCtx(ctx, cluster, est, newMaxCommCache(cluster, est)), nil
+}
+
+// computeRanksCtx is the context-based core of ComputeRanks: topological
+// order and edge indexes come from ctx, the per-size maximal transfer times
+// from mc (shared across the candidate evaluations of one calculation). The
+// result comes from the ranks pool; internal callers release it when done.
+func computeRanksCtx(ctx *scheduleContext, cluster *device.Cluster,
+	est cost.Estimator, mc *maxCommCache) *Ranks {
+	g := ctx.g
+	r := ranksFromPool(g.NumOps(), g.NumEdges())
 	devs := cluster.Devices()
 	for _, op := range g.Ops() {
 		var w time.Duration
@@ -49,20 +54,15 @@ func ComputeRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator) (
 		}
 		r.W[op.ID] = w
 	}
-	// Max comm per distinct tensor size, cached: est.Comm is monotone in
-	// bytes for fixed pair but pair fits differ, so take the max over
-	// ordered pairs once per distinct size.
-	maxComm := makeMaxComm(cluster, est)
-	for i, e := range g.Edges() {
-		r.CMax[i] = maxComm(e.Bytes)
+	edges := g.Edges()
+	for i := range edges {
+		r.CMax[i] = mc.get(edges[i].Bytes)
 	}
 	// Reverse topological accumulation.
-	edges := g.Edges()
-	idx := edgeIndex(g)
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
+	for i := len(ctx.topo) - 1; i >= 0; i-- {
+		id := ctx.topo[i]
 		best := time.Duration(0)
-		for _, ei := range idx[id] {
+		for _, ei := range ctx.outIdx[id] {
 			e := edges[ei]
 			if v := r.CMax[ei] + r.Rank[e.To]; v > best {
 				best = v
@@ -70,32 +70,7 @@ func ComputeRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator) (
 		}
 		r.Rank[id] = r.W[id] + best
 	}
-	return r, nil
-}
-
-// makeMaxComm returns a memoized function computing the maximal transfer
-// time of a tensor over all ordered device pairs.
-func makeMaxComm(cluster *device.Cluster, est cost.Estimator) func(int64) time.Duration {
-	cache := make(map[int64]time.Duration)
-	devs := cluster.Devices()
-	return func(bytes int64) time.Duration {
-		if v, ok := cache[bytes]; ok {
-			return v
-		}
-		var maxT time.Duration
-		for _, a := range devs {
-			for _, b := range devs {
-				if a.ID == b.ID {
-					continue
-				}
-				if t := est.Comm(bytes, a, b); t > maxT {
-					maxT = t
-				}
-			}
-		}
-		cache[bytes] = maxT
-		return maxT
-	}
+	return r
 }
 
 // edgeIndex builds a per-op list of indices into g.Edges() for outgoing
@@ -112,6 +87,18 @@ func edgeIndex(g *graph.Graph) [][]int {
 // from the entry operation with the largest rank, then repeatedly step to
 // the successor with the largest rank until reaching an exit operation.
 func CriticalPath(g *graph.Graph, r *Ranks) []int {
+	ctx, err := contextFor(g)
+	if err != nil {
+		return nil
+	}
+	return criticalPathCtx(ctx, r)
+}
+
+// criticalPathCtx walks the path through ctx's edge index without the
+// per-step Successors allocations of the naive walk. Ties break toward the
+// earliest outgoing edge, matching successor order.
+func criticalPathCtx(ctx *scheduleContext, r *Ranks) []int {
+	g := ctx.g
 	entries := g.EntryOps()
 	if len(entries) == 0 {
 		return nil
@@ -122,16 +109,17 @@ func CriticalPath(g *graph.Graph, r *Ranks) []int {
 			cur = id
 		}
 	}
+	edges := g.Edges()
 	path := []int{cur}
 	for {
-		succs := g.Successors(cur)
-		if len(succs) == 0 {
+		eis := ctx.outIdx[cur]
+		if len(eis) == 0 {
 			return path
 		}
-		next := succs[0]
-		for _, s := range succs[1:] {
-			if r.Rank[s] > r.Rank[next] {
-				next = s
+		next := edges[eis[0]].To
+		for _, ei := range eis[1:] {
+			if to := edges[ei].To; r.Rank[to] > r.Rank[next] {
+				next = to
 			}
 		}
 		path = append(path, next)

@@ -32,10 +32,15 @@ type Strategy struct {
 // gradient-sync colocation pass, then OS-DPOS operation splitting — and
 // packages the result as an activatable strategy.
 func ComputeStrategy(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error) {
-	pins, _, err := ColocateSync(g, cluster, est, opts)
+	// One immutable estimator snapshot serves the whole calculation: both
+	// passes and every concurrent candidate worker read a consistent,
+	// lock-free view even while the profiler keeps observing.
+	est = cost.ReadSnapshot(est)
+	pins, colSched, err := ColocateSync(g, cluster, est, opts)
 	if err != nil {
 		return nil, err
 	}
+	releaseSchedule(colSched)
 	opts.Pinned = mergePins(opts.Pinned, pins)
 	res, err := OSDPOS(g, cluster, est, opts)
 	if err != nil {
@@ -55,6 +60,7 @@ func ComputeStrategy(g *graph.Graph, cluster *device.Cluster, est cost.Estimator
 // no operation splitting, for the ablation benchmarks (Table 6 compares
 // split on/off).
 func ComputePlacementOnly(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error) {
+	est = cost.ReadSnapshot(est)
 	_, s, err := ColocateSync(g, cluster, est, opts)
 	if err != nil {
 		return nil, err

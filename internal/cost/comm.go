@@ -184,6 +184,59 @@ func (m *CommModel) commLocked(bytes int64, from, to int) time.Duration {
 	return 0
 }
 
+// CommSnapshot is an immutable view of a CommModel: every per-pair and
+// class-fallback line fitted once at snapshot time. Worker goroutines of the
+// parallel strategy calculator read it lock-free while concurrent Observe
+// calls keep mutating the live model, and it answers Comm without re-solving
+// the normal equations per query.
+type CommSnapshot struct {
+	cluster *device.Cluster
+	pairs   map[pairKey]LinearModel
+	classes [2]LinearModel
+	classN  [2]int64
+}
+
+// Snapshot fits and freezes the model's current state.
+func (m *CommModel) Snapshot() *CommSnapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := &CommSnapshot{
+		cluster: m.cluster,
+		pairs:   make(map[pairKey]LinearModel, len(m.pairs)),
+	}
+	for k, acc := range m.pairs {
+		if acc.n > 0 {
+			s.pairs[k] = acc.fit()
+		}
+	}
+	for i, acc := range m.classes {
+		s.classN[i] = acc.n
+		if acc.n > 0 {
+			s.classes[i] = acc.fit()
+		}
+	}
+	return s
+}
+
+// Comm predicts like CommModel.Comm against the frozen fits: per-pair line,
+// then link-class fallback, then zero (explore).
+func (s *CommSnapshot) Comm(bytes int64, from, to *device.Device) time.Duration {
+	if from.ID == to.ID {
+		return 0
+	}
+	if l, ok := s.pairs[pairKey{from: from.ID, to: to.ID}]; ok {
+		return l.Predict(bytes)
+	}
+	cls := 0
+	if s.cluster.Device(from.ID).Server != s.cluster.Device(to.ID).Server {
+		cls = 1
+	}
+	if s.classN[cls] > 0 {
+		return s.classes[cls].Predict(bytes)
+	}
+	return 0
+}
+
 // Pair returns the fitted line for a specific device pair, if any traffic
 // has been observed on it.
 func (m *CommModel) Pair(from, to int) (LinearModel, bool) {

@@ -106,6 +106,52 @@ func (m *CompModel) execLocked(op *graph.Op, dev int) time.Duration {
 	return 0
 }
 
+// CompSnapshot is an immutable view of a CompModel: the per-(name, device)
+// and per-name means frozen at snapshot time. Worker goroutines of the
+// parallel strategy calculator read it lock-free while concurrent Observe
+// calls keep mutating the live model.
+type CompSnapshot struct {
+	exact         map[compKey]time.Duration
+	byName        map[string]time.Duration
+	splitExponent float64
+}
+
+// Snapshot freezes the model's current means.
+func (m *CompModel) Snapshot() *CompSnapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := &CompSnapshot{
+		exact:         make(map[compKey]time.Duration, len(m.stats)),
+		byName:        make(map[string]time.Duration, len(m.byName)),
+		splitExponent: m.splitExponent,
+	}
+	for k, st := range m.stats {
+		s.exact[k] = time.Duration(st.mean)
+	}
+	for name, st := range m.byName {
+		s.byName[name] = time.Duration(st.mean)
+	}
+	return s
+}
+
+// Exec predicts like CompModel.Exec against the frozen means: exact key,
+// then cross-device fallback, then split-scaling fallback, then zero.
+func (s *CompSnapshot) Exec(op *graph.Op, dev *device.Device) time.Duration {
+	if t, ok := s.exact[compKey{name: op.Name, dev: dev.ID}]; ok {
+		return t
+	}
+	if t, ok := s.byName[op.Name]; ok {
+		return t
+	}
+	if op.SplitOf != "" && op.SplitN > 1 {
+		if t, ok := s.byName[op.SplitOf]; ok {
+			scale := math.Pow(float64(op.SplitN), -s.splitExponent)
+			return time.Duration(float64(t) * scale)
+		}
+	}
+	return 0
+}
+
 // MaxExec returns the maximal estimated execution time of op over the
 // devices of the cluster — the w_i of the paper's rank computation.
 func (m *CompModel) MaxExec(op *graph.Op, c *device.Cluster) time.Duration {

@@ -34,3 +34,52 @@ func (m *Model) Exec(op *graph.Op, dev *device.Device) time.Duration {
 func (m *Model) Comm(bytes int64, from, to *device.Device) time.Duration {
 	return m.Link.Comm(bytes, from, to)
 }
+
+// EstimatorSnapshot is an immutable Estimator frozen from a Model: both
+// sub-model snapshots taken together so a whole strategy calculation reads
+// one consistent, lock-free view of the cost models.
+type EstimatorSnapshot struct {
+	Comp *CompSnapshot
+	Link *CommSnapshot
+}
+
+var _ Estimator = (*EstimatorSnapshot)(nil)
+
+// Exec predicts the run time of op on dev from the frozen computation model.
+func (s *EstimatorSnapshot) Exec(op *graph.Op, dev *device.Device) time.Duration {
+	return s.Comp.Exec(op, dev)
+}
+
+// Comm predicts the transfer time from the frozen communication model.
+func (s *EstimatorSnapshot) Comm(bytes int64, from, to *device.Device) time.Duration {
+	return s.Link.Comm(bytes, from, to)
+}
+
+// EstimatorSnapshot freezes both cost models into one immutable Estimator.
+func (m *Model) EstimatorSnapshot() *EstimatorSnapshot {
+	return &EstimatorSnapshot{
+		Comp: m.Comp.Snapshot(),
+		Link: m.Link.Snapshot(),
+	}
+}
+
+// Snapshotter is implemented by estimators that can freeze an immutable
+// read view of themselves (the learned Model; not the stateless Oracle,
+// which is already safe for concurrent readers).
+type Snapshotter interface {
+	ReadSnapshot() Estimator
+}
+
+// ReadSnapshot returns an Estimator safe for lock-free concurrent reads: the
+// frozen snapshot if est supports one, otherwise est itself. Strategy
+// calculators call this once per calculation before fanning work out to
+// worker goroutines.
+func ReadSnapshot(est Estimator) Estimator {
+	if s, ok := est.(Snapshotter); ok {
+		return s.ReadSnapshot()
+	}
+	return est
+}
+
+// ReadSnapshot implements Snapshotter.
+func (m *Model) ReadSnapshot() Estimator { return m.EstimatorSnapshot() }

@@ -1,0 +1,132 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+func snapCluster(t *testing.T) *device.Cluster {
+	t.Helper()
+	c, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	return c
+}
+
+// TestCompSnapshotMatchesModel walks the full fallback chain — exact key,
+// cross-device, split scaling, unknown — and requires the frozen snapshot
+// to predict exactly what the live model does.
+func TestCompSnapshotMatchesModel(t *testing.T) {
+	c := snapCluster(t)
+	m := NewCompModel()
+	m.Observe("conv1", 0, 10*time.Millisecond)
+	m.Observe("conv1", 0, 12*time.Millisecond)
+	m.Observe("fc6", 1, 4*time.Millisecond)
+
+	ops := []*graph.Op{
+		{Name: "conv1"},                                // exact on dev 0, byName on dev 1
+		{Name: "fc6"},                                  // byName on dev 0
+		{Name: "conv1/part0_of2", SplitOf: "conv1", SplitN: 2}, // split scaling
+		{Name: "never-seen"},                           // zero (explore)
+	}
+	s := m.Snapshot()
+	for _, op := range ops {
+		for _, d := range c.Devices() {
+			want := m.Exec(op, d)
+			if got := s.Exec(op, d); got != want {
+				t.Errorf("Exec(%s, dev %d): snapshot %v, model %v", op.Name, d.ID, got, want)
+			}
+		}
+	}
+	if got := s.Exec(ops[3], c.Device(0)); got != 0 {
+		t.Errorf("unknown op reads %v, want 0", got)
+	}
+
+	// Later observations must not leak into the frozen snapshot.
+	before := s.Exec(ops[0], c.Device(0))
+	m.Observe("conv1", 0, time.Second)
+	if got := s.Exec(ops[0], c.Device(0)); got != before {
+		t.Errorf("snapshot changed after Observe: %v -> %v", before, got)
+	}
+}
+
+// TestCommSnapshotMatchesModel covers per-pair fits, the class fallback,
+// the unknown-class zero, and same-device transfers.
+func TestCommSnapshotMatchesModel(t *testing.T) {
+	c := snapCluster(t)
+	m := NewCommModel(c)
+	m.Observe(0, 1, 1<<20, 2*time.Millisecond)
+	m.Observe(0, 1, 2<<20, 4*time.Millisecond)
+	// Pair 1->0 has no traffic: falls back to the same-server class.
+
+	s := m.Snapshot()
+	for _, bytes := range []int64{0, 1 << 10, 1 << 20, 8 << 20} {
+		for _, from := range c.Devices() {
+			for _, to := range c.Devices() {
+				want := m.Comm(bytes, from, to)
+				if got := s.Comm(bytes, from, to); got != want {
+					t.Errorf("Comm(%d, %d->%d): snapshot %v, model %v",
+						bytes, from.ID, to.ID, got, want)
+				}
+			}
+		}
+	}
+	if got := s.Comm(1<<20, c.Device(0), c.Device(0)); got != 0 {
+		t.Errorf("same-device transfer reads %v, want 0", got)
+	}
+}
+
+func TestCommSnapshotEmptyModelReadsZero(t *testing.T) {
+	c := snapCluster(t)
+	s := NewCommModel(c).Snapshot()
+	if got := s.Comm(1<<20, c.Device(0), c.Device(1)); got != 0 {
+		t.Errorf("empty model snapshot reads %v, want 0", got)
+	}
+}
+
+// TestReadSnapshot pins the Snapshotter plumbing: a learned Model freezes,
+// anything else (here a frozen snapshot itself) passes through unchanged.
+func TestReadSnapshot(t *testing.T) {
+	c := snapCluster(t)
+	m := NewModel(c)
+	snap := ReadSnapshot(m)
+	if _, ok := snap.(*EstimatorSnapshot); !ok {
+		t.Fatalf("ReadSnapshot(Model) = %T, want *EstimatorSnapshot", snap)
+	}
+	if again := ReadSnapshot(snap); again != snap {
+		t.Fatal("snapshot of a snapshot must be the identity")
+	}
+}
+
+// TestSnapshotConcurrentWithObserve drives concurrent writers against
+// snapshot-taking readers; the race detector is the assertion.
+func TestSnapshotConcurrentWithObserve(t *testing.T) {
+	c := snapCluster(t)
+	m := NewModel(c)
+	op := &graph.Op{Name: "conv1"}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Comp.Observe("conv1", seed%2, time.Duration(i)*time.Microsecond)
+				m.Link.Observe(0, 1, int64(i+1)<<10, time.Duration(i+1)*time.Microsecond)
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := ReadSnapshot(m)
+				_ = s.Exec(op, c.Device(0))
+				_ = s.Comm(1<<20, c.Device(0), c.Device(1))
+			}
+		}()
+	}
+	wg.Wait()
+}

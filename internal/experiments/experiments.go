@@ -52,6 +52,9 @@ type Config struct {
 	// MaxSplitOps / MaxSyncGroups bound the strategy calculator per round.
 	MaxSplitOps   int
 	MaxSyncGroups int
+	// Workers bounds the strategy calculator's concurrent candidate
+	// evaluations; 0 uses all CPUs (core.Options.Workers semantics).
+	Workers int
 	// Jitter is the measurement noise.
 	Jitter float64
 	// Seed makes runs reproducible.
@@ -284,6 +287,7 @@ func (r *Runner) measureFastT(cell *Cell, cluster *device.Cluster, spec models.S
 		Sched: core.Options{
 			MaxSplitOps:   r.cfg.MaxSplitOps,
 			MaxSyncGroups: r.cfg.MaxSyncGroups,
+			Workers:       r.cfg.Workers,
 		},
 	})
 	if err != nil {

@@ -206,6 +206,10 @@ type Table4Row struct {
 	Batch int
 	// CalcWall per GPU count, aligned with Table4GPUs.
 	CalcWall []time.Duration
+	// ParSpeedup is the one-shot strategy-computation speedup of the
+	// parallel candidate search over the sequential calculator (Workers: 1)
+	// at the largest GPU count; 0 when not measured.
+	ParSpeedup float64
 }
 
 // Table4GPUs are the GPU counts of Table 4.
@@ -213,9 +217,12 @@ func Table4GPUs() []int { return []int{2, 4, 8} }
 
 // Table4 reproduces Table 4: wall time to compute FastT's strategy (Alg. 2
 // plus the colocation pass, over all pre-training rounds) per model and GPU
-// count, measured on this machine.
+// count, measured on this machine. The last column compares the parallel
+// candidate search against the sequential calculator on one strategy
+// computation at the largest GPU count.
 func Table4(r *Runner, modelNames []string) ([]Table4Row, error) {
 	rows := make([]Table4Row, 0, len(modelNames))
+	gpusMax := Table4GPUs()[len(Table4GPUs())-1]
 	for _, name := range modelNames {
 		spec, err := models.ByName(name)
 		if err != nil {
@@ -229,9 +236,55 @@ func Table4(r *Runner, modelNames []string) ([]Table4Row, error) {
 			}
 			row.CalcWall = append(row.CalcWall, cell.CalcWall)
 		}
+		sp, err := parSpeedup(r.cfg, spec, gpusMax)
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel speedup: %w", name, err)
+		}
+		row.ParSpeedup = sp
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// parSpeedup times one full strategy computation sequentially (Workers: 1)
+// and with the configured worker pool, returning sequential/parallel wall
+// time. Both runs produce byte-identical strategies by construction, so
+// only the clock differs.
+func parSpeedup(cfg Config, spec models.Spec, gpus int) (float64, error) {
+	cluster, err := device.SingleServer(gpus)
+	if err != nil {
+		return 0, err
+	}
+	perGPU := spec.GlobalBatch / gpus
+	if perGPU < 1 {
+		perGPU = 1
+	}
+	m, err := spec.Build(perGPU)
+	if err != nil {
+		return 0, err
+	}
+	g, err := graph.BuildDataParallel(m, gpus)
+	if err != nil {
+		return 0, err
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	opts := core.Options{
+		MaxSplitOps:   cfg.MaxSplitOps,
+		MaxSyncGroups: cfg.MaxSyncGroups,
+	}
+	walls := make([]time.Duration, 2)
+	for i, workers := range []int{1, cfg.Workers} {
+		opts.Workers = workers
+		start := time.Now()
+		if _, err := core.ComputeStrategy(g, cluster, oracle, opts); err != nil {
+			return 0, err
+		}
+		walls[i] = time.Since(start)
+	}
+	if walls[1] <= 0 {
+		return 0, nil
+	}
+	return walls[0].Seconds() / walls[1].Seconds(), nil
 }
 
 // WriteTable4 prints Table 4.
@@ -241,11 +294,16 @@ func WriteTable4(w io.Writer, rows []Table4Row) error {
 	for _, g := range Table4GPUs() {
 		fmt.Fprintf(w, " %10dGPUs", g)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintf(w, " %14s\n", "Par speedup")
 	for _, row := range rows {
 		fmt.Fprintf(w, "%-24s", fmt.Sprintf("%s(%d)", row.Model, row.Batch))
 		for _, d := range row.CalcWall {
 			fmt.Fprintf(w, " %14.3f", d.Seconds())
+		}
+		if row.ParSpeedup > 0 {
+			fmt.Fprintf(w, " %13.2fx", row.ParSpeedup)
+		} else {
+			fmt.Fprintf(w, " %14s", "-")
 		}
 		fmt.Fprintln(w)
 	}
@@ -445,7 +503,10 @@ func runWithoutSplitting(cfg Config, model string, gpus, servers int) (time.Dura
 		MaxRounds:        cfg.MaxRounds,
 		Jitter:           cfg.Jitter,
 		DisableSplitting: true,
-		Sched:            core.Options{MaxSyncGroups: cfg.MaxSyncGroups},
+		Sched: core.Options{
+			MaxSyncGroups: cfg.MaxSyncGroups,
+			Workers:       cfg.Workers,
+		},
 	})
 	if err != nil {
 		return 0, err

@@ -37,12 +37,35 @@ type Graph struct {
 	out    [][]int // op ID -> indices into edges (outgoing)
 	in     [][]int // op ID -> indices into edges (incoming)
 	byName map[string]int
+	// version counts structural mutations (AddOp, Connect). Consumers that
+	// cache graph-derived structures (topological order, edge indexes) key
+	// their caches on (pointer, Version) and treat a version mismatch as
+	// staleness.
+	version uint64
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{byName: make(map[string]int)}
 }
+
+// NewWithCapacity returns an empty graph with storage preallocated for the
+// given numbers of operations and edges, for bulk graph construction
+// (data-parallel replication, SplitOperation candidates).
+func NewWithCapacity(ops, edges int) *Graph {
+	return &Graph{
+		ops:    make([]*Op, 0, ops),
+		edges:  make([]Edge, 0, edges),
+		out:    make([][]int, 0, ops),
+		in:     make([][]int, 0, ops),
+		byName: make(map[string]int, ops),
+	}
+}
+
+// Version returns the graph's structural mutation counter. Any AddOp or
+// Connect increments it; two reads returning the same value bracket a span
+// with no structural rewrites.
+func (g *Graph) Version() uint64 { return g.version }
 
 // NumOps returns the number of operations.
 func (g *Graph) NumOps() int { return len(g.ops) }
@@ -64,6 +87,7 @@ func (g *Graph) AddOp(op *Op) (int, error) {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.byName[op.Name] = op.ID
+	g.version++
 	return op.ID, nil
 }
 
@@ -92,11 +116,20 @@ func (g *Graph) Connect(from, to int, bytes int64) error {
 			return fmt.Errorf("%w: %d->%d", ErrDuplicateEdge, from, to)
 		}
 	}
+	g.connectUnchecked(from, to, bytes)
+	return nil
+}
+
+// connectUnchecked appends an edge without range, self-edge, or duplicate
+// detection. Reserved for bulk construction paths (SplitOperation) whose
+// inputs are already-validated graphs, where the per-edge duplicate scan of
+// Connect dominates the rewrite cost.
+func (g *Graph) connectUnchecked(from, to int, bytes int64) {
 	ei := len(g.edges)
 	g.edges = append(g.edges, Edge{From: from, To: to, Bytes: bytes})
 	g.out[from] = append(g.out[from], ei)
 	g.in[to] = append(g.in[to], ei)
-	return nil
+	g.version++
 }
 
 // MustConnect is Connect for builders; see MustAddOp.
@@ -257,11 +290,12 @@ func (g *Graph) Validate() error {
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		ops:    make([]*Op, len(g.ops)),
-		edges:  make([]Edge, len(g.edges)),
-		out:    make([][]int, len(g.out)),
-		in:     make([][]int, len(g.in)),
-		byName: make(map[string]int, len(g.byName)),
+		ops:     make([]*Op, len(g.ops)),
+		edges:   make([]Edge, len(g.edges)),
+		out:     make([][]int, len(g.out)),
+		in:      make([][]int, len(g.in)),
+		byName:  make(map[string]int, len(g.byName)),
+		version: g.version,
 	}
 	for i, op := range g.ops {
 		c.ops[i] = op.clone()

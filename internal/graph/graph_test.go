@@ -147,6 +147,65 @@ func TestSuccessorsPredecessors(t *testing.T) {
 	}
 }
 
+func TestVersionCountsStructuralMutations(t *testing.T) {
+	g := New()
+	if g.Version() != 0 {
+		t.Fatalf("empty graph version = %d, want 0", g.Version())
+	}
+	a := g.MustAddOp(&Op{Name: "a"})
+	b := g.MustAddOp(&Op{Name: "b"})
+	after := g.Version()
+	if after != 2 {
+		t.Fatalf("version after 2 AddOps = %d, want 2", after)
+	}
+	g.MustConnect(a, b, 10)
+	if g.Version() <= after {
+		t.Fatal("Connect did not bump the version")
+	}
+	// Failed mutations must not bump it.
+	v := g.Version()
+	if _, err := g.AddOp(&Op{Name: "a"}); err == nil {
+		t.Fatal("duplicate AddOp succeeded")
+	}
+	if err := g.Connect(a, b, 10); err == nil {
+		t.Fatal("duplicate Connect succeeded")
+	}
+	if g.Version() != v {
+		t.Fatalf("failed mutations changed version %d -> %d", v, g.Version())
+	}
+	// Clone carries the counter so caches keyed on (pointer, version)
+	// behave identically on the copy.
+	if c := g.Clone(); c.Version() != g.Version() {
+		t.Fatalf("clone version %d, want %d", c.Version(), g.Version())
+	}
+	// SplitOperation builds through the bulk path; the result must still
+	// count its mutations.
+	sg := chainGraph(t, 3)
+	out, err := SplitOperation(sg, 1, DimBatch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version() == 0 {
+		t.Fatal("split candidate has zero version")
+	}
+}
+
+func TestNewWithCapacityBehavesLikeNew(t *testing.T) {
+	g := NewWithCapacity(4, 4)
+	a := g.MustAddOp(&Op{Name: "a"})
+	b := g.MustAddOp(&Op{Name: "b"})
+	g.MustConnect(a, b, 10)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumOps() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %d ops, %d edges", g.NumOps(), g.NumEdges())
+	}
+	if op, ok := g.OpByName("b"); !ok || op.ID != b {
+		t.Fatal("name index broken under preallocation")
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	g := chainGraph(t, 3)
 	c := g.Clone()

@@ -52,7 +52,13 @@ func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
 		return nil, err
 	}
 
-	out := New()
+	// Candidate graphs are built in bulk from an already-validated source:
+	// preallocate exactly and skip Connect's duplicate-edge scan. OS-DPOS
+	// evaluates one candidate graph per (dimension, split count) pair, so
+	// this construction is on the strategy calculator's hot path.
+	ins, outs := g.InDegree(opID), g.OutDegree(opID)
+	out := NewWithCapacity(g.NumOps()-1+n+ins+outs,
+		g.NumEdges()+(ins+outs)*n)
 	// idMap maps old op IDs to new IDs for all ops except the target.
 	idMap := make([]int, g.NumOps())
 	for _, op := range g.Ops() {
@@ -93,14 +99,13 @@ func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
 		subIDs[i] = id
 	}
 
-	// Copy all edges not touching the target.
+	// Copy all edges not touching the target. The source graph admits no
+	// duplicate or self edges, so the copies need no re-validation.
 	for _, e := range g.Edges() {
 		if e.From == opID || e.To == opID {
 			continue
 		}
-		if err := out.Connect(idMap[e.From], idMap[e.To], e.Bytes); err != nil {
-			return nil, fmt.Errorf("copy edge: %w", err)
-		}
+		out.connectUnchecked(idMap[e.From], idMap[e.To], e.Bytes)
 	}
 
 	// Per predecessor edge: insert a Split node scattering the tensor into
@@ -119,14 +124,10 @@ func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("add split node: %w", err)
 		}
-		if err := out.Connect(idMap[e.From], spID, e.Bytes); err != nil {
-			return nil, fmt.Errorf("connect pred to split: %w", err)
-		}
+		out.connectUnchecked(idMap[e.From], spID, e.Bytes)
 		part := divideRound(e.Bytes, n)
 		for i := 0; i < n; i++ {
-			if err := out.Connect(spID, subIDs[i], part); err != nil {
-				return nil, fmt.Errorf("connect split to sub-op: %w", err)
-			}
+			out.connectUnchecked(spID, subIDs[i], part)
 		}
 	}
 
@@ -148,13 +149,9 @@ func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
 		}
 		part := divideRound(e.Bytes, n)
 		for i := 0; i < n; i++ {
-			if err := out.Connect(subIDs[i], conID, part); err != nil {
-				return nil, fmt.Errorf("connect sub-op to concat: %w", err)
-			}
+			out.connectUnchecked(subIDs[i], conID, part)
 		}
-		if err := out.Connect(conID, idMap[e.To], e.Bytes); err != nil {
-			return nil, fmt.Errorf("connect concat to succ: %w", err)
-		}
+		out.connectUnchecked(conID, idMap[e.To], e.Bytes)
 	}
 
 	return out, nil

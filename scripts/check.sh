@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the repo's verification tiers (see ROADMAP.md).
+#
+#   tier 1: build + full test suite
+#   tier 2: vet + race detector over the short suite (the parallel strategy
+#           calculator and the cost-model snapshots must hold under -race)
+#
+# Usage: scripts/check.sh [1|2]   (no argument = both tiers)
+set -eu
+cd "$(dirname "$0")/.."
+
+tier="${1:-all}"
+
+if [ "$tier" = "1" ] || [ "$tier" = "all" ]; then
+	echo "== tier 1: go build ./... && go test ./..."
+	go build ./...
+	go test ./...
+fi
+
+if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
+	echo "== tier 2: go vet ./... && go test -race -short ./..."
+	go vet ./...
+	go test -race -short ./...
+fi
+
+echo "OK"
