@@ -10,17 +10,33 @@ import (
 )
 
 // scheduleContext caches the graph-derived structures every scheduling pass
-// would otherwise re-derive per call: the topological order and the per-op
-// incoming/outgoing edge indexes. All fields are immutable after
-// construction, so one context may serve any number of concurrent readers.
-// Validity is keyed on (graph pointer, version): a structural mutation of
-// the graph bumps its version counter and makes the context stale.
+// would otherwise re-derive per call: the topological order, the per-op
+// incoming/outgoing edge indexes, and the entry list. All fields are
+// immutable after construction, so one context may serve any number of
+// concurrent readers. Validity is keyed on (graph pointer, version): a
+// structural mutation of the graph bumps its version counter and makes the
+// context stale.
+//
+// A context views either a real graph (ov == nil) or a graph.SplitOverlay
+// over one (ov != nil, built by overlayContext). Overlay contexts have no
+// topo order — delta rank updates never need one — and carry a dead op ID
+// (the tombstoned split target) that schedulers must skip. Consumers must
+// address ops and edges through the accessors below rather than through
+// c.g, which for an overlay context is only the base graph.
 type scheduleContext struct {
 	g       *graph.Graph
+	ov      *graph.SplitOverlay // non-nil for overlay views
 	version uint64
-	topo    []int
-	outIdx  [][]int // op ID -> indices into g.Edges() (outgoing)
-	inIdx   [][]int // op ID -> indices into g.Edges() (incoming)
+	topo    []int   // nil for overlay contexts
+	outIdx  [][]int // op ID -> global edge indexes (outgoing)
+	inIdx   [][]int // op ID -> global edge indexes (incoming)
+	entries []int   // entry op IDs, ascending
+	nOps    int
+	dead    int // tombstoned op ID, or -1
+	// Edge storage: global index ei < len(baseEdges) addresses
+	// baseEdges[ei], anything beyond addresses extraEdges[ei-len].
+	baseEdges  []graph.Edge
+	extraEdges []graph.Edge
 }
 
 // newScheduleContext derives a fresh context; it fails only on cyclic
@@ -31,11 +47,15 @@ func newScheduleContext(g *graph.Graph) (*scheduleContext, error) {
 		return nil, err
 	}
 	c := &scheduleContext{
-		g:       g,
-		version: g.Version(),
-		topo:    topo,
-		outIdx:  make([][]int, g.NumOps()),
-		inIdx:   make([][]int, g.NumOps()),
+		g:         g,
+		version:   g.Version(),
+		topo:      topo,
+		outIdx:    make([][]int, g.NumOps()),
+		inIdx:     make([][]int, g.NumOps()),
+		entries:   g.EntryOps(),
+		nOps:      g.NumOps(),
+		dead:      -1,
+		baseEdges: g.Edges(),
 	}
 	for i, e := range g.Edges() {
 		c.outIdx[e.From] = append(c.outIdx[e.From], i)
@@ -47,6 +67,135 @@ func newScheduleContext(g *graph.Graph) (*scheduleContext, error) {
 // stale reports whether the graph was structurally mutated (AddOp, Connect)
 // after the context was built.
 func (c *scheduleContext) stale() bool { return c.version != c.g.Version() }
+
+// edgeAt resolves a global edge index.
+func (c *scheduleContext) edgeAt(ei int) graph.Edge {
+	if ei < len(c.baseEdges) {
+		return c.baseEdges[ei]
+	}
+	return c.extraEdges[ei-len(c.baseEdges)]
+}
+
+// numEdges returns the size of the global edge index space (dead base edges
+// included for overlay contexts; they are never referenced by outIdx/inIdx).
+func (c *scheduleContext) numEdges() int {
+	return len(c.baseEdges) + len(c.extraEdges)
+}
+
+// op resolves an op ID in the context's view.
+func (c *scheduleContext) op(id int) *graph.Op {
+	if c.ov != nil {
+		return c.ov.Op(id)
+	}
+	return c.g.Op(id)
+}
+
+// opByName resolves a name in the context's view.
+func (c *scheduleContext) opByName(name string) (*graph.Op, bool) {
+	if c.ov != nil {
+		return c.ov.OpByName(name)
+	}
+	return c.g.OpByName(name)
+}
+
+// overlayCtxPool recycles overlay contexts: OS-DPOS builds one per split
+// candidate, and the outIdx/inIdx headers are the dominant allocation.
+var overlayCtxPool = sync.Pool{New: func() any { return &scheduleContext{} }}
+
+func resizeRows(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	return s[:n]
+}
+
+// dropEdge returns a copy of an edge-index row without ei, with spare
+// capacity for the single replacement edge the overlay appends.
+func dropEdge(row []int, ei int) []int {
+	out := make([]int, 0, len(row))
+	for _, e := range row {
+		if e != ei {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// overlayContext derives the scheduling view of a split overlay from the
+// base graph's context in O(V + Δ): row headers are copied (rows of
+// untouched ops share the base backing arrays), only the rows of the
+// target's predecessors/successors are patched, and rows for the delta ops
+// are built from the delta edges. The per-op relative edge order matches
+// the graph SplitOperation would build — base-order edges first, the
+// replacement edge appended last — so channel-booking and tie-break
+// decisions downstream are identical to the clone path's.
+//
+// base must be the context of ov.Base(). The returned context goes back to
+// the pool via releaseOverlayContext.
+func overlayContext(base *scheduleContext, ov *graph.SplitOverlay) *scheduleContext {
+	baseN := base.nOps
+	nOps := ov.NumOps()
+	baseE := len(base.baseEdges)
+	tgt := ov.Target().ID
+
+	c := overlayCtxPool.Get().(*scheduleContext)
+	c.g = base.g
+	c.ov = ov
+	c.version = base.version
+	c.topo = nil
+	c.nOps = nOps
+	c.dead = tgt
+	c.baseEdges = base.baseEdges
+	c.extraEdges = ov.NewEdges()
+	c.outIdx = resizeRows(c.outIdx, nOps)
+	c.inIdx = resizeRows(c.inIdx, nOps)
+	copy(c.outIdx, base.outIdx)
+	copy(c.inIdx, base.inIdx)
+	for i := baseN; i < nOps; i++ {
+		c.outIdx[i], c.inIdx[i] = nil, nil
+	}
+	c.outIdx[tgt], c.inIdx[tgt] = nil, nil
+	// Patch the rows that referenced the target: predecessors lose their
+	// out-edge to it, successors their in-edge from it.
+	for _, ei := range base.inIdx[tgt] {
+		from := base.baseEdges[ei].From
+		c.outIdx[from] = dropEdge(base.outIdx[from], ei)
+	}
+	for _, ei := range base.outIdx[tgt] {
+		to := base.baseEdges[ei].To
+		c.inIdx[to] = dropEdge(base.inIdx[to], ei)
+	}
+	// Thread the delta edges in. Rows touched here are either the freshly
+	// patched pred/succ rows or the nil rows of delta ops — never a shared
+	// base backing array.
+	for j := range c.extraEdges {
+		e := &c.extraEdges[j]
+		gi := baseE + j
+		c.outIdx[e.From] = append(c.outIdx[e.From], gi)
+		c.inIdx[e.To] = append(c.inIdx[e.To], gi)
+	}
+	// Entry list: splitting an entry op turns its sub-ops into entries
+	// (their IDs exceed every base ID, so ascending order is preserved).
+	c.entries = c.entries[:0]
+	if len(base.inIdx[tgt]) == 0 {
+		for _, id := range base.entries {
+			if id != tgt {
+				c.entries = append(c.entries, id)
+			}
+		}
+		c.entries = append(c.entries, ov.SubOpIDs()...)
+	} else {
+		c.entries = append(c.entries, base.entries...)
+	}
+	return c
+}
+
+// releaseOverlayContext recycles a context produced by overlayContext.
+func releaseOverlayContext(c *scheduleContext) {
+	if c != nil {
+		overlayCtxPool.Put(c)
+	}
+}
 
 // ctxCacheSize bounds the global context cache. Each cached entry keeps its
 // graph reachable, so the cache is a small fixed ring rather than an
@@ -178,8 +327,10 @@ var ranksPool = sync.Pool{New: func() any { return &Ranks{} }}
 func ranksFromPool(nOps, nEdges int) *Ranks {
 	r := ranksPool.Get().(*Ranks)
 	r.W = resizeDurations(r.W, nOps)
+	r.MinW = resizeDurations(r.MinW, nOps)
 	r.CMax = resizeDurations(r.CMax, nEdges)
 	r.Rank = resizeDurations(r.Rank, nOps)
+	r.RestMin = resizeDurations(r.RestMin, nOps)
 	return r
 }
 

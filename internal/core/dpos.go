@@ -17,6 +17,12 @@ import (
 // (every device would exceed its memory capacity).
 var ErrNoFeasiblePlacement = errors.New("no device can hold operation")
 
+// errPruned reports that a candidate evaluation was aborted because a valid
+// lower bound on its final makespan reached the caller's bound: the
+// candidate cannot strictly beat the incumbent, so finishing the schedule
+// would be wasted work. Internal to the OS-DPOS candidate search.
+var errPruned = errors.New("candidate pruned by makespan bound")
+
 // Options tunes DPOS and OS-DPOS.
 type Options struct {
 	// Memory converts op footprints into resident bytes for capacity
@@ -48,6 +54,16 @@ type Options struct {
 	// (ablation): critical-path operations use plain min-EFT like all
 	// others.
 	DisableCPDevice bool
+	// DisableIncremental makes OS-DPOS evaluate split candidates on full
+	// SplitOperation clones instead of copy-on-write overlays with delta
+	// rank updates. Both paths produce byte-identical strategies; the clone
+	// path exists as the reference for equivalence tests and benchmarks.
+	DisableIncremental bool
+	// DisablePruning turns off bound-based candidate pruning in OS-DPOS:
+	// every candidate is scheduled to completion even after a lower bound
+	// proves it cannot beat the incumbent makespan. Pruning never changes
+	// the accepted split list; disabling it only costs time.
+	DisablePruning bool
 }
 
 func (o Options) memory() graph.MemoryModel {
@@ -109,6 +125,11 @@ func (d *deviceState) insertionSlot(ready, dur time.Duration, appendOnly bool) t
 		}
 		return cand
 	}
+	if cand >= d.lastEnd {
+		// Every interval ends at or before lastEnd, so nothing constrains
+		// a start at cand; skip the scan.
+		return cand
+	}
 	for _, iv := range d.intervals {
 		if cand+dur <= iv.start {
 			return cand
@@ -122,6 +143,18 @@ func (d *deviceState) insertionSlot(ready, dur time.Duration, appendOnly bool) t
 
 // commit inserts the interval, keeping the list sorted by start.
 func (d *deviceState) commit(iv interval) {
+	// Append-at-end fast path: an interval starting at or past the current
+	// frontier sorts after every existing interval (each starts no later
+	// than its own end <= lastEnd), so the binary search and memmove can be
+	// skipped. This is the common case — list scheduling mostly extends
+	// device frontiers.
+	if len(d.intervals) == 0 || iv.start >= d.lastEnd {
+		d.intervals = append(d.intervals, iv)
+		if iv.end > d.lastEnd {
+			d.lastEnd = iv.end
+		}
+		return
+	}
 	i := sort.Search(len(d.intervals), func(i int) bool {
 		return d.intervals[i].start >= iv.start
 	})
@@ -143,33 +176,38 @@ func DPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Opti
 	}
 	ranks := computeRanksCtx(ctx, cluster, est, newMaxCommCache(cluster, est))
 	defer releaseRanks(ranks)
-	return dposCtx(ctx, cluster, est, opts, ranks)
+	return dposCtx(ctx, cluster, est, opts, ranks, 0)
 }
 
 // dposFresh schedules a throwaway graph (an OS-DPOS split candidate): the
 // context is derived locally and never enters the global cache, while the
 // maximal-transfer-time memo is shared with the rest of the calculation.
 func dposFresh(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
-	opts Options, mc *maxCommCache) (*Schedule, error) {
+	opts Options, mc *maxCommCache, bound time.Duration) (*Schedule, error) {
 	ctx, err := newScheduleContext(g)
 	if err != nil {
 		return nil, err
 	}
 	ranks := computeRanksCtx(ctx, cluster, est, mc)
 	defer releaseRanks(ranks)
-	return dposCtx(ctx, cluster, est, opts, ranks)
+	return dposCtx(ctx, cluster, est, opts, ranks, bound)
 }
 
 // dposCtx is the core list scheduler. All per-run working state comes from
 // the scratch pool; the returned Schedule comes from the schedule pool and
 // belongs to the caller.
+//
+// A positive bound makes the run a candidate evaluation against an
+// incumbent makespan: the moment an op is placed whose finish time plus
+// ranks.RestMin (a lower bound on the remaining time to the exit's finish
+// under any schedule) reaches the bound, the run aborts with errPruned —
+// the final makespan could only have been >= bound, so the candidate can
+// never strictly improve on the incumbent. Zero disables pruning.
 func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
-	opts Options, ranks *Ranks) (*Schedule, error) {
-	g := ctx.g
-	n := g.NumOps()
+	opts Options, ranks *Ranks, bound time.Duration) (*Schedule, error) {
+	n := ctx.nOps
 	mm := opts.memory()
 	devs := cluster.Devices()
-	edges := g.Edges()
 
 	scratch := scratchPool.Get().(*dposScratch)
 	scratch.reset(n, len(devs))
@@ -207,6 +245,11 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	for i := range sched.Placement {
 		sched.Placement[i] = -1
 	}
+	if dead := ctx.dead; dead >= 0 {
+		// The tombstoned op is never scheduled; clear its pooled slots so
+		// stale values cannot leak into order sorting or makespan scans.
+		sched.Start[dead], sched.Finish[dead] = 0, 0
+	}
 
 	// Critical-path device selection (Sec. 5.1): pick the device that can
 	// hold the most remaining CP ops with the smallest average execution
@@ -221,12 +264,13 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 			var total time.Duration
 			count := 0
 			for _, id := range cp[cpCursor:] {
-				need := mm.OpBytes(g.Op(id))
+				op := ctx.op(id)
+				need := mm.OpBytes(op)
 				if need > free {
 					break
 				}
 				free -= need
-				total += est.Exec(g.Op(id), d)
+				total += est.Exec(op, d)
 				count++
 			}
 			if count == 0 {
@@ -275,7 +319,7 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 			return chanAvail[k]
 		}
 		for _, ei := range ctx.inIdx[op.ID] {
-			e := edges[ei]
+			e := ctx.edgeAt(ei)
 			if !placed[e.From] {
 				continue // unplaced preds cannot happen in rank order, but be safe
 			}
@@ -317,6 +361,7 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 		return arrivals(op, dev, false)
 	}
 
+	aborted := false
 	place := func(op *graph.Op, dev int) {
 		dur := est.Exec(op, devs[dev])
 		st := states[dev].insertionSlot(arrivals(op, dev, true), dur, opts.DisableInsertion)
@@ -326,6 +371,12 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 		sched.Start[op.ID] = st
 		sched.Finish[op.ID] = st + dur
 		placed[op.ID] = true
+		// Candidate pruning: the exit op finishes no earlier than this op's
+		// finish plus the minimal remaining work along some path to it. The
+		// bound is checked on commit only, so every completed run is exact.
+		if bound > 0 && st+dur+ranks.RestMin[op.ID] >= bound {
+			aborted = true
+		}
 	}
 
 	// bestEFT returns the device minimizing the op's EFT among devices
@@ -352,11 +403,18 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	}
 
 	for _, id := range queue {
-		op := g.Op(id)
+		if aborted {
+			releaseSchedule(sched)
+			return nil, errPruned
+		}
+		if id == ctx.dead {
+			continue
+		}
+		op := ctx.op(id)
 
 		// Honor colocation constraints first (device placer contract).
 		if op.ColocateWith != "" {
-			if target, ok := g.OpByName(op.ColocateWith); ok && placed[target.ID] {
+			if target, ok := ctx.opByName(op.ColocateWith); ok && placed[target.ID] {
 				place(op, sched.Placement[target.ID])
 				continue
 			}
@@ -394,6 +452,10 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 		}
 		place(op, dev)
 	}
+	if aborted {
+		releaseSchedule(sched)
+		return nil, errPruned
+	}
 
 	// Execution list A: ops by ascending ST (Alg. 1 line 23).
 	order := sched.Order
@@ -415,6 +477,9 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 		sched.Priorities[id] = i
 	}
 	for id := 0; id < n; id++ {
+		if id == ctx.dead {
+			continue // a tombstoned op has no edges but is not an exit
+		}
 		if len(ctx.outIdx[id]) == 0 && sched.Finish[id] > sched.Makespan {
 			sched.Makespan = sched.Finish[id]
 		}

@@ -136,7 +136,7 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 	}
 	ranks := computeRanksCtx(ctx, cluster, est, newMaxCommCache(cluster, est))
 	defer releaseRanks(ranks)
-	sched, err := dposCtx(ctx, cluster, est, opts, ranks)
+	sched, err := dposCtx(ctx, cluster, est, opts, ranks, 0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("colocate sync: %w", err)
 	}
@@ -170,7 +170,7 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		}
 		trialOpts := opts
 		trialOpts.Pinned = mergePins(opts.Pinned, trial)
-		cand, err := dposCtx(ctx, cluster, est, trialOpts, ranks)
+		cand, err := dposCtx(ctx, cluster, est, trialOpts, ranks, 0)
 		if err != nil {
 			continue // infeasible under pins; try the next group
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -20,8 +21,12 @@ type SplitResult struct {
 	// Splits is the accepted operation split list SP[] of Alg. 2.
 	Splits []graph.SplitDecision
 	// Evaluated counts candidate (dimension, split count) DPOS evaluations
-	// performed, for strategy-computation-time analysis (Table 4).
+	// run to completion, for strategy-computation-time analysis (Table 4).
 	Evaluated int
+	// Pruned counts candidate evaluations aborted early because a lower
+	// bound on their makespan proved they could not beat the incumbent
+	// (Table 4). Always 0 with Options.DisablePruning.
+	Pruned int
 }
 
 // splitCand is one (dimension, split count) candidate for a CP op.
@@ -30,11 +35,14 @@ type splitCand struct {
 	n   int
 }
 
-// candResult is the outcome of one candidate evaluation; s == nil marks a
-// candidate that could not be built or scheduled.
-type candResult struct {
-	g *graph.Graph
-	s *Schedule
+// candOutcome is the result of one candidate evaluation. Only the makespan
+// survives — candidate schedules are discarded and the single accepted
+// winner is re-materialized, which keeps the overlay fast path and the
+// clone reference path behaviorally interchangeable.
+type candOutcome struct {
+	makespan time.Duration
+	ok       bool // scheduled to completion
+	pruned   bool // aborted by the makespan bound
 }
 
 // OSDPOS implements Alg. 2 (Operation Splitting DPOS): run DPOS, compute
@@ -45,34 +53,45 @@ type candResult struct {
 // does not improve it.
 //
 // The candidate (dimension, split count) evaluations for one operation are
-// independent — each clones the graph and runs a full DPOS — so they fan
-// out across opts.Workers goroutines. The winner is reduced from the
-// position-indexed results in enumeration order with a strictly-less
-// comparison, which reproduces the sequential first-minimum choice exactly:
-// any worker count returns byte-identical strategies.
+// independent, so they fan out across opts.Workers goroutines. Each
+// candidate is evaluated incrementally: a copy-on-write graph.SplitOverlay
+// records the rewrite as a delta, overlayContext patches the cached edge
+// indexes in O(Δ), deltaRanksOverlay reuses the base ranks everywhere
+// outside the rewritten region and the target's ancestors, and dposCtx runs
+// under the incumbent-makespan bound so hopeless candidates abort early.
+// Only the accepted winner of a round is materialized into a real graph
+// (and rescheduled without a bound, through exactly the code path a clone
+// evaluation takes). The winner is reduced from the position-indexed
+// results in enumeration order with a strictly-less comparison, which
+// reproduces the sequential first-minimum choice exactly: any worker count,
+// with overlays or clones, pruning on or off, returns byte-identical
+// strategies.
 func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*SplitResult, error) {
 	est = cost.ReadSnapshot(est)
-	ctx, err := contextFor(g)
+	baseCtx, err := contextFor(g)
 	if err != nil {
 		return nil, fmt.Errorf("initial DPOS: %w", err)
 	}
 	mc := newMaxCommCache(cluster, est)
-	ranks := computeRanksCtx(ctx, cluster, est, mc)
-	sched, err := dposCtx(ctx, cluster, est, opts, ranks)
-	releaseRanks(ranks)
+	baseRanks := computeRanksCtx(baseCtx, cluster, est, mc)
+	sched, err := dposCtx(baseCtx, cluster, est, opts, baseRanks, 0)
 	if err != nil {
+		releaseRanks(baseRanks)
 		return nil, fmt.Errorf("initial DPOS: %w", err)
 	}
+	defer func() { releaseRanks(baseRanks) }()
 	res := &SplitResult{Graph: g, Schedule: sched}
 	ftOld := sched.Makespan
 
 	// Critical path based on S_new and G (Alg. 2 line 4): ranks evaluated
 	// at the placed devices rather than worst-case maxima.
-	cp, execOnPlaced := placedCriticalPath(ctx, cluster, est, sched)
+	cp, placedRanks := placedCriticalPath(baseCtx, cluster, est, sched)
 	// Sort CP by descending computation time (line 5).
+	execOnPlaced := placedRanks.W
 	sort.SliceStable(cp, func(a, b int) bool {
 		return execOnPlaced[cp[a]] > execOnPlaced[cp[b]]
 	})
+	releaseRanks(placedRanks)
 
 	numDev := cluster.NumDevices()
 	workers := opts.workers()
@@ -100,60 +119,143 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 				cands = append(cands, splitCand{dim: dim, n: n})
 			}
 		}
-		results := make([]candResult, len(cands))
 		base, curID := res.Graph, cur.ID
+		// The pruning bound is the incumbent makespan: only candidates
+		// strictly below it can ever be accepted.
+		bound := ftOld
+		if opts.DisablePruning {
+			bound = 0
+		}
+		var anc []bool
+		if !opts.DisableIncremental {
+			anc = ancestorsOf(baseCtx, curID)
+		}
+		// eval runs one candidate; shared state (baseCtx, baseRanks, anc,
+		// mc, the estimator snapshot) is read-only during the fan-out.
+		eval := func(c splitCand, bound time.Duration) candOutcome {
+			var s *Schedule
+			var err error
+			if opts.DisableIncremental {
+				var candidate *graph.Graph
+				candidate, err = graph.SplitOperation(base, curID, c.dim, c.n)
+				if err != nil {
+					return candOutcome{} // extent too small for this n, etc.
+				}
+				s, err = dposFresh(candidate, cluster, est, opts, mc, bound)
+			} else {
+				var ov *graph.SplitOverlay
+				ov, err = graph.NewSplitOverlay(base, curID, c.dim, c.n)
+				if err != nil {
+					return candOutcome{}
+				}
+				octx := overlayContext(baseCtx, ov)
+				ranks := deltaRanksOverlay(baseCtx, baseRanks, octx, anc, cluster, est, mc)
+				s, err = dposCtx(octx, cluster, est, opts, ranks, bound)
+				releaseRanks(ranks)
+				releaseOverlayContext(octx)
+			}
+			if err != nil {
+				if errors.Is(err, errPruned) {
+					return candOutcome{pruned: true}
+				}
+				return candOutcome{} // infeasible under memory constraints
+			}
+			out := candOutcome{makespan: s.Makespan, ok: true}
+			releaseSchedule(s)
+			return out
+		}
+
+		results := make([]candOutcome, len(cands))
 		runParallel(len(cands), workers, func(i int) {
-			c := cands[i]
-			candidate, err := graph.SplitOperation(base, curID, c.dim, c.n)
-			if err != nil {
-				return // extent too small for this n, etc.
-			}
-			s, err := dposFresh(candidate, cluster, est, opts, mc)
-			if err != nil {
-				return // infeasible under memory constraints
-			}
-			results[i] = candResult{g: candidate, s: s}
+			results[i] = eval(cands[i], bound)
 		})
 
-		var (
-			bestFT    time.Duration
-			bestGraph *graph.Graph
-			bestSched *Schedule
-			bestDec   graph.SplitDecision
-			found     bool
-		)
-		for i := range results {
-			r := results[i]
-			if r.s == nil {
+		bestIdx := -1
+		var bestFT time.Duration
+		pruned := 0
+		for i, r := range results {
+			if r.pruned {
+				pruned++
+				continue
+			}
+			if !r.ok {
 				continue
 			}
 			res.Evaluated++
-			if !found || r.s.Makespan < bestFT {
-				releaseSchedule(bestSched)
-				found = true
-				bestFT = r.s.Makespan
-				bestGraph = r.g
-				bestSched = r.s
-				bestDec = graph.SplitDecision{OpName: opName, Dim: cands[i].dim, N: cands[i].n}
-			} else {
-				releaseSchedule(r.s)
+			if bestIdx < 0 || r.makespan < bestFT {
+				bestIdx = i
+				bestFT = r.makespan
 			}
 		}
-		if !found {
+
+		if bestIdx < 0 && pruned > 0 {
+			// Every candidate was pruned or infeasible. Whether Alg. 2
+			// continues to the next CP op (all infeasible) or stops (some
+			// candidate completes, necessarily at >= ftOld) depends on
+			// information pruning discarded, so re-evaluate the pruned
+			// candidates without a bound, in canonical order, until one
+			// completes. This path is rare — it needs every completing
+			// candidate of an op to be non-improving AND pruning to fire
+			// before each one finishes.
+			completed := false
+			for i, r := range results {
+				if !r.pruned {
+					continue
+				}
+				full := eval(cands[i], 0)
+				pruned--
+				if full.ok {
+					res.Evaluated++
+					completed = true
+					break
+				}
+				// Pruned earlier but infeasible when run to completion:
+				// the clone path would have counted it nowhere either.
+			}
+			res.Pruned += pruned
+			if completed {
+				break // first non-improving operation ends the exploration
+			}
 			continue
 		}
-		if bestFT < ftOld {
-			ftOld = bestFT
-			releaseSchedule(res.Schedule)
-			res.Graph = bestGraph
-			res.Schedule = bestSched
-			res.Splits = append(res.Splits, bestDec)
-		} else {
-			// First non-improving operation ends the exploration
-			// (Alg. 2 lines 11-13).
-			releaseSchedule(bestSched)
+		res.Pruned += pruned
+		if bestIdx < 0 {
+			continue // every candidate infeasible: try the next CP op
+		}
+		if bestFT >= ftOld {
+			// First non-improving operation ends the exploration (Alg. 2
+			// lines 11-13). Unreachable with pruning active: a completed
+			// candidate beat the bound by construction.
 			break
 		}
+
+		// Materialize the single accepted winner as a real graph and
+		// reschedule it unbounded — the same construction and scheduling
+		// path a clone evaluation takes, so the retained strategy is
+		// byte-identical to the clone-everything search's.
+		winner, err := graph.SplitOperation(base, curID, cands[bestIdx].dim, cands[bestIdx].n)
+		if err != nil {
+			return nil, fmt.Errorf("materialize split: %w", err)
+		}
+		wctx, err := contextFor(winner)
+		if err != nil {
+			return nil, fmt.Errorf("materialize split: %w", err)
+		}
+		wranks := computeRanksCtx(wctx, cluster, est, mc)
+		wsched, err := dposCtx(wctx, cluster, est, opts, wranks, 0)
+		if err != nil {
+			releaseRanks(wranks)
+			return nil, fmt.Errorf("materialize split: %w", err)
+		}
+		ftOld = wsched.Makespan
+		releaseSchedule(res.Schedule)
+		res.Graph = winner
+		res.Schedule = wsched
+		res.Splits = append(res.Splits, graph.SplitDecision{
+			OpName: opName, Dim: cands[bestIdx].dim, N: cands[bestIdx].n,
+		})
+		releaseRanks(baseRanks)
+		baseCtx, baseRanks = wctx, wranks
 	}
 	return res, nil
 }
@@ -161,22 +263,22 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 // placedCriticalPath recomputes the critical path using the actual
 // placement: w_i is the execution time on the op's assigned device, and
 // edge costs are the transfer times between the assigned devices. It
-// returns the path and the per-op placed execution times.
+// returns the path and a pooled Ranks whose W holds the per-op placed
+// execution times; the caller releases it.
 func placedCriticalPath(ctx *scheduleContext, cluster *device.Cluster,
-	est cost.Estimator, sched *Schedule) ([]int, []time.Duration) {
+	est cost.Estimator, sched *Schedule) ([]int, *Ranks) {
 	g := ctx.g
 	n := g.NumOps()
-	exec := make([]time.Duration, n)
+	r := ranksFromPool(n, 0)
+	exec, rank := r.W, r.Rank
 	for _, op := range g.Ops() {
 		exec[op.ID] = est.Exec(op, cluster.Device(sched.Placement[op.ID]))
 	}
-	rank := make([]time.Duration, n)
-	edges := g.Edges()
 	for i := len(ctx.topo) - 1; i >= 0; i-- {
 		id := ctx.topo[i]
 		var best time.Duration
 		for _, ei := range ctx.outIdx[id] {
-			e := edges[ei]
+			e := ctx.edgeAt(ei)
 			comm := est.Comm(e.Bytes,
 				cluster.Device(sched.Placement[e.From]),
 				cluster.Device(sched.Placement[e.To]))
@@ -186,6 +288,5 @@ func placedCriticalPath(ctx *scheduleContext, cluster *device.Cluster,
 		}
 		rank[id] = exec[id] + best
 	}
-	r := &Ranks{W: exec, Rank: rank}
-	return criticalPathCtx(ctx, r), exec
+	return criticalPathCtx(ctx, r), r
 }

@@ -18,12 +18,21 @@ import (
 type Ranks struct {
 	// W is the maximal execution time of each op over all devices (w_i).
 	W []time.Duration
+	// MinW is the minimal execution time of each op over all devices, the
+	// per-op term of the RestMin pruning bound.
+	MinW []time.Duration
 	// CMax is, per edge index, the maximal transfer time of the edge's
 	// tensor over all device pairs (c_{i,j}).
 	CMax []time.Duration
 	// Rank is the upward rank: rank_u(o_i) = w_i + max over successors of
 	// (c_{i,j} + rank_u(o_j)).
 	Rank []time.Duration
+	// RestMin is an exact lower bound on the time between op i's finish and
+	// the exit op's finish under ANY schedule: the maximum over paths from
+	// i to an exit of the sum of successor MinW values (communication
+	// contributes >= 0 and is ignored). dposCtx prunes a candidate as soon
+	// as Finish[i] + RestMin[i] reaches the incumbent makespan bound.
+	RestMin []time.Duration
 }
 
 // ComputeRanks computes w_i, c_{i,j} and rank_u for every op of g using the
@@ -46,13 +55,18 @@ func computeRanksCtx(ctx *scheduleContext, cluster *device.Cluster,
 	r := ranksFromPool(g.NumOps(), g.NumEdges())
 	devs := cluster.Devices()
 	for _, op := range g.Ops() {
-		var w time.Duration
-		for _, d := range devs {
-			if t := est.Exec(op, d); t > w {
+		var w, minw time.Duration
+		for di, d := range devs {
+			t := est.Exec(op, d)
+			if t > w {
 				w = t
+			}
+			if di == 0 || t < minw {
+				minw = t
 			}
 		}
 		r.W[op.ID] = w
+		r.MinW[op.ID] = minw
 	}
 	edges := g.Edges()
 	for i := range edges {
@@ -62,13 +76,123 @@ func computeRanksCtx(ctx *scheduleContext, cluster *device.Cluster,
 	for i := len(ctx.topo) - 1; i >= 0; i-- {
 		id := ctx.topo[i]
 		best := time.Duration(0)
+		rest := time.Duration(0)
 		for _, ei := range ctx.outIdx[id] {
 			e := edges[ei]
 			if v := r.CMax[ei] + r.Rank[e.To]; v > best {
 				best = v
 			}
+			if v := r.MinW[e.To] + r.RestMin[e.To]; v > rest {
+				rest = v
+			}
 		}
 		r.Rank[id] = r.W[id] + best
+		r.RestMin[id] = rest
+	}
+	return r
+}
+
+// ancestorsOf marks every op from which target is reachable (target itself
+// excluded), by reverse BFS over ctx's incoming edge index. These are
+// exactly the ops whose ranks a split of target can change: rank_u depends
+// only on descendants, and target is a descendant of precisely its
+// ancestors.
+func ancestorsOf(ctx *scheduleContext, target int) []bool {
+	anc := make([]bool, ctx.nOps)
+	stack := make([]int, 0, 64)
+	stack = append(stack, target)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range ctx.inIdx[id] {
+			from := ctx.edgeAt(ei).From
+			if !anc[from] {
+				anc[from] = true
+				stack = append(stack, from)
+			}
+		}
+	}
+	return anc
+}
+
+// deltaRanksOverlay produces the ranks of an overlay candidate from the
+// base graph's ranks in O(ancestors + Δ) instead of a full O(V+E) pass:
+// ranks depend only on descendants, so splitting op X leaves every
+// non-ancestor's rank untouched. The delta ops are recomputed first in
+// reverse dependency order — concat nodes (successors are base ops whose
+// ranks are unchanged: they are descendants of X), then sub-ops, then split
+// nodes — followed by X's ancestors in reverse base topological order,
+// which restricted to ancestors is a valid reverse order of the overlay
+// (the overlay adds no edges between base ops).
+//
+// bctx/baseRanks describe ov.Base(); octx must come from
+// overlayContext(bctx, ov); anc from ancestorsOf(bctx, target). The result
+// comes from the ranks pool; the caller releases it.
+func deltaRanksOverlay(bctx *scheduleContext, baseRanks *Ranks, octx *scheduleContext,
+	anc []bool, cluster *device.Cluster, est cost.Estimator, mc *maxCommCache) *Ranks {
+	ov := octx.ov
+	baseE := len(bctx.baseEdges)
+	r := ranksFromPool(octx.nOps, octx.numEdges())
+	copy(r.W, baseRanks.W)
+	copy(r.MinW, baseRanks.MinW)
+	copy(r.CMax, baseRanks.CMax)
+	copy(r.Rank, baseRanks.Rank)
+	copy(r.RestMin, baseRanks.RestMin)
+
+	devs := cluster.Devices()
+	newOps := ov.NewOps()
+	for _, op := range newOps {
+		var w, minw time.Duration
+		for di, d := range devs {
+			t := est.Exec(op, d)
+			if t > w {
+				w = t
+			}
+			if di == 0 || t < minw {
+				minw = t
+			}
+		}
+		r.W[op.ID] = w
+		r.MinW[op.ID] = minw
+	}
+	for j, e := range octx.extraEdges {
+		r.CMax[baseE+j] = mc.get(e.Bytes)
+	}
+
+	recompute := func(id int) {
+		best := time.Duration(0)
+		rest := time.Duration(0)
+		for _, ei := range octx.outIdx[id] {
+			to := octx.edgeAt(ei).To
+			if v := r.CMax[ei] + r.Rank[to]; v > best {
+				best = v
+			}
+			if v := r.MinW[to] + r.RestMin[to]; v > rest {
+				rest = v
+			}
+		}
+		r.Rank[id] = r.W[id] + best
+		r.RestMin[id] = rest
+	}
+	// newOps layout: n sub-ops, then split nodes, then concat nodes.
+	numSubs := ov.N()
+	splitEnd := numSubs
+	for splitEnd < len(newOps) && newOps[splitEnd].Kind == graph.KindSplit {
+		splitEnd++
+	}
+	for _, op := range newOps[splitEnd:] { // concat nodes
+		recompute(op.ID)
+	}
+	for _, op := range newOps[:numSubs] { // sub-ops
+		recompute(op.ID)
+	}
+	for _, op := range newOps[numSubs:splitEnd] { // split nodes
+		recompute(op.ID)
+	}
+	for i := len(bctx.topo) - 1; i >= 0; i-- {
+		if id := bctx.topo[i]; anc[id] {
+			recompute(id)
+		}
 	}
 	return r
 }
@@ -96,10 +220,11 @@ func CriticalPath(g *graph.Graph, r *Ranks) []int {
 
 // criticalPathCtx walks the path through ctx's edge index without the
 // per-step Successors allocations of the naive walk. Ties break toward the
-// earliest outgoing edge, matching successor order.
+// earliest outgoing edge, matching successor order. It works on both graph
+// and overlay contexts (the dead op of an overlay has no entry and no
+// edges, so the walk can never reach it).
 func criticalPathCtx(ctx *scheduleContext, r *Ranks) []int {
-	g := ctx.g
-	entries := g.EntryOps()
+	entries := ctx.entries
 	if len(entries) == 0 {
 		return nil
 	}
@@ -109,16 +234,15 @@ func criticalPathCtx(ctx *scheduleContext, r *Ranks) []int {
 			cur = id
 		}
 	}
-	edges := g.Edges()
 	path := []int{cur}
 	for {
 		eis := ctx.outIdx[cur]
 		if len(eis) == 0 {
 			return path
 		}
-		next := edges[eis[0]].To
+		next := ctx.edgeAt(eis[0]).To
 		for _, ei := range eis[1:] {
-			if to := edges[ei].To; r.Rank[to] > r.Rank[next] {
+			if to := ctx.edgeAt(ei).To; r.Rank[to] > r.Rank[next] {
 				next = to
 			}
 		}

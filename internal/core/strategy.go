@@ -26,6 +26,11 @@ type Strategy struct {
 	// Predicted is the finish time of the exit operation estimated by the
 	// scheduler (not a measurement).
 	Predicted time.Duration
+	// Evaluated and Pruned count the OS-DPOS candidate evaluations run to
+	// completion and aborted by the makespan bound, respectively — the
+	// work/avoided-work pair behind Table 4's strategy-computation times.
+	Evaluated int
+	Pruned    int
 }
 
 // ComputeStrategy runs the full FastT pipeline — DPOS placement, the
@@ -53,6 +58,8 @@ func ComputeStrategy(g *graph.Graph, cluster *device.Cluster, est cost.Estimator
 		Priorities: res.Schedule.Priorities,
 		Splits:     res.Splits,
 		Predicted:  res.Schedule.Makespan,
+		Evaluated:  res.Evaluated,
+		Pruned:     res.Pruned,
 	}, nil
 }
 

@@ -103,6 +103,10 @@ type Cell struct {
 	Splits         []graph.SplitDecision
 	CalcWall       time.Duration
 	OpsPerDevice   []int
+	// Evaluated/Pruned count the OS-DPOS candidate evaluations completed
+	// and pruned across all pre-training rounds (Table 4).
+	Evaluated int
+	Pruned    int
 
 	// FastT's activated strategy, for order-enforcement re-runs (Fig. 2).
 	FastTGraph      *graph.Graph
@@ -311,6 +315,8 @@ func (r *Runner) measureFastT(cell *Cell, cluster *device.Cluster, spec models.S
 	cell.FastTBreakdown = trace.BreakdownOf(stats.Last)
 	cell.Splits = s.ActiveSplits()
 	cell.CalcWall = rep.CalcWallTotal
+	cell.Evaluated = rep.EvaluatedTotal
+	cell.Pruned = rep.PrunedTotal
 	cell.FastTGraph = s.ActiveGraph()
 	cell.FastTPlacement = s.ActivePlacement()
 	cell.FastTPriorities = s.ActivePriorities()

@@ -210,6 +210,12 @@ type Table4Row struct {
 	// parallel candidate search over the sequential calculator (Workers: 1)
 	// at the largest GPU count; 0 when not measured.
 	ParSpeedup float64
+	// Evaluated/Pruned count the OS-DPOS candidate evaluations completed
+	// and aborted by bound-based pruning at the largest GPU count, across
+	// all pre-training rounds — the work the incremental calculator did and
+	// the work it proved unnecessary.
+	Evaluated int
+	Pruned    int
 }
 
 // Table4GPUs are the GPU counts of Table 4.
@@ -235,6 +241,10 @@ func Table4(r *Runner, modelNames []string) ([]Table4Row, error) {
 				return nil, fmt.Errorf("%s %d GPUs: %w", name, gpus, err)
 			}
 			row.CalcWall = append(row.CalcWall, cell.CalcWall)
+			if gpus == gpusMax {
+				row.Evaluated = cell.Evaluated
+				row.Pruned = cell.Pruned
+			}
 		}
 		sp, err := parSpeedup(r.cfg, spec, gpusMax)
 		if err != nil {
@@ -294,7 +304,7 @@ func WriteTable4(w io.Writer, rows []Table4Row) error {
 	for _, g := range Table4GPUs() {
 		fmt.Fprintf(w, " %10dGPUs", g)
 	}
-	fmt.Fprintf(w, " %14s\n", "Par speedup")
+	fmt.Fprintf(w, " %14s %12s\n", "Par speedup", "Eval/Pruned")
 	for _, row := range rows {
 		fmt.Fprintf(w, "%-24s", fmt.Sprintf("%s(%d)", row.Model, row.Batch))
 		for _, d := range row.CalcWall {
@@ -305,6 +315,7 @@ func WriteTable4(w io.Writer, rows []Table4Row) error {
 		} else {
 			fmt.Fprintf(w, " %14s", "-")
 		}
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("%d/%d", row.Evaluated, row.Pruned))
 		fmt.Fprintln(w)
 	}
 	return nil

@@ -1,0 +1,194 @@
+package graph
+
+import "fmt"
+
+// SplitOverlay is a copy-on-write view of one SplitOperation rewrite: the
+// target op is tombstoned in place and the n sub-operations plus the
+// split/concat glue nodes are recorded as a delta over the base graph,
+// instead of cloning every op and edge the way SplitOperation does. OS-DPOS
+// evaluates one candidate graph per (dimension, split count) pair, and all
+// but one candidate per critical-path op is discarded — the overlay makes
+// the discarded candidates cost O(Δ) to construct instead of O(V+E).
+//
+// ID space: base op IDs are unchanged (the target keeps its ID but is dead:
+// no live edge references it), and new ops are appended at base.NumOps()..
+// in SplitOperation's creation order — sub-ops, then one split node per
+// predecessor edge, then one concat node per successor edge. Base edge
+// indexes are likewise unchanged (the edges touching the target remain in
+// the array but must not be referenced), and new edges occupy
+// base.NumEdges().. in creation order. Because the map from overlay IDs to
+// SplitOperation-clone IDs (CloneID) is strictly monotone over live ops,
+// every ID-based tie-break downstream orders live ops identically in both
+// views, which is what makes overlay evaluation byte-identical to clone
+// evaluation.
+//
+// The overlay never mutates the base graph and holds no mutable state after
+// construction, so any number of concurrent readers may share it. Validity
+// is tied to the base version at construction time (Stale).
+type SplitOverlay struct {
+	base        *Graph
+	baseVersion uint64
+	target      *Op
+	dim         SplitDim
+	n           int
+	// newOps hold overlay IDs starting at base.NumOps(): first the n
+	// sub-ops, then the split nodes (predecessor-edge order), then the
+	// concat nodes (successor-edge order).
+	newOps []*Op
+	// newEdges occupy global edge indexes base.NumEdges()..; per
+	// predecessor [pred→split, split→sub_0..n-1], then per successor
+	// [sub_0..n-1→concat, concat→succ].
+	newEdges []Edge
+	subIDs   []int
+}
+
+// NewSplitOverlay validates and records the rewrite SplitOperation(g, opID,
+// dim, n) would perform, without building the rewritten graph. It fails
+// exactly when SplitOperation would fail.
+func NewSplitOverlay(g *Graph, opID int, dim SplitDim, n int) (*SplitOverlay, error) {
+	if opID < 0 || opID >= g.NumOps() {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownOp, opID)
+	}
+	target := g.Op(opID)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSplitCount, n)
+	}
+	if err := checkSplittable(target, dim, n); err != nil {
+		return nil, err
+	}
+
+	ins, outs := g.InDegree(opID), g.OutDegree(opID)
+	ov := &SplitOverlay{
+		base:        g,
+		baseVersion: g.version,
+		target:      target,
+		dim:         dim,
+		n:           n,
+		newOps:      make([]*Op, 0, n+ins+outs),
+		newEdges:    make([]Edge, 0, (ins+outs)*(n+1)),
+	}
+	// addOp mirrors Graph.AddOp's duplicate-name detection against the ops
+	// the clone would contain (every base op except the target; names among
+	// the new ops are distinct by construction).
+	addOp := func(op *Op, what string) (int, error) {
+		if id, ok := g.byName[op.Name]; ok && id != opID {
+			return 0, fmt.Errorf("%s: %w: %q", what, ErrDuplicateName, op.Name)
+		}
+		op.ID = g.NumOps() + len(ov.newOps)
+		ov.newOps = append(ov.newOps, op)
+		return op.ID, nil
+	}
+
+	subIDs := make([]int, n)
+	for i := 0; i < n; i++ {
+		id, err := addOp(makeSubOp(target, dim, i, n), "add sub-op")
+		if err != nil {
+			return nil, err
+		}
+		subIDs[i] = id
+	}
+	for pi, e := range g.InEdges(opID) {
+		spID, err := addOp(makeSplitNode(target, pi, e.Bytes, n), "add split node")
+		if err != nil {
+			return nil, err
+		}
+		ov.newEdges = append(ov.newEdges, Edge{From: e.From, To: spID, Bytes: e.Bytes})
+		part := divideRound(e.Bytes, n)
+		for i := 0; i < n; i++ {
+			ov.newEdges = append(ov.newEdges, Edge{From: spID, To: subIDs[i], Bytes: part})
+		}
+	}
+	for si, e := range g.OutEdges(opID) {
+		conID, err := addOp(makeConcatNode(target, si, e.Bytes, n), "add concat node")
+		if err != nil {
+			return nil, err
+		}
+		part := divideRound(e.Bytes, n)
+		for i := 0; i < n; i++ {
+			ov.newEdges = append(ov.newEdges, Edge{From: subIDs[i], To: conID, Bytes: part})
+		}
+		ov.newEdges = append(ov.newEdges, Edge{From: conID, To: e.To, Bytes: e.Bytes})
+	}
+	ov.subIDs = subIDs
+	return ov, nil
+}
+
+// Base returns the graph the overlay was built over.
+func (ov *SplitOverlay) Base() *Graph { return ov.base }
+
+// Target returns the tombstoned op. Its ID remains valid in the overlay's
+// ID space but no live edge references it.
+func (ov *SplitOverlay) Target() *Op { return ov.target }
+
+// Dim returns the partition dimension of the recorded split.
+func (ov *SplitOverlay) Dim() SplitDim { return ov.dim }
+
+// N returns the number of sub-operations.
+func (ov *SplitOverlay) N() int { return ov.n }
+
+// NumOps returns the size of the overlay's op ID space, including the dead
+// target ID.
+func (ov *SplitOverlay) NumOps() int { return ov.base.NumOps() + len(ov.newOps) }
+
+// NumEdges returns the size of the overlay's edge index space, including
+// the dead base edges that touched the target.
+func (ov *SplitOverlay) NumEdges() int { return ov.base.NumEdges() + len(ov.newEdges) }
+
+// NewOps returns the delta ops (sub-ops, split nodes, concat nodes, in that
+// order). The slice is shared; callers must not mutate it.
+func (ov *SplitOverlay) NewOps() []*Op { return ov.newOps }
+
+// NewEdges returns the delta edges; edge j has global index
+// base.NumEdges()+j. The slice is shared; callers must not mutate it.
+func (ov *SplitOverlay) NewEdges() []Edge { return ov.newEdges }
+
+// SubOpIDs returns the overlay IDs of the n sub-operations.
+func (ov *SplitOverlay) SubOpIDs() []int { return ov.subIDs }
+
+// Op returns the operation with the given overlay ID. Passing the target's
+// ID returns the dead op; callers iterating the ID space must skip it.
+func (ov *SplitOverlay) Op(id int) *Op {
+	if base := ov.base.NumOps(); id >= base {
+		return ov.newOps[id-base]
+	}
+	return ov.base.Op(id)
+}
+
+// OpByName resolves a name in the overlay's view: the target's name is
+// gone, the delta ops are visible, and everything else falls through to the
+// base graph.
+func (ov *SplitOverlay) OpByName(name string) (*Op, bool) {
+	if name == ov.target.Name {
+		return nil, false
+	}
+	for _, op := range ov.newOps {
+		if op.Name == name {
+			return op, true
+		}
+	}
+	return ov.base.OpByName(name)
+}
+
+// Stale reports whether the base graph was structurally mutated after the
+// overlay was built.
+func (ov *SplitOverlay) Stale() bool { return ov.baseVersion != ov.base.Version() }
+
+// Materialize builds the real rewritten graph via SplitOperation. Only the
+// single accepted winner of a candidate round pays this cost.
+func (ov *SplitOverlay) Materialize() (*Graph, error) {
+	return SplitOperation(ov.base, ov.target.ID, ov.dim, ov.n)
+}
+
+// CloneID maps an overlay op ID to the ID the same op has in the graph
+// SplitOperation builds (which omits the target and compacts the ID space),
+// or -1 for the dead target. The map is strictly monotone over live ops.
+func (ov *SplitOverlay) CloneID(id int) int {
+	switch {
+	case id < ov.target.ID:
+		return id
+	case id == ov.target.ID:
+		return -1
+	default:
+		return id - 1
+	}
+}

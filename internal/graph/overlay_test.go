@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// overlayTestGraph is a small DAG whose middle op has two predecessors and
+// two successors, exercising split and concat node creation on both sides.
+func overlayTestGraph(t *testing.T) (*Graph, int) {
+	t.Helper()
+	g := New()
+	a := g.MustAddOp(&Op{Name: "a", Kind: KindInput, OutputBytes: 128, Batch: 8})
+	b := g.MustAddOp(&Op{Name: "b", Kind: KindRelu, FLOPs: 10, OutputBytes: 128, Batch: 8})
+	mid := g.MustAddOp(&Op{
+		Name: "mid", Kind: KindConv2D, FLOPs: 1000, OutputBytes: 256,
+		ParamBytes: 512, WorkspaceBytes: 64, Batch: 8, Channels: 8,
+	})
+	c := g.MustAddOp(&Op{Name: "c", Kind: KindRelu, FLOPs: 10, OutputBytes: 64, Batch: 8})
+	d := g.MustAddOp(&Op{Name: "d", Kind: KindLoss, FLOPs: 5, Batch: 8})
+	g.MustConnect(a, mid, 128)
+	g.MustConnect(b, mid, 128)
+	g.MustConnect(mid, c, 256)
+	g.MustConnect(mid, d, 256)
+	g.MustConnect(a, b, 64) // an edge untouched by the split
+	return g, mid
+}
+
+// TestSplitOverlayMatchesClone asserts the overlay records exactly the
+// rewrite SplitOperation performs: op-for-op (fields included) and
+// edge-for-edge under the CloneID mapping, for batch and channel splits.
+func TestSplitOverlayMatchesClone(t *testing.T) {
+	g, mid := overlayTestGraph(t)
+	for _, dim := range []SplitDim{DimBatch, DimChannel} {
+		for n := 2; n <= 4; n++ {
+			ov, err := NewSplitOverlay(g, mid, dim, n)
+			if err != nil {
+				t.Fatalf("NewSplitOverlay(%s,%d): %v", dim, n, err)
+			}
+			clone, err := SplitOperation(g, mid, dim, n)
+			if err != nil {
+				t.Fatalf("SplitOperation(%s,%d): %v", dim, n, err)
+			}
+			if got, want := ov.NumOps(), clone.NumOps()+1; got != want {
+				t.Fatalf("%s/%d: NumOps %d, want %d (clone + tombstone)", dim, n, got, want)
+			}
+			// Every live overlay op must equal its clone counterpart.
+			for id := 0; id < ov.NumOps(); id++ {
+				cid := ov.CloneID(id)
+				if id == mid {
+					if cid != -1 {
+						t.Fatalf("CloneID(target)=%d, want -1", cid)
+					}
+					continue
+				}
+				oop, cop := ov.Op(id), clone.Op(cid)
+				if oop.Name != cop.Name || oop.Kind != cop.Kind ||
+					oop.FLOPs != cop.FLOPs || oop.OutputBytes != cop.OutputBytes ||
+					oop.ParamBytes != cop.ParamBytes || oop.WorkspaceBytes != cop.WorkspaceBytes ||
+					oop.Batch != cop.Batch || oop.Channels != cop.Channels ||
+					oop.SplitOf != cop.SplitOf || oop.SplitN != cop.SplitN {
+					t.Fatalf("%s/%d: op %d (%s) differs from clone op %d (%s)",
+						dim, n, id, oop.Name, cid, cop.Name)
+				}
+				if byName, ok := ov.OpByName(oop.Name); !ok || byName.ID != id {
+					t.Fatalf("%s/%d: OpByName(%q) broken", dim, n, oop.Name)
+				}
+			}
+			if _, ok := ov.OpByName(g.Op(mid).Name); ok {
+				t.Fatal("target name still resolvable through overlay")
+			}
+			// The live edge multiset must match under CloneID. Collect live
+			// overlay edges: base edges not touching the target, plus the
+			// delta edges.
+			type edgeKey struct {
+				from, to int
+				bytes    int64
+			}
+			count := make(map[edgeKey]int)
+			for _, e := range g.Edges() {
+				if e.From == mid || e.To == mid {
+					continue
+				}
+				count[edgeKey{ov.CloneID(e.From), ov.CloneID(e.To), e.Bytes}]++
+			}
+			for _, e := range ov.NewEdges() {
+				count[edgeKey{ov.CloneID(e.From), ov.CloneID(e.To), e.Bytes}]++
+			}
+			for _, e := range clone.Edges() {
+				k := edgeKey{e.From, e.To, e.Bytes}
+				count[k]--
+				if count[k] == 0 {
+					delete(count, k)
+				}
+			}
+			if len(count) != 0 {
+				t.Fatalf("%s/%d: overlay/clone edge sets differ: %v", dim, n, count)
+			}
+			if got, want := ov.NumEdges(), g.NumEdges()+len(ov.NewEdges()); got != want {
+				t.Fatalf("NumEdges %d, want %d", got, want)
+			}
+		}
+	}
+}
+
+// TestSplitOverlayErrors pins the constructor to SplitOperation's error
+// behaviour: both reject the same inputs.
+func TestSplitOverlayErrors(t *testing.T) {
+	g, mid := overlayTestGraph(t)
+	cases := []struct {
+		name string
+		op   int
+		dim  SplitDim
+		n    int
+		want error
+	}{
+		{"unknown op", 99, DimBatch, 2, ErrUnknownOp},
+		{"negative op", -1, DimBatch, 2, ErrUnknownOp},
+		{"n too small", mid, DimBatch, 1, ErrBadSplitCount},
+		{"n exceeds extent", mid, DimChannel, 9, ErrBadSplitCount},
+		{"unsplittable op", 4, DimBatch, 2, ErrNotSplittable}, // loss op
+	}
+	for _, tc := range cases {
+		if _, err := NewSplitOverlay(g, tc.op, tc.dim, tc.n); !errors.Is(err, tc.want) {
+			t.Errorf("%s: overlay err %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := SplitOperation(g, tc.op, tc.dim, tc.n); !errors.Is(err, tc.want) {
+			t.Errorf("%s: clone err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSplitOverlayStaleness ties overlay validity to the base version.
+func TestSplitOverlayStaleness(t *testing.T) {
+	g, mid := overlayTestGraph(t)
+	ov, err := NewSplitOverlay(g, mid, DimBatch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Stale() {
+		t.Fatal("fresh overlay reports stale")
+	}
+	g.MustAddOp(&Op{Name: "late", Batch: 1})
+	if !ov.Stale() {
+		t.Fatal("overlay not stale after base mutation")
+	}
+}
+
+// TestSplitOverlayMaterialize checks Materialize builds the identical graph
+// SplitOperation builds, and that the base graph is never touched.
+func TestSplitOverlayMaterialize(t *testing.T) {
+	g, mid := overlayTestGraph(t)
+	opsBefore, edgesBefore, verBefore := g.NumOps(), g.NumEdges(), g.Version()
+	ov, err := NewSplitOverlay(g, mid, DimChannel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := ov.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := SplitOperation(g, mid, DimChannel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.NumOps() != clone.NumOps() || mat.NumEdges() != clone.NumEdges() {
+		t.Fatalf("materialized %d ops/%d edges, clone %d/%d",
+			mat.NumOps(), mat.NumEdges(), clone.NumOps(), clone.NumEdges())
+	}
+	for id := 0; id < mat.NumOps(); id++ {
+		if mat.Op(id).Name != clone.Op(id).Name {
+			t.Fatalf("op %d: %q vs %q", id, mat.Op(id).Name, clone.Op(id).Name)
+		}
+	}
+	if err := mat.Validate(); err != nil {
+		t.Fatalf("materialized graph invalid: %v", err)
+	}
+	if g.NumOps() != opsBefore || g.NumEdges() != edgesBefore || g.Version() != verBefore {
+		t.Fatal("overlay construction or materialization mutated the base graph")
+	}
+}
+
+// TestSplitOverlayCloneIDMonotone verifies the ID mapping preserves the
+// relative order of live ops — the property every ID-based tie-break in the
+// scheduler depends on.
+func TestSplitOverlayCloneIDMonotone(t *testing.T) {
+	g, mid := overlayTestGraph(t)
+	ov, err := NewSplitOverlay(g, mid, DimBatch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for id := 0; id < ov.NumOps(); id++ {
+		if id == mid {
+			continue
+		}
+		cid := ov.CloneID(id)
+		if cid <= prev {
+			t.Fatalf("CloneID not strictly increasing over live ops: id %d -> %d (prev %d)",
+				id, cid, prev)
+		}
+		prev = cid
+	}
+	if prev != ov.NumOps()-2 {
+		t.Fatalf("CloneID range ends at %d, want %d", prev, ov.NumOps()-2)
+	}
+}

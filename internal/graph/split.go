@@ -77,21 +77,7 @@ func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
 	// Create the n sub-operations.
 	subIDs := make([]int, n)
 	for i := 0; i < n; i++ {
-		sub := target.clone()
-		sub.Name = fmt.Sprintf("%s/part%d_of%d", target.Name, i, n)
-		sub.FLOPs = divideRound(target.FLOPs, n)
-		sub.OutputBytes = divideRound(target.OutputBytes, n)
-		sub.WorkspaceBytes = divideRound(target.WorkspaceBytes, n)
-		sub.SplitOf = target.Name
-		sub.SplitN = n
-		switch dim {
-		case DimBatch:
-			sub.Batch = target.Batch / n
-			// Parameters replicate across batch partitions.
-		case DimChannel:
-			sub.Channels = target.Channels / n
-			sub.ParamBytes = divideRound(target.ParamBytes, n)
-		}
+		sub := makeSubOp(target, dim, i, n)
 		id, err := out.AddOp(sub)
 		if err != nil {
 			return nil, fmt.Errorf("add sub-op: %w", err)
@@ -111,15 +97,7 @@ func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
 	// Per predecessor edge: insert a Split node scattering the tensor into
 	// n partitions, one per sub-operation (Alg. 2 lines 20-23).
 	for pi, e := range g.InEdges(opID) {
-		sp := &Op{
-			Name:        fmt.Sprintf("%s/split%d", target.Name, pi),
-			Kind:        KindSplit,
-			OutputBytes: e.Bytes,
-			Batch:       target.Batch,
-			Replica:     target.Replica,
-			SplitOf:     target.Name,
-			SplitN:      n,
-		}
+		sp := makeSplitNode(target, pi, e.Bytes, n)
 		spID, err := out.AddOp(sp)
 		if err != nil {
 			return nil, fmt.Errorf("add split node: %w", err)
@@ -134,15 +112,7 @@ func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
 	// Per successor edge: insert a Concat node gathering the sub-operation
 	// outputs (Alg. 2 lines 24-27).
 	for si, e := range g.OutEdges(opID) {
-		con := &Op{
-			Name:        fmt.Sprintf("%s/concat%d", target.Name, si),
-			Kind:        KindConcat,
-			OutputBytes: e.Bytes,
-			Batch:       target.Batch,
-			Replica:     target.Replica,
-			SplitOf:     target.Name,
-			SplitN:      n,
-		}
+		con := makeConcatNode(target, si, e.Bytes, n)
 		conID, err := out.AddOp(con)
 		if err != nil {
 			return nil, fmt.Errorf("add concat node: %w", err)
@@ -155,6 +125,54 @@ func SplitOperation(g *Graph, opID int, dim SplitDim, n int) (*Graph, error) {
 	}
 
 	return out, nil
+}
+
+// makeSubOp builds the i-th of n sub-operations of a split. SplitOperation
+// and SplitOverlay share it so the clone path and the copy-on-write overlay
+// produce field-identical rewrites.
+func makeSubOp(target *Op, dim SplitDim, i, n int) *Op {
+	sub := target.clone()
+	sub.Name = fmt.Sprintf("%s/part%d_of%d", target.Name, i, n)
+	sub.FLOPs = divideRound(target.FLOPs, n)
+	sub.OutputBytes = divideRound(target.OutputBytes, n)
+	sub.WorkspaceBytes = divideRound(target.WorkspaceBytes, n)
+	sub.SplitOf = target.Name
+	sub.SplitN = n
+	switch dim {
+	case DimBatch:
+		sub.Batch = target.Batch / n
+		// Parameters replicate across batch partitions.
+	case DimChannel:
+		sub.Channels = target.Channels / n
+		sub.ParamBytes = divideRound(target.ParamBytes, n)
+	}
+	return sub
+}
+
+// makeSplitNode builds the scatter node for the pi-th predecessor edge.
+func makeSplitNode(target *Op, pi int, bytes int64, n int) *Op {
+	return &Op{
+		Name:        fmt.Sprintf("%s/split%d", target.Name, pi),
+		Kind:        KindSplit,
+		OutputBytes: bytes,
+		Batch:       target.Batch,
+		Replica:     target.Replica,
+		SplitOf:     target.Name,
+		SplitN:      n,
+	}
+}
+
+// makeConcatNode builds the gather node for the si-th successor edge.
+func makeConcatNode(target *Op, si int, bytes int64, n int) *Op {
+	return &Op{
+		Name:        fmt.Sprintf("%s/concat%d", target.Name, si),
+		Kind:        KindConcat,
+		OutputBytes: bytes,
+		Batch:       target.Batch,
+		Replica:     target.Replica,
+		SplitOf:     target.Name,
+		SplitN:      n,
+	}
 }
 
 func checkSplittable(op *Op, dim SplitDim, n int) error {

@@ -127,6 +127,11 @@ type Round struct {
 	RolledBack bool
 	// Splits is the number of accepted operation splits in the candidate.
 	Splits int
+	// Evaluated and Pruned count the OS-DPOS candidate evaluations of this
+	// round that ran to completion and that the bound-based pruning
+	// aborted, respectively.
+	Evaluated int
+	Pruned    int
 }
 
 // Report summarizes the pre-training stage.
@@ -143,6 +148,10 @@ type Report struct {
 	FinalMeasured time.Duration
 	// CalcWallTotal is the total strategy-calculation wall time.
 	CalcWallTotal time.Duration
+	// EvaluatedTotal and PrunedTotal accumulate the per-round candidate
+	// evaluation and pruning counts (Table 4's "Eval/Pruned" column).
+	EvaluatedTotal int
+	PrunedTotal    int
 	// SimulatedOverhead is the training-timeline cost of pre-training:
 	// profiled iterations plus checkpoint/restart cycles.
 	SimulatedOverhead time.Duration
@@ -271,6 +280,10 @@ func (s *Session) Bootstrap() (*Report, error) {
 		}
 		r.Predicted = cand.Predicted
 		r.Splits = len(cand.Splits)
+		r.Evaluated = cand.Evaluated
+		r.Pruned = cand.Pruned
+		rep.EvaluatedTotal += cand.Evaluated
+		rep.PrunedTotal += cand.Pruned
 
 		// Guard against calculator bugs before touching the executor; the
 		// runtime memory check (with rollback) covers capacity, so only

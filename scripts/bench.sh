@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench.sh — OS-DPOS benchmark gate (see EXPERIMENTS.md).
+#
+# Runs BenchmarkOSDPOSParallel and BenchmarkDPOSThroughput with -count=5,
+# writes the best (minimum) ns/op per benchmark to BENCH_osdpos.json, and
+# fails if the headline configuration — Transformer, 8 GPUs, workers=1,
+# i.e. the single-threaded incremental candidate search — regresses more
+# than 10% against the checked-in baseline scripts/bench_baseline.json.
+#
+# Usage: scripts/bench.sh            run, write BENCH_osdpos.json, gate
+#        scripts/bench.sh --update   also rewrite the baseline file
+set -eu
+cd "$(dirname "$0")/.."
+
+KEY="BenchmarkOSDPOSParallel/Transformer/workers=1"
+BASELINE="scripts/bench_baseline.json"
+OUT="BENCH_osdpos.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== bench: go test -bench 'OSDPOSParallel|DPOSThroughput' -count=5"
+go test -run '^$' -bench 'BenchmarkOSDPOSParallel|BenchmarkDPOSThroughput' \
+	-count=5 -benchtime 1x . | tee "$RAW"
+
+# Keep the minimum ns/op per benchmark: least-noise estimate of true cost.
+awk '
+/^Benchmark/ && $4 == "ns/op" {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+	if (!(name in best) || $3 + 0 < best[name]) best[name] = $3 + 0
+}
+END {
+	n = 0
+	printf "{\n"
+	for (name in best) order[n++] = name
+	# deterministic output: simple insertion sort by name
+	for (i = 1; i < n; i++) {
+		v = order[i]
+		for (j = i - 1; j >= 0 && order[j] > v; j--) order[j+1] = order[j]
+		order[j+1] = v
+	}
+	for (i = 0; i < n; i++)
+		printf "  \"%s\": %d%s\n", order[i], best[order[i]], (i < n-1 ? "," : "")
+	printf "}\n"
+}' "$RAW" >"$OUT"
+echo "== wrote $OUT"
+
+cur=$(awk -v key="\"$KEY\":" '$1 == key {gsub(/,/, "", $2); print $2}' "$OUT")
+if [ -z "$cur" ]; then
+	echo "bench.sh: headline benchmark $KEY missing from results" >&2
+	exit 1
+fi
+
+if [ "${1:-}" = "--update" ]; then
+	cp "$OUT" "$BASELINE"
+	echo "== baseline updated: $KEY = $cur ns/op"
+	exit 0
+fi
+
+base=$(awk -v key="\"$KEY\":" '$1 == key {gsub(/,/, "", $2); print $2}' "$BASELINE")
+if [ -z "$base" ]; then
+	echo "bench.sh: $KEY missing from $BASELINE (run scripts/bench.sh --update)" >&2
+	exit 1
+fi
+
+# Gate: fail when cur > base * 1.10.
+if [ "$cur" -gt $((base + base / 10)) ]; then
+	echo "FAIL: $KEY regressed: $cur ns/op vs baseline $base ns/op (>10%)" >&2
+	exit 1
+fi
+echo "OK: $KEY = $cur ns/op (baseline $base ns/op)"

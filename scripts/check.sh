@@ -4,8 +4,10 @@
 #   tier 1: build + full test suite
 #   tier 2: vet + race detector over the short suite (the parallel strategy
 #           calculator and the cost-model snapshots must hold under -race)
+#   bench:  opt-in perf gate — scripts/bench.sh, fails on >10% regression of
+#           the OS-DPOS headline benchmark vs scripts/bench_baseline.json
 #
-# Usage: scripts/check.sh [1|2]   (no argument = both tiers)
+# Usage: scripts/check.sh [1|2|bench]   (no argument = tiers 1 and 2)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,12 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	echo "== tier 2: go vet ./... && go test -race -short ./..."
 	go vet ./...
 	go test -race -short ./...
+fi
+
+# Benchmarks are noisy on shared machines, so the perf gate never runs by
+# default; opt in with `scripts/check.sh bench`.
+if [ "$tier" = "bench" ]; then
+	sh scripts/bench.sh
 fi
 
 echo "OK"
