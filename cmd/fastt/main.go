@@ -10,6 +10,14 @@
 //
 //	fastt -model VGG-19 -gpus 4 [-servers 1] [-batch 64] [-weak]
 //	      [-workers N] [-trace out.json] [-dot out.dot] [-timeline]
+//	      [-strategy s.json] [-save-costs c.json] [-load-costs c.json]
+//	fastt compute -model MLP -gpus 2 -out s.json [-save-costs c.json]
+//
+// The compute subcommand runs the strategy search offline and writes the
+// result as a versioned JSON artifact; -strategy loads such an artifact,
+// validates it against the target graph and cluster, and executes it without
+// repeating the search — the paper's "compute in minutes, deploy later"
+// workflow.
 package main
 
 import (
@@ -25,14 +33,22 @@ import (
 	"fastt/internal/kernels"
 	"fastt/internal/models"
 	"fastt/internal/placement"
+	"fastt/internal/runtime"
 	"fastt/internal/session"
 	"fastt/internal/sim"
+	"fastt/internal/strategy"
 	"fastt/internal/trace"
 	"fastt/internal/validate"
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "compute" {
+		err = runCompute(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fastt:", err)
 		os.Exit(1)
 	}
@@ -55,11 +71,14 @@ func run() error {
 		graphIn  = flag.String("graph", "", "schedule a JSON graph (see graph.WriteJSON) instead of a catalog model")
 		export   = flag.String("export", "", "write the selected model's training graph as JSON and exit")
 		workers  = flag.Int("workers", 0, "strategy-calculator worker goroutines (0 = all CPUs, 1 = sequential)")
+		stratIn  = flag.String("strategy", "", "execute a strategy artifact written by 'fastt compute' instead of searching")
+		saveCost = flag.String("save-costs", "", "write the learned cost models to this file after training")
+		loadCost = flag.String("load-costs", "", "preload cost models saved by an earlier run before bootstrapping")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, s := range models.Catalog() {
+		for _, s := range append(models.Catalog(), models.Extras()...) {
 			fmt.Printf("%-16s global batch %d, per-GPU batch %d (%s)\n",
 				s.Name, s.GlobalBatch, s.PerGPUBatch, s.Kind)
 		}
@@ -134,13 +153,23 @@ func run() error {
 			return fmt.Errorf("wrap full-batch model: %w", err)
 		}
 	}
-	s, err := session.New(cluster, train, session.Config{Seed: *seed, Sched: core.Options{
+	if *stratIn != "" {
+		// Deploy a precomputed strategy: no cost-model bootstrap, no search —
+		// validate the artifact against this graph and cluster and execute it.
+		return runStrategyFile(*stratIn, cluster, train, global, *iters, *seed)
+	}
+	s, err := session.New(cluster, sim.WrapEngine(engine), train, session.Config{Seed: *seed, Sched: core.Options{
 		MaxSplitOps:   8,
 		MaxSyncGroups: 8,
 		Workers:       *workers,
 	}})
 	if err != nil {
 		return err
+	}
+	if *loadCost != "" {
+		if err := loadCostsFile(s, *loadCost); err != nil {
+			return err
+		}
 	}
 	rep, err := s.Bootstrap()
 	if err != nil {
@@ -149,6 +178,12 @@ func run() error {
 	run, err := s.Run(*iters)
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
+	}
+	if *saveCost != "" {
+		if err := saveCostsFile(s, *saveCost); err != nil {
+			return err
+		}
+		fmt.Printf("cost models written to %s\n", *saveCost)
 	}
 	fmt.Printf("FastT         : %10v/iter  %10.1f samples/s  (start: %s, %d round(s), calc %v)\n",
 		run.AvgIter.Round(time.Microsecond), float64(global)/run.AvgIter.Seconds(),
@@ -312,4 +347,238 @@ func exportModel(spec models.Spec, batch int, path string) error {
 	fmt.Printf("%s (batch %d): %d ops, %d edges written to %s\n",
 		spec.Name, batch, g.NumOps(), g.NumEdges(), path)
 	return nil
+}
+
+// runCompute implements the `fastt compute` subcommand: run the bootstrap
+// and strategy search offline, write the winning strategy as a versioned
+// JSON artifact (plus, optionally, the learned cost models), then verify the
+// artifact by reloading it from disk and executing it — the exact path a
+// later `fastt -strategy` deployment takes.
+func runCompute(argv []string) error {
+	fs := flag.NewFlagSet("fastt compute", flag.ExitOnError)
+	var (
+		model     = fs.String("model", "MLP", "benchmark model (see fastt -list)")
+		gpus      = fs.Int("gpus", 2, "number of GPUs")
+		servers   = fs.Int("servers", 1, "number of servers (GPUs divide evenly)")
+		batch     = fs.Int("batch", 0, "global batch override (0 = paper default)")
+		weak      = fs.Bool("weak", false, "weak scaling (fixed per-GPU batch)")
+		iters     = fs.Int("iters", 5, "verification iterations on the written artifact")
+		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "strategy-calculator worker goroutines (0 = all CPUs, 1 = sequential)")
+		out       = fs.String("out", "strategy.json", "write the strategy artifact to this file")
+		saveCost  = fs.String("save-costs", "", "write the learned cost models to this file")
+		loadCost  = fs.String("load-costs", "", "preload cost models saved by an earlier run")
+		maxRounds = fs.Int("rounds", 0, "max pre-training strategy-search rounds (0 = default)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	spec, err := models.ByName(*model)
+	if err != nil {
+		return err
+	}
+	cluster, err := newTopology(*gpus, *servers)
+	if err != nil {
+		return err
+	}
+	perGPU, global := resolveBatch(spec, *gpus, *batch, *weak)
+	train, fullBatch, err := trainGraphFor(spec, cluster, *gpus, perGPU, global)
+	if err != nil {
+		return err
+	}
+	if fullBatch {
+		fmt.Println("data parallelism OOMs; searching over the full-batch model graph")
+	}
+
+	exec := sim.DefaultExecutor(cluster)
+	s, err := session.New(cluster, exec, train, session.Config{Seed: *seed, MaxRounds: *maxRounds,
+		Sched: core.Options{
+			MaxSplitOps:   8,
+			MaxSyncGroups: 8,
+			Workers:       *workers,
+		}})
+	if err != nil {
+		return err
+	}
+	if *loadCost != "" {
+		if err := loadCostsFile(s, *loadCost); err != nil {
+			return err
+		}
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+
+	art := *s.ActiveArtifact()
+	art.Provenance.Model = spec.Name
+	if err := art.WriteFile(*out); err != nil {
+		return fmt.Errorf("write artifact: %w", err)
+	}
+	fmt.Printf("%s on %d GPU(s): strategy artifact written to %s (origin %s, %d split(s), calc %v)\n",
+		spec.Name, *gpus, *out, art.Provenance.Origin, len(art.Splits),
+		rep.CalcWallTotal.Round(time.Millisecond))
+	if *saveCost != "" {
+		if err := saveCostsFile(s, *saveCost); err != nil {
+			return err
+		}
+		fmt.Printf("cost models written to %s\n", *saveCost)
+	}
+
+	// Verify the artifact as a deployment would consume it: reload the file,
+	// validate, materialize and execute.
+	reloaded, err := strategy.ReadFile(*out)
+	if err != nil {
+		return fmt.Errorf("reload artifact: %w", err)
+	}
+	g, err := validate.ArtifactStrategy(reloaded, train, cluster, validate.Options{SkipMemory: true})
+	if err != nil {
+		return fmt.Errorf("written artifact invalid: %w", err)
+	}
+	avg, _, err := runArtifact(exec, g, reloaded, *iters, *seed)
+	if err != nil {
+		return fmt.Errorf("verify artifact: %w", err)
+	}
+	fmt.Printf("verified      : %10v/iter  %10.1f samples/s\n",
+		avg.Round(time.Microsecond), float64(global)/avg.Seconds())
+	fmt.Println(artifactExecLine(reloaded, avg))
+	return nil
+}
+
+// runStrategyFile executes a precomputed strategy artifact against the
+// deployment target: validate (schema, graph fingerprint, cluster shape,
+// structural soundness), materialize the split graph, run.
+func runStrategyFile(path string, cluster *device.Cluster, base *graph.Graph, global, iters int, seed int64) error {
+	art, err := strategy.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	g, err := validate.ArtifactStrategy(art, base, cluster, validate.Options{SkipMemory: true})
+	if err != nil {
+		return fmt.Errorf("artifact %s does not fit this deployment: %w", path, err)
+	}
+	avg, _, err := runArtifact(sim.DefaultExecutor(cluster), g, art, iters, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy file : %10v/iter  %10.1f samples/s  (origin: %s, model: %s, %d split(s))\n",
+		avg.Round(time.Microsecond), float64(global)/avg.Seconds(),
+		art.Provenance.Origin, art.Provenance.Model, len(art.Splits))
+	fmt.Println(artifactExecLine(art, avg))
+	return nil
+}
+
+// runArtifact executes iters iterations of a validated artifact, using the
+// same jitter and per-iteration seeds on every path so the compute-time
+// verification run and a later deployment of the same file agree exactly.
+func runArtifact(exec runtime.Executor, g *graph.Graph, art *strategy.Artifact, iters int, seed int64) (time.Duration, *runtime.Result, error) {
+	var total time.Duration
+	var last *runtime.Result
+	for i := 0; i < iters; i++ {
+		res, err := exec.Run(g, art, runtime.Config{Jitter: 0.02, Seed: seed + int64(i), EnforceOrder: true})
+		if err != nil {
+			return 0, nil, err
+		}
+		total += res.Makespan
+		last = res
+	}
+	return total / time.Duration(iters), last, nil
+}
+
+// artifactExecLine renders the canonical execution line the CLI smoke test
+// compares between `fastt compute`'s verification run and a later
+// `fastt -strategy` run: the artifact digest plus the exact average makespan.
+func artifactExecLine(art *strategy.Artifact, avg time.Duration) string {
+	digest, err := strategy.HashJSON(art.WriteJSON)
+	if err != nil {
+		digest = "unhashable"
+	}
+	return fmt.Sprintf("artifact-exec: digest=%s avg=%dns", digest, avg.Nanoseconds())
+}
+
+// newTopology validates and builds the simulated cluster.
+func newTopology(gpus, servers int) (*device.Cluster, error) {
+	if gpus < 1 || servers < 1 || gpus%servers != 0 {
+		return nil, fmt.Errorf("bad topology: %d GPUs on %d servers", gpus, servers)
+	}
+	return device.NewCluster(servers, gpus/servers)
+}
+
+// resolveBatch applies the strong/weak scaling batch policy.
+func resolveBatch(spec models.Spec, gpus, batchOvr int, weak bool) (perGPU, global int) {
+	global = spec.GlobalBatch
+	if batchOvr > 0 {
+		global = batchOvr
+	}
+	perGPU = global / gpus
+	if weak {
+		perGPU = spec.PerGPUBatch
+		global = perGPU * gpus
+	}
+	if perGPU < 1 {
+		perGPU = 1
+	}
+	return perGPU, global
+}
+
+// trainGraphFor applies the paper's input-graph rule (Sec. 5.2): the
+// data-parallel training graph when it executes without OOM, otherwise the
+// plain model DAG at the full global batch. The second return reports
+// whether the full-batch fallback was taken.
+func trainGraphFor(spec models.Spec, cluster *device.Cluster, gpus, perGPU, global int) (*graph.Graph, bool, error) {
+	m, err := spec.Build(perGPU)
+	if err != nil {
+		return nil, false, fmt.Errorf("build model: %w", err)
+	}
+	dp, err := graph.BuildDataParallel(m, gpus)
+	if err != nil {
+		return nil, false, fmt.Errorf("replicate model: %w", err)
+	}
+	place, err := placement.DataParallel(dp, cluster)
+	if err != nil {
+		return nil, false, err
+	}
+	engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+	if _, err := engine.Run(dp, place, sim.Config{}); err != nil {
+		var oom *sim.OOMError
+		if !errors.As(err, &oom) {
+			return nil, false, err
+		}
+		full, err := spec.Build(global)
+		if err != nil {
+			return nil, false, fmt.Errorf("build full-batch model: %w", err)
+		}
+		train, err := graph.BuildDataParallel(full, 1)
+		if err != nil {
+			return nil, false, fmt.Errorf("wrap full-batch model: %w", err)
+		}
+		return train, true, nil
+	}
+	return dp, false, nil
+}
+
+// loadCostsFile preloads saved cost models into the session.
+func loadCostsFile(s *session.Session, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.LoadCosts(f); err != nil {
+		return fmt.Errorf("load costs %s: %w", path, err)
+	}
+	return nil
+}
+
+// saveCostsFile writes the session's learned cost models.
+func saveCostsFile(s *session.Session, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveCosts(f); err != nil {
+		f.Close()
+		return fmt.Errorf("save costs %s: %w", path, err)
+	}
+	return f.Close()
 }

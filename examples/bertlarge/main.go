@@ -97,7 +97,7 @@ func fastTColumn(cluster *device.Cluster, batch int) (string, error) {
 			return "", err
 		}
 	}
-	s, err := session.New(cluster, train, session.Config{Seed: 7, MaxRounds: 2})
+	s, err := session.New(cluster, sim.WrapEngine(engine), train, session.Config{Seed: 7, MaxRounds: 2})
 	if err != nil {
 		return "", err
 	}

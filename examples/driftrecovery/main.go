@@ -19,6 +19,7 @@ import (
 	"fastt/internal/graph"
 	"fastt/internal/models"
 	"fastt/internal/session"
+	"fastt/internal/sim"
 )
 
 func main() {
@@ -40,7 +41,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	s, err := session.New(cluster, train, session.Config{
+	s, err := session.New(cluster, sim.DefaultExecutor(cluster), train, session.Config{
 		Seed:           11,
 		ReprofileEvery: 4, // the paper's periodic profiling
 	})
@@ -79,7 +80,7 @@ func run() error {
 	if err := s.SaveCosts(&blob); err != nil {
 		return err
 	}
-	next, err := session.New(cluster, train, session.Config{Seed: 12})
+	next, err := session.New(cluster, sim.DefaultExecutor(cluster), train, session.Config{Seed: 12})
 	if err != nil {
 		return err
 	}

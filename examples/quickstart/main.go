@@ -62,7 +62,7 @@ func run() error {
 	// FastT: bootstrap cost models from a few profiled iterations, compute
 	// placement + order + splits with DPOS/OS-DPOS, activate with rollback
 	// protection, then train.
-	s, err := session.New(cluster, train, session.Config{Seed: 42})
+	s, err := session.New(cluster, sim.WrapEngine(engine), train, session.Config{Seed: 42})
 	if err != nil {
 		return err
 	}

@@ -13,22 +13,23 @@ import (
 	"sync"
 	"time"
 
-	"fastt/internal/graph"
+	"fastt/internal/strategy"
 )
 
 // ErrNoSnapshot is returned when restoring from an empty store.
 var ErrNoSnapshot = errors.New("no snapshot saved")
 
 // Snapshot captures everything needed to resume training under a new
-// strategy: the strategy description and the parameter state. Parameter
-// contents are represented by their size (the simulator has no real
-// weights), which is what the restart cost depends on.
+// strategy: the full strategy artifact (placement, execution order, split
+// list, provenance) and the parameter state. Parameter contents are
+// represented by their size (the simulator has no real weights), which is
+// what the restart cost depends on. Embedding the artifact — rather than
+// loose placement/order/split fields — means a restore reproduces exactly
+// what was activated, execution order included.
 type Snapshot struct {
-	Step       int                   `json:"step"`
-	ParamBytes int64                 `json:"paramBytes"`
-	Placement  []int                 `json:"placement"`
-	Order      []int                 `json:"order"`
-	Splits     []graph.SplitDecision `json:"splits"`
+	Step       int               `json:"step"`
+	ParamBytes int64             `json:"paramBytes"`
+	Artifact   strategy.Artifact `json:"artifact"`
 }
 
 // Store holds snapshots in memory with JSON round-tripping, verifying the

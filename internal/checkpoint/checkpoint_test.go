@@ -2,10 +2,12 @@ package checkpoint
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
 	"fastt/internal/graph"
+	"fastt/internal/strategy"
 )
 
 func TestStoreRoundTrip(t *testing.T) {
@@ -13,10 +15,21 @@ func TestStoreRoundTrip(t *testing.T) {
 	snap := Snapshot{
 		Step:       42,
 		ParamBytes: 1 << 30,
-		Placement:  []int{0, 1, 0},
-		Order:      []int{2, 0, 1},
-		Splits: []graph.SplitDecision{
-			{OpName: "conv1_2", Dim: graph.DimBatch, N: 4},
+		Artifact: strategy.Artifact{
+			SchemaVersion: strategy.SchemaVersion,
+			Fingerprint:   "deadbeefdeadbeefdeadbeefdeadbeef",
+			Placement:     []int{0, 1, 0},
+			Order:         []int{2, 0, 1},
+			Splits: []graph.SplitDecision{
+				{OpName: "conv1_2", Dim: graph.DimBatch, N: 4},
+			},
+			Predicted: 17 * time.Millisecond,
+			Provenance: strategy.Provenance{
+				Model:    "LeNet",
+				Origin:   "fastt",
+				Cluster:  strategy.ClusterShape{Servers: 1, GPUsPerServer: 2},
+				CostHash: "cafef00dcafef00dcafef00dcafef00d",
+			},
 		},
 	}
 	if err := s.Save(snap); err != nil {
@@ -29,12 +42,14 @@ func TestStoreRoundTrip(t *testing.T) {
 	if got.Step != 42 || got.ParamBytes != 1<<30 {
 		t.Errorf("Restore = %+v", got)
 	}
-	if len(got.Placement) != 3 || got.Placement[1] != 1 {
-		t.Errorf("Placement = %v", got.Placement)
+	// The restored snapshot must reproduce the saved strategy exactly —
+	// execution order and priorities included, not just the placement.
+	if !reflect.DeepEqual(got.Artifact, snap.Artifact) {
+		t.Errorf("Artifact round trip:\n got %+v\nwant %+v", got.Artifact, snap.Artifact)
 	}
-	if len(got.Splits) != 1 || got.Splits[0].OpName != "conv1_2" ||
-		got.Splits[0].Dim != graph.DimBatch || got.Splits[0].N != 4 {
-		t.Errorf("Splits = %v", got.Splits)
+	if !reflect.DeepEqual(got.Artifact.PriorityIndex(), snap.Artifact.PriorityIndex()) {
+		t.Errorf("PriorityIndex round trip: got %v, want %v",
+			got.Artifact.PriorityIndex(), snap.Artifact.PriorityIndex())
 	}
 }
 

@@ -1,31 +1,31 @@
 package core
 
 import (
-	"time"
-
 	"fastt/internal/cost"
 	"fastt/internal/device"
 	"fastt/internal/graph"
+	"fastt/internal/strategy"
 )
 
 // Strategy is the full output FastT activates on the executor (Sec. 3):
 // the (possibly rewritten) graph, the operation split list, the device
-// placement of every (sub-)operation, and the execution order.
+// placement of every (sub-)operation, and the execution order. The
+// serializable part — placement, order, splits, predicted makespan, and the
+// base-graph fingerprint — is the embedded strategy.Artifact, so every
+// computed strategy is a deployment unit; Graph and Priorities are the
+// materialized in-memory forms the executor consumes directly.
 type Strategy struct {
+	// Artifact is the canonical, serializable strategy: Placement, Order,
+	// Splits, Predicted, and the fingerprint of the input graph. Callers
+	// deploying the strategy fill Artifact.Provenance and persist it.
+	strategy.Artifact
 	// Graph is the computation graph the placement refers to; it differs
-	// from the input model graph when splits were applied.
+	// from the input model graph when splits were applied. It equals
+	// Artifact.Materialize(input graph).
 	Graph *graph.Graph
-	// Placement maps op ID -> device ID.
-	Placement []int
-	// Order lists op IDs in execution order; Priorities is its inverse
-	// (op ID -> order index), the form the executor consumes.
-	Order      []int
+	// Priorities is Order's inverse (op ID -> order index), the form the
+	// executor consumes.
 	Priorities []int
-	// Splits is the accepted operation split list.
-	Splits []graph.SplitDecision
-	// Predicted is the finish time of the exit operation estimated by the
-	// scheduler (not a measurement).
-	Predicted time.Duration
 	// Evaluated and Pruned count the OS-DPOS candidate evaluations run to
 	// completion and aborted by the makespan bound, respectively — the
 	// work/avoided-work pair behind Table 4's strategy-computation times.
@@ -52,12 +52,16 @@ func ComputeStrategy(g *graph.Graph, cluster *device.Cluster, est cost.Estimator
 		return nil, err
 	}
 	return &Strategy{
+		Artifact: strategy.Artifact{
+			SchemaVersion: strategy.SchemaVersion,
+			Fingerprint:   strategy.Fingerprint(g),
+			Placement:     res.Schedule.Placement,
+			Order:         res.Schedule.Order,
+			Splits:        res.Splits,
+			Predicted:     res.Schedule.Makespan,
+		},
 		Graph:      res.Graph,
-		Placement:  res.Schedule.Placement,
-		Order:      res.Schedule.Order,
 		Priorities: res.Schedule.Priorities,
-		Splits:     res.Splits,
-		Predicted:  res.Schedule.Makespan,
 		Evaluated:  res.Evaluated,
 		Pruned:     res.Pruned,
 	}, nil
@@ -73,11 +77,15 @@ func ComputePlacementOnly(g *graph.Graph, cluster *device.Cluster, est cost.Esti
 		return nil, err
 	}
 	return &Strategy{
+		Artifact: strategy.Artifact{
+			SchemaVersion: strategy.SchemaVersion,
+			Fingerprint:   strategy.Fingerprint(g),
+			Placement:     s.Placement,
+			Order:         s.Order,
+			Predicted:     s.Makespan,
+		},
 		Graph:      g,
-		Placement:  s.Placement,
-		Order:      s.Order,
 		Priorities: s.Priorities,
-		Predicted:  s.Makespan,
 	}, nil
 }
 

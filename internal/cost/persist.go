@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Persistence: FastT's cost models are expensive to bootstrap (several
@@ -40,7 +41,10 @@ type jsonModel struct {
 	Comm []jsonCommEntry `json:"comm"`
 }
 
-// WriteJSON serializes both cost models.
+// WriteJSON serializes both cost models. The output is deterministic
+// (entries sorted by key), so the same learned state always produces the
+// same bytes — strategy artifacts hash this output as their cost-model
+// provenance.
 func (m *Model) WriteJSON(w io.Writer) error {
 	doc := jsonModel{}
 
@@ -51,6 +55,12 @@ func (m *Model) WriteJSON(w io.Writer) error {
 		})
 	}
 	m.Comp.mu.RUnlock()
+	sort.Slice(doc.Comp, func(i, j int) bool {
+		if doc.Comp[i].Name != doc.Comp[j].Name {
+			return doc.Comp[i].Name < doc.Comp[j].Name
+		}
+		return doc.Comp[i].Dev < doc.Comp[j].Dev
+	})
 
 	m.Link.mu.RLock()
 	for k, acc := range m.Link.pairs {
@@ -62,6 +72,12 @@ func (m *Model) WriteJSON(w io.Writer) error {
 		})
 	}
 	m.Link.mu.RUnlock()
+	sort.Slice(doc.Comm, func(i, j int) bool {
+		if doc.Comm[i].From != doc.Comm[j].From {
+			return doc.Comm[i].From < doc.Comm[j].From
+		}
+		return doc.Comm[i].To < doc.Comm[j].To
+	})
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)

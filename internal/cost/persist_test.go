@@ -114,3 +114,36 @@ func close(a, b float64) bool {
 	d := a - b
 	return d < 1e-9 && d > -1e-9
 }
+
+func TestPersistWriteDeterministic(t *testing.T) {
+	// WriteJSON output is hashed as strategy-artifact provenance, so the
+	// same learned state must serialize to the same bytes on every call
+	// regardless of map iteration order.
+	c := twoServerCluster(t)
+	m := NewModel(c)
+	for i, name := range []string{"zeta", "alpha", "mid", "conv", "pool"} {
+		m.Comp.Observe(name, i%c.NumDevices(), time.Duration(i+1)*time.Millisecond)
+		m.Comp.Observe(name, (i+1)%c.NumDevices(), time.Duration(i+2)*time.Millisecond)
+	}
+	for from := 0; from < c.NumDevices(); from++ {
+		for to := 0; to < c.NumDevices(); to++ {
+			if from != to {
+				observeLine(m.Link, from, to, 10*time.Microsecond, 20e9, []int64{1 << 16, 1 << 20})
+			}
+		}
+	}
+	var first strings.Builder
+	if err := m.WriteJSON(&first); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		var again strings.Builder
+		if err := m.WriteJSON(&again); err != nil {
+			t.Fatalf("WriteJSON #%d: %v", i, err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("WriteJSON not deterministic on call %d:\n%s\nvs\n%s",
+				i, again.String(), first.String())
+		}
+	}
+}

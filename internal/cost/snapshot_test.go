@@ -29,10 +29,10 @@ func TestCompSnapshotMatchesModel(t *testing.T) {
 	m.Observe("fc6", 1, 4*time.Millisecond)
 
 	ops := []*graph.Op{
-		{Name: "conv1"},                                // exact on dev 0, byName on dev 1
-		{Name: "fc6"},                                  // byName on dev 0
+		{Name: "conv1"}, // exact on dev 0, byName on dev 1
+		{Name: "fc6"},   // byName on dev 0
 		{Name: "conv1/part0_of2", SplitOf: "conv1", SplitN: 2}, // split scaling
-		{Name: "never-seen"},                           // zero (explore)
+		{Name: "never-seen"}, // zero (explore)
 	}
 	s := m.Snapshot()
 	for _, op := range ops {

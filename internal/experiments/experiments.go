@@ -284,7 +284,7 @@ func (r *Runner) measureFastT(cell *Cell, cluster *device.Cluster, spec models.S
 			return fmt.Errorf("wrap full-batch %s: %w", spec.Name, err)
 		}
 	}
-	s, err := session.New(cluster, train, session.Config{
+	s, err := session.New(cluster, sim.DefaultExecutor(cluster), train, session.Config{
 		Seed:      r.cfg.Seed,
 		MaxRounds: r.cfg.MaxRounds,
 		Jitter:    r.cfg.Jitter,

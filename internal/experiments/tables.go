@@ -12,6 +12,7 @@ import (
 	"fastt/internal/kernels"
 	"fastt/internal/models"
 	"fastt/internal/session"
+	"fastt/internal/sim"
 )
 
 // ScalingSetting is one column group of Tables 1 and 2.
@@ -509,7 +510,7 @@ func runWithoutSplitting(cfg Config, model string, gpus, servers int) (time.Dura
 	if err != nil {
 		return 0, err
 	}
-	s, err := session.New(cluster, g, session.Config{
+	s, err := session.New(cluster, sim.DefaultExecutor(cluster), g, session.Config{
 		Seed:             cfg.Seed,
 		MaxRounds:        cfg.MaxRounds,
 		Jitter:           cfg.Jitter,

@@ -44,9 +44,10 @@ func Catalog() []Spec {
 	}
 }
 
-// ByName looks a model up by its table name.
+// ByName looks a model up by its table name, searching the paper catalog
+// and the extra models.
 func ByName(name string) (Spec, error) {
-	for _, s := range Catalog() {
+	for _, s := range append(Catalog(), Extras()...) {
 		if s.Name == name {
 			return s, nil
 		}

@@ -11,9 +11,28 @@ import (
 // those stay faithful to the original evaluation.
 func Extras() []Spec {
 	return []Spec{
+		{Name: "MLP", Build: MLP, GlobalBatch: 256, PerGPUBatch: 256, Kind: "cnn"},
 		{Name: "ResNet50", Build: ResNet50, GlobalBatch: 64, PerGPUBatch: 64, Kind: "cnn"},
 		{Name: "GPT2-small", Build: GPT2Small, GlobalBatch: 16, PerGPUBatch: 16, Kind: "nmt"},
 	}
+}
+
+// MLP builds a three-layer perceptron on flattened 28x28 input
+// (784-1024-512-10) — the smallest catalog entry, sized for CLI smoke tests
+// and strategy-artifact round trips.
+func MLP(batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("mlp: batch %d", batch)
+	}
+	b := newBuilder(batch, 1)
+	in := b.add(opSpec{
+		name: "input", kind: graph.KindInput,
+		outBytes: vec(batch, 784), noGrad: true,
+	})
+	f1 := denseLayer(b, "fc1", in, 784, 1024, true)
+	f2 := denseLayer(b, "fc2", f1, 1024, 512, true)
+	f3 := denseLayer(b, "fc3", f2, 512, 10, false)
+	return b.finish(f3)
 }
 
 // ResNet50 builds ResNet-50 (224x224x3 input): bottleneck stages

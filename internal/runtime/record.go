@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"fastt/internal/graph"
+	"fastt/internal/strategy"
+)
+
+// Errors returned by the replay executor.
+var (
+	// ErrReplayExhausted is returned when a replay runs past the end of its
+	// recording.
+	ErrReplayExhausted = errors.New("replay recording exhausted")
+	// ErrReplayMismatch is returned when a replayed call does not match the
+	// recorded one (different graph, placement, or config).
+	ErrReplayMismatch = errors.New("replay call does not match recording")
+)
+
+// RecordedCall is one executed iteration in a recording: the request key
+// (graph fingerprint, artifact shape, seed) and the result it produced.
+type RecordedCall struct {
+	Key    string  `json:"key"`
+	Result *Result `json:"result"`
+}
+
+// Recording is a serializable trace of executor calls, replayable without
+// the backend that produced it.
+type Recording struct {
+	Calls []RecordedCall `json:"calls"`
+}
+
+// WriteJSON serializes the recording.
+func (rec *Recording) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(rec)
+}
+
+// ReadRecording parses a recording written by WriteJSON.
+func ReadRecording(r io.Reader) (*Recording, error) {
+	var rec Recording
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("decode recording: %w", err)
+	}
+	return &rec, nil
+}
+
+// Replayer returns an executor that replays the recording call by call.
+func (rec *Recording) Replayer() *Replayer {
+	return &Replayer{rec: rec}
+}
+
+// callKey identifies one executor request well enough to catch a replay
+// driving a different workload than the recording: the executed graph, the
+// artifact's decisions, and the reproducibility-relevant config.
+func callKey(g *graph.Graph, art *strategy.Artifact, cfg Config) string {
+	order := len(art.Order)
+	if !cfg.EnforceOrder {
+		order = 0
+	}
+	return fmt.Sprintf("%s|p%d|o%d|s%d|seed%d|j%g",
+		strategy.Fingerprint(g), len(art.Placement), order, len(art.Splits),
+		cfg.Seed, cfg.Jitter)
+}
+
+// Recorder is an Executor that delegates to an inner backend and records
+// every successful run, proving the executor seam supports more than the
+// simulator: the resulting Recording replays deterministically with no
+// backend at all (trace-driven what-if analysis, tests without a
+// simulator, fault reproduction).
+type Recorder struct {
+	inner Executor
+
+	mu    sync.Mutex
+	calls []RecordedCall
+}
+
+var _ Executor = (*Recorder)(nil)
+
+// NewRecorder wraps an executor.
+func NewRecorder(inner Executor) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Run delegates to the inner executor and records the call. Failed runs are
+// returned as-is and not recorded.
+func (r *Recorder) Run(g *graph.Graph, art *strategy.Artifact, cfg Config) (*Result, error) {
+	res, err := r.inner.Run(g, art, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.calls = append(r.calls, RecordedCall{Key: callKey(g, art, cfg), Result: res})
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Recording returns a copy of everything recorded so far.
+func (r *Recorder) Recording() *Recording {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Recording{Calls: append([]RecordedCall(nil), r.calls...)}
+}
+
+// Replayer is an Executor that serves results from a recording in call
+// order, verifying each request matches what was recorded.
+type Replayer struct {
+	rec *Recording
+
+	mu   sync.Mutex
+	next int
+}
+
+var _ Executor = (*Replayer)(nil)
+
+// Run returns the next recorded result, or an error when the recording is
+// exhausted or the request diverges from it.
+func (p *Replayer) Run(g *graph.Graph, art *strategy.Artifact, cfg Config) (*Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.next >= len(p.rec.Calls) {
+		return nil, fmt.Errorf("%w: call %d of %d", ErrReplayExhausted, p.next+1, len(p.rec.Calls))
+	}
+	call := p.rec.Calls[p.next]
+	if key := callKey(g, art, cfg); key != call.Key {
+		return nil, fmt.Errorf("%w: call %d: got %s, recorded %s",
+			ErrReplayMismatch, p.next+1, key, call.Key)
+	}
+	p.next++
+	return call.Result, nil
+}

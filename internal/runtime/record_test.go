@@ -1,0 +1,151 @@
+package runtime_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/models"
+	"fastt/internal/placement"
+	"fastt/internal/runtime"
+	"fastt/internal/sim"
+	"fastt/internal/strategy"
+)
+
+// setup builds a LeNet data-parallel deployment on 2 GPUs.
+func setup(t *testing.T) (*device.Cluster, *graph.Graph, *strategy.Artifact) {
+	t.Helper()
+	c, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	m, err := models.LeNet(64)
+	if err != nil {
+		t.Fatalf("LeNet: %v", err)
+	}
+	g, err := graph.BuildDataParallel(m, 2)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	place, err := placement.DataParallel(g, c)
+	if err != nil {
+		t.Fatalf("DataParallel: %v", err)
+	}
+	art := strategy.New(g, place, nil, nil, 0,
+		strategy.Provenance{Origin: "data-parallel", Cluster: strategy.ClusterShapeOf(c)})
+	return c, g, art
+}
+
+// TestRecordReplay drives the simulator through a Recorder, serializes the
+// recording, and replays it without any backend: every replayed result must
+// equal the recorded one, in order.
+func TestRecordReplay(t *testing.T) {
+	c, g, art := setup(t)
+	rec := runtime.NewRecorder(sim.DefaultExecutor(c))
+
+	cfgs := []runtime.Config{
+		{Jitter: 0.02, Seed: 1, EnforceOrder: true},
+		{Jitter: 0.02, Seed: 2, EnforceOrder: true},
+		{Jitter: 0.05, Seed: 3},
+	}
+	var want []*runtime.Result
+	for _, cfg := range cfgs {
+		res, err := rec.Run(g, art, cfg)
+		if err != nil {
+			t.Fatalf("recorded run: %v", err)
+		}
+		want = append(want, res)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.Recording().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	recording, err := runtime.ReadRecording(&buf)
+	if err != nil {
+		t.Fatalf("ReadRecording: %v", err)
+	}
+
+	replay := recording.Replayer()
+	for i, cfg := range cfgs {
+		res, err := replay.Run(g, art, cfg)
+		if err != nil {
+			t.Fatalf("replayed run %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(res, want[i]) {
+			t.Errorf("replayed result %d differs from recording", i)
+		}
+	}
+
+	// Past the end of the recording.
+	if _, err := replay.Run(g, art, cfgs[0]); !errors.Is(err, runtime.ErrReplayExhausted) {
+		t.Errorf("err = %v, want ErrReplayExhausted", err)
+	}
+}
+
+// TestReplayMismatch: a replay driving a different workload than the
+// recording must fail loudly instead of serving stale results.
+func TestReplayMismatch(t *testing.T) {
+	c, g, art := setup(t)
+	rec := runtime.NewRecorder(sim.DefaultExecutor(c))
+	cfg := runtime.Config{Jitter: 0.02, Seed: 1, EnforceOrder: true}
+	if _, err := rec.Run(g, art, cfg); err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+
+	replay := rec.Recording().Replayer()
+	other := cfg
+	other.Seed = 42
+	if _, err := replay.Run(g, art, other); !errors.Is(err, runtime.ErrReplayMismatch) {
+		t.Errorf("err = %v, want ErrReplayMismatch", err)
+	}
+}
+
+// TestRecorderSkipsFailedRuns: OOMs and other failures propagate to the
+// caller but do not pollute the recording.
+func TestRecorderSkipsFailedRuns(t *testing.T) {
+	c, g, art := setup(t)
+	rec := runtime.NewRecorder(sim.DefaultExecutor(c))
+
+	bad := *art
+	bad.Placement = nil // malformed: wrong length for the graph
+	if _, err := rec.Run(g, &bad, runtime.Config{}); err == nil {
+		t.Fatal("malformed placement executed")
+	}
+	if n := len(rec.Recording().Calls); n != 0 {
+		t.Errorf("failed run recorded: %d calls", n)
+	}
+}
+
+// TestSessionRunsOnReplay proves the executor seam end to end: a session
+// driven by a replayed recording (no simulator in the loop).
+func TestSessionRunsOnReplay(t *testing.T) {
+	c, g, art := setup(t)
+	exec := sim.DefaultExecutor(c)
+
+	// Record three direct runs with the seed sequence a fresh consumer of
+	// the recording will use.
+	rec := runtime.NewRecorder(exec)
+	var want []*runtime.Result
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := rec.Run(g, art, runtime.Config{Jitter: 0.02, Seed: seed, EnforceOrder: true})
+		if err != nil {
+			t.Fatalf("record: %v", err)
+		}
+		want = append(want, res)
+	}
+
+	replay := rec.Recording().Replayer()
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := replay.Run(g, art, runtime.Config{Jitter: 0.02, Seed: seed, EnforceOrder: true})
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if res.Makespan != want[seed-1].Makespan {
+			t.Errorf("seed %d: makespan %v, recorded %v", seed, res.Makespan, want[seed-1].Makespan)
+		}
+	}
+}

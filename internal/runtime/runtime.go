@@ -1,0 +1,37 @@
+// Package runtime defines the executor seam between FastT's training
+// workflow and the backends that actually run a placed graph. The session
+// drives everything through the Executor interface, so the discrete-event
+// simulator (internal/sim), the recording/replay executor in this package,
+// and future real backends are interchangeable: a backend receives the
+// materialized graph plus the strategy artifact to run it under, and
+// returns the per-iteration profile the cost models learn from.
+package runtime
+
+import (
+	"fastt/internal/graph"
+	"fastt/internal/strategy"
+)
+
+// Config tunes one execution. It is backend-agnostic: backends ignore what
+// does not apply to them.
+type Config struct {
+	// Memory converts parameter bytes into resident bytes for OOM
+	// accounting. Zero value falls back to graph.DefaultMemoryModel.
+	Memory graph.MemoryModel
+	// Jitter adds multiplicative uniform noise of ±Jitter to execution
+	// times, emulating real measurement variance. Zero disables noise.
+	Jitter float64
+	// Seed seeds the noise generator; runs with equal seeds reproduce.
+	Seed int64
+	// EnforceOrder executes the artifact's recorded order (as executor
+	// priorities) instead of the backend's default FIFO discipline —
+	// FastT's order enforcement. Ignored when the artifact has no order.
+	EnforceOrder bool
+}
+
+// Executor runs one training iteration of the materialized graph under the
+// artifact's placement (and, when enforced, its execution order). The graph
+// must be the artifact's materialized graph — see strategy.Materialize.
+type Executor interface {
+	Run(g *graph.Graph, art *strategy.Artifact, cfg Config) (*Result, error)
+}

@@ -52,7 +52,7 @@ func TestFullZooSessions(t *testing.T) {
 				t.Fatalf("DP run: %v", err)
 			}
 
-			s, err := New(cluster, g, Config{Seed: 3, MaxRounds: 2})
+			s, err := New(cluster, sim.WrapEngine(engine), g, Config{Seed: 3, MaxRounds: 2})
 			if err != nil {
 				t.Fatalf("New: %v", err)
 			}

@@ -7,7 +7,7 @@ import (
 func TestRunPeriodicReprofilingCounts(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{Seed: 13, MaxRounds: 1, ReprofileEvery: 3})
+	s, err := New(c, simExec(c), g, Config{Seed: 13, MaxRounds: 1, ReprofileEvery: 3})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -30,7 +30,7 @@ func TestRunPeriodicReprofilingCounts(t *testing.T) {
 func TestRunDetectsHardwareDrift(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{Seed: 17, MaxRounds: 1, ReprofileEvery: 2})
+	s, err := New(c, simExec(c), g, Config{Seed: 17, MaxRounds: 1, ReprofileEvery: 2})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -68,7 +68,7 @@ func TestRunDetectsHardwareDrift(t *testing.T) {
 func TestDriftedThresholds(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{Seed: 19, MaxRounds: 1})
+	s, err := New(c, simExec(c), g, Config{Seed: 19, MaxRounds: 1})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

@@ -18,9 +18,9 @@ import (
 	"fastt/internal/cost"
 	"fastt/internal/device"
 	"fastt/internal/graph"
-	"fastt/internal/kernels"
 	"fastt/internal/placement"
-	"fastt/internal/sim"
+	"fastt/internal/runtime"
+	"fastt/internal/strategy"
 	"fastt/internal/validate"
 )
 
@@ -100,14 +100,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// active is the currently activated strategy: a graph, a placement and
-// (optionally) an execution order.
+// active is the currently activated strategy: the deployment artifact plus
+// the materialized graph its placement and order index into.
 type active struct {
-	graph      *graph.Graph
-	placement  []int
-	priorities []int // nil means FIFO
-	splits     []graph.SplitDecision
-	label      string
+	graph *graph.Graph
+	art   *strategy.Artifact
 }
 
 // Round records one pre-training strategy-search round.
@@ -163,9 +160,9 @@ type Report struct {
 type RunStats struct {
 	Iterations int
 	AvgIter    time.Duration
-	// Last is the last iteration's full simulation result (spans,
+	// Last is the last iteration's full execution result (spans,
 	// transfers, memory peaks) for trace export and breakdown analysis.
-	Last *sim.Result
+	Last *runtime.Result
 	// Reprofiles counts the periodic profiling checks performed;
 	// Recomputed counts strategy recomputations triggered by cost-model
 	// drift (each implies a checkpoint/restart on the training timeline).
@@ -173,11 +170,13 @@ type RunStats struct {
 	Recomputed int
 }
 
-// Session owns the training loop state.
+// Session owns the training loop state. All execution goes through the
+// injected runtime.Executor, so the same workflow drives the simulator, a
+// replayed trace, or any future real backend.
 type Session struct {
 	cfg     Config
 	cluster *device.Cluster
-	engine  *sim.Engine
+	exec    runtime.Executor
 	base    *graph.Graph
 	costs   *cost.Model
 	store   *checkpoint.Store
@@ -192,16 +191,19 @@ type Session struct {
 
 // New creates a session for training the given graph (a data-parallel
 // training graph, or a plain model graph for models exceeding one GPU) on
-// the cluster.
-func New(cluster *device.Cluster, trainGraph *graph.Graph, cfg Config) (*Session, error) {
+// the cluster, executing through exec (typically sim.DefaultExecutor).
+func New(cluster *device.Cluster, exec runtime.Executor, trainGraph *graph.Graph, cfg Config) (*Session, error) {
 	if err := trainGraph.Validate(); err != nil {
 		return nil, fmt.Errorf("train graph: %w", err)
+	}
+	if exec == nil {
+		return nil, errors.New("nil executor")
 	}
 	cfg = cfg.withDefaults()
 	return &Session{
 		cfg:     cfg,
 		cluster: cluster,
-		engine:  sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster)),
+		exec:    exec,
 		base:    trainGraph,
 		costs:   cost.NewModel(cluster),
 		store:   checkpoint.NewStore(),
@@ -227,25 +229,46 @@ func (s *Session) BootstrapReport() *Report { return s.boot }
 // ActiveGraph returns the graph of the currently activated strategy.
 func (s *Session) ActiveGraph() *graph.Graph { return s.cur.graph }
 
+// ActiveArtifact returns the currently activated strategy as a deployment
+// artifact (nil before Bootstrap). The artifact is live session state;
+// callers wanting to mutate it (e.g. to stamp provenance before writing it
+// to disk) should copy it first.
+func (s *Session) ActiveArtifact() *strategy.Artifact { return s.cur.art }
+
 // ActivePlacement returns the active placement (op ID -> device).
-func (s *Session) ActivePlacement() []int { return s.cur.placement }
+func (s *Session) ActivePlacement() []int {
+	if s.cur.art == nil {
+		return nil
+	}
+	return s.cur.art.Placement
+}
 
 // ActiveSplits returns the active strategy's split list.
-func (s *Session) ActiveSplits() []graph.SplitDecision { return s.cur.splits }
+func (s *Session) ActiveSplits() []graph.SplitDecision {
+	if s.cur.art == nil {
+		return nil
+	}
+	return s.cur.art.Splits
+}
 
 // ActivePriorities returns the active execution-order priorities, or nil
 // when the active strategy runs under the default FIFO order.
-func (s *Session) ActivePriorities() []int { return s.cur.priorities }
+func (s *Session) ActivePriorities() []int {
+	if s.cur.art == nil {
+		return nil
+	}
+	return s.cur.art.PriorityIndex()
+}
 
 // Bootstrap runs the pre-training stage and returns its report. It must be
 // called before Run.
 func (s *Session) Bootstrap() (*Report, error) {
-	start, label, err := s.startStrategy()
+	start, err := s.startStrategy()
 	if err != nil {
 		return nil, err
 	}
-	s.cur = active{graph: s.base, placement: start, label: label}
-	rep := &Report{Start: label}
+	s.cur = active{graph: s.base, art: start}
+	rep := &Report{Start: start.Provenance.Origin}
 
 	measured, _, err := s.profile(s.cur)
 	if err != nil {
@@ -293,13 +316,7 @@ func (s *Session) Bootstrap() (*Report, error) {
 		}
 
 		if cand.Predicted < s.curMeasured {
-			next := active{
-				graph:      cand.Graph,
-				placement:  cand.Placement,
-				priorities: cand.Priorities,
-				splits:     cand.Splits,
-				label:      "fastt",
-			}
+			next := s.candidateActive(cand)
 			if err := s.activate(); err != nil {
 				return nil, fmt.Errorf("round %d: activate: %w", round, err)
 			}
@@ -309,7 +326,9 @@ func (s *Session) Bootstrap() (*Report, error) {
 			case oom != nil:
 				// The candidate OOMs at runtime (activation lifetimes the
 				// static check missed): roll back.
-				s.rollback()
+				if err := s.rollback(); err != nil {
+					return nil, fmt.Errorf("round %d: rollback: %w", round, err)
+				}
 				rep.SimulatedOverhead += s.restartCost()
 				r.RolledBack = true
 				r.Measured = s.curMeasured
@@ -317,7 +336,9 @@ func (s *Session) Bootstrap() (*Report, error) {
 				return nil, fmt.Errorf("round %d: profile candidate: %w", round, err)
 			case m > s.curMeasured:
 				// Paper: if the new strategy is slower, roll back.
-				s.rollback()
+				if err := s.rollback(); err != nil {
+					return nil, fmt.Errorf("round %d: rollback: %w", round, err)
+				}
 				rep.SimulatedOverhead += s.restartCost() + m*time.Duration(s.cfg.ProfileIters)
 				r.RolledBack = true
 				r.Measured = m
@@ -361,7 +382,7 @@ func (s *Session) Run(iters int) (*RunStats, error) {
 		return nil, fmt.Errorf("iters must be >= 1, got %d", iters)
 	}
 	var total time.Duration
-	var last *sim.Result
+	var last *runtime.Result
 	stats := &RunStats{Iterations: iters}
 	for i := 0; i < iters; i++ {
 		res, err := s.runOnce(s.cur)
@@ -395,7 +416,7 @@ func (s *Session) Run(iters int) (*RunStats, error) {
 
 // drifted reports whether the iteration's measured op times deviate from
 // the cost models beyond the configured thresholds.
-func (s *Session) drifted(res *sim.Result) bool {
+func (s *Session) drifted(res *runtime.Result) bool {
 	drifted, checked := 0, 0
 	for _, span := range res.Spans {
 		mean, ok := s.costs.Comp.Lookup(s.cur.graph.Op(span.Op).Name, span.Device)
@@ -436,13 +457,7 @@ func (s *Session) refreshStrategy(latest time.Duration) (bool, error) {
 		s.curMeasured = latest
 		return false, nil
 	}
-	next := active{
-		graph:      cand.Graph,
-		placement:  cand.Placement,
-		priorities: cand.Priorities,
-		splits:     cand.Splits,
-		label:      "fastt",
-	}
+	next := s.candidateActive(cand)
 	if err := s.activate(); err != nil {
 		return false, err
 	}
@@ -451,12 +466,36 @@ func (s *Session) refreshStrategy(latest time.Duration) (bool, error) {
 		return false, err
 	}
 	if oom != nil || m > latest {
-		s.rollback()
+		if err := s.rollback(); err != nil {
+			return false, err
+		}
 		return false, nil
 	}
 	s.cur = next
 	s.curMeasured = m
 	return true, nil
+}
+
+// candidateActive packages a computed strategy as the would-be active
+// state: the calculator's artifact stamped with this session's provenance
+// (cluster shape and the hash of the cost-model snapshot that justified
+// it), plus the materialized graph.
+func (s *Session) candidateActive(cand *core.Strategy) active {
+	art := cand.Artifact
+	art.Provenance = s.provenance("fastt")
+	return active{graph: cand.Graph, art: &art}
+}
+
+// provenance describes this session's deployment context.
+func (s *Session) provenance(origin string) strategy.Provenance {
+	prov := strategy.Provenance{
+		Origin:  origin,
+		Cluster: strategy.ClusterShapeOf(s.cluster),
+	}
+	if hash, err := strategy.HashJSON(s.costs.WriteJSON); err == nil {
+		prov.CostHash = hash
+	}
+	return prov
 }
 
 // compute invokes the strategy calculator on the base graph with the
@@ -470,38 +509,36 @@ func (s *Session) compute() (*core.Strategy, error) {
 
 // startStrategy picks data parallelism when it executes without OOM, and
 // memory-balanced model parallelism otherwise.
-func (s *Session) startStrategy() ([]int, string, error) {
+func (s *Session) startStrategy() (*strategy.Artifact, error) {
 	if place, err := placement.DataParallel(s.base, s.cluster); err == nil {
-		if _, err := s.engine.Run(s.base, place, s.simConfig(nil)); err == nil {
-			return place, "data-parallel", nil
+		art := strategy.New(s.base, place, nil, nil, 0, s.provenance("data-parallel"))
+		if _, err := s.exec.Run(s.base, art, s.runConfig()); err == nil {
+			return art, nil
 		} else {
-			var oom *sim.OOMError
+			var oom *runtime.OOMError
 			if !errors.As(err, &oom) {
-				return nil, "", fmt.Errorf("start strategy: %w", err)
+				return nil, fmt.Errorf("start strategy: %w", err)
 			}
 		}
 	}
 	place, err := placement.ModelParallel(s.base, s.cluster, s.cfg.Memory)
 	if err != nil {
-		return nil, "", fmt.Errorf("%w: %v", ErrNoFeasibleStart, err)
+		return nil, fmt.Errorf("%w: %v", ErrNoFeasibleStart, err)
 	}
-	if _, err := s.engine.Run(s.base, place, s.simConfig(nil)); err != nil {
-		return nil, "", fmt.Errorf("%w: model parallel: %v", ErrNoFeasibleStart, err)
+	art := strategy.New(s.base, place, nil, nil, 0, s.provenance("model-parallel"))
+	if _, err := s.exec.Run(s.base, art, s.runConfig()); err != nil {
+		return nil, fmt.Errorf("%w: model parallel: %v", ErrNoFeasibleStart, err)
 	}
-	return place, "model-parallel", nil
+	return art, nil
 }
 
-func (s *Session) simConfig(priorities []int) sim.Config {
-	cfg := sim.Config{
-		Memory: s.cfg.Memory,
-		Jitter: s.cfg.Jitter,
-		Seed:   s.nextSeed(),
+func (s *Session) runConfig() runtime.Config {
+	return runtime.Config{
+		Memory:       s.cfg.Memory,
+		Jitter:       s.cfg.Jitter,
+		Seed:         s.nextSeed(),
+		EnforceOrder: !s.cfg.DisableOrderEnforcement,
 	}
-	if priorities != nil && !s.cfg.DisableOrderEnforcement {
-		cfg.Discipline = sim.Priority
-		cfg.Priorities = priorities
-	}
-	return cfg
 }
 
 func (s *Session) nextSeed() int64 {
@@ -509,20 +546,20 @@ func (s *Session) nextSeed() int64 {
 	return s.seed
 }
 
-func (s *Session) runOnce(a active) (*sim.Result, error) {
-	return s.engine.Run(a.graph, a.placement, s.simConfig(a.priorities))
+func (s *Session) runOnce(a active) (*runtime.Result, error) {
+	return s.exec.Run(a.graph, a.art, s.runConfig())
 }
 
 // profile runs ProfileIters iterations of the strategy, feeding the cost
 // models from the spans and transfers (the RunMetadata path), and returns
 // the mean iteration time. An OOM is reported separately so the caller can
 // roll back instead of failing.
-func (s *Session) profile(a active) (time.Duration, *sim.OOMError, error) {
+func (s *Session) profile(a active) (time.Duration, *runtime.OOMError, error) {
 	var total time.Duration
 	for i := 0; i < s.cfg.ProfileIters; i++ {
 		res, err := s.runOnce(a)
 		if err != nil {
-			var oom *sim.OOMError
+			var oom *runtime.OOMError
 			if errors.As(err, &oom) {
 				return 0, oom, nil
 			}
@@ -535,7 +572,7 @@ func (s *Session) profile(a active) (time.Duration, *sim.OOMError, error) {
 }
 
 // observe feeds one iteration's profile into the cost models.
-func (s *Session) observe(g *graph.Graph, res *sim.Result) {
+func (s *Session) observe(g *graph.Graph, res *runtime.Result) {
 	for _, span := range res.Spans {
 		s.costs.Comp.Observe(g.Op(span.Op).Name, span.Device, span.End-span.Start)
 	}
@@ -544,27 +581,33 @@ func (s *Session) observe(g *graph.Graph, res *sim.Result) {
 	}
 }
 
-// activate checkpoints the current state so a rollback can restore it; the
-// caller swaps in the new strategy only after a successful profile.
+// activate checkpoints the current state — the full strategy artifact,
+// execution order included — so a rollback can restore it; the caller swaps
+// in the new strategy only after a successful profile.
 func (s *Session) activate() error {
 	snap := checkpoint.Snapshot{
 		Step:       s.step,
 		ParamBytes: s.cur.graph.ComputeStats().ParamBytes,
-		Placement:  s.cur.placement,
-		Splits:     s.cur.splits,
+		Artifact:   *s.cur.art,
 	}
 	return s.store.Save(snap)
 }
 
-// rollback restores the checkpointed strategy (s.cur is unchanged since
-// activate never overwrote it; the checkpoint models the parameter
-// restore).
-func (s *Session) rollback() {
-	if _, err := s.store.Restore(); err != nil {
-		// Nothing to restore is a programming error upstream but not
-		// fatal: the current strategy is still in place.
-		return
+// rollback restores the checkpointed strategy from the store: the snapshot
+// artifact is decoded, its graph re-materialized, and the pair installed as
+// the active strategy — the restore path a real checkpoint/restart takes,
+// rather than trusting the in-memory state to still match the checkpoint.
+func (s *Session) rollback() error {
+	snap, err := s.store.Restore()
+	if err != nil {
+		return fmt.Errorf("restore checkpoint: %w", err)
 	}
+	g, err := snap.Artifact.Materialize(s.base)
+	if err != nil {
+		return fmt.Errorf("materialize checkpointed strategy: %w", err)
+	}
+	s.cur = active{graph: g, art: &snap.Artifact}
+	return nil
 }
 
 func (s *Session) restartCost() time.Duration {

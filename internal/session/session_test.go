@@ -2,13 +2,23 @@ package session
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
+	"fastt/internal/core"
 	"fastt/internal/device"
 	"fastt/internal/graph"
+	"fastt/internal/kernels"
 	"fastt/internal/models"
+	"fastt/internal/runtime"
+	"fastt/internal/sim"
+	"fastt/internal/strategy"
 )
+
+// simExec is the executor the tests inject: the simulator with default
+// kernel models, as production callers use.
+func simExec(c *device.Cluster) runtime.Executor { return sim.DefaultExecutor(c) }
 
 // dpTrainGraph builds a small LeNet data-parallel training graph.
 func dpTrainGraph(t *testing.T, replicas, batchPerReplica int) *graph.Graph {
@@ -36,7 +46,7 @@ func cluster2(t *testing.T) *device.Cluster {
 func TestBootstrapProducesStrategy(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{Seed: 1, MaxRounds: 2})
+	s, err := New(c, simExec(c), g, Config{Seed: 1, MaxRounds: 2})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -69,7 +79,7 @@ func TestBootstrapNeverEndsSlowertThanStart(t *testing.T) {
 	// strategy beyond measurement noise.
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{Seed: 3, MaxRounds: 3})
+	s, err := New(c, simExec(c), g, Config{Seed: 3, MaxRounds: 3})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -86,7 +96,7 @@ func TestBootstrapNeverEndsSlowertThanStart(t *testing.T) {
 func TestRunAfterBootstrap(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{Seed: 5, MaxRounds: 1})
+	s, err := New(c, simExec(c), g, Config{Seed: 5, MaxRounds: 1})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -108,7 +118,7 @@ func TestRunAfterBootstrap(t *testing.T) {
 func TestRunRequiresBootstrap(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{})
+	s, err := New(c, simExec(c), g, Config{})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -149,7 +159,7 @@ func TestModelParallelStartForLargeModel(t *testing.T) {
 	if err != nil {
 		t.Fatalf("SingleServer: %v", err)
 	}
-	s, err := New(c, g, Config{Seed: 7, MaxRounds: 1})
+	s, err := New(c, simExec(c), g, Config{Seed: 7, MaxRounds: 1})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -181,7 +191,7 @@ func TestNoFeasibleStart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("SingleServer: %v", err)
 	}
-	s, err := New(c, g, Config{})
+	s, err := New(c, simExec(c), g, Config{})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -193,7 +203,7 @@ func TestNoFeasibleStart(t *testing.T) {
 func TestDisableSplittingYieldsNoSplits(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{Seed: 9, MaxRounds: 2, DisableSplitting: true})
+	s, err := New(c, simExec(c), g, Config{Seed: 9, MaxRounds: 2, DisableSplitting: true})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -208,7 +218,7 @@ func TestDisableSplittingYieldsNoSplits(t *testing.T) {
 func TestCostModelsPopulatedByBootstrap(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	s, err := New(c, g, Config{Seed: 11, MaxRounds: 1})
+	s, err := New(c, simExec(c), g, Config{Seed: 11, MaxRounds: 1})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -230,7 +240,7 @@ func TestBootstrapReproducible(t *testing.T) {
 	c := cluster2(t)
 	run := func() *Report {
 		g := dpTrainGraph(t, 2, 64)
-		s, err := New(c, g, Config{Seed: 21, MaxRounds: 2})
+		s, err := New(c, simExec(c), g, Config{Seed: 21, MaxRounds: 2})
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}
@@ -250,7 +260,7 @@ func TestBootstrapReproducible(t *testing.T) {
 func TestCostPersistenceAcrossSessions(t *testing.T) {
 	c := cluster2(t)
 	g := dpTrainGraph(t, 2, 64)
-	first, err := New(c, g, Config{Seed: 31, MaxRounds: 2})
+	first, err := New(c, simExec(c), g, Config{Seed: 31, MaxRounds: 2})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -262,7 +272,7 @@ func TestCostPersistenceAcrossSessions(t *testing.T) {
 		t.Fatalf("SaveCosts: %v", err)
 	}
 
-	second, err := New(c, dpTrainGraph(t, 2, 64), Config{Seed: 33, MaxRounds: 2})
+	second, err := New(c, simExec(c), dpTrainGraph(t, 2, 64), Config{Seed: 33, MaxRounds: 2})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -275,5 +285,51 @@ func TestCostPersistenceAcrossSessions(t *testing.T) {
 	}
 	if _, err := second.Bootstrap(); err != nil {
 		t.Fatalf("Bootstrap after LoadCosts: %v", err)
+	}
+}
+
+func TestRollbackRestoresFullArtifact(t *testing.T) {
+	// Activation checkpoints the complete strategy artifact; a rollback must
+	// reproduce it exactly — execution order and priorities included — by
+	// decoding the snapshot and re-materializing its graph, not by trusting
+	// whatever happens to be in memory.
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, simExec(c), g, Config{Seed: 41})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cand, err := core.ComputeStrategy(g, c, kernels.NewDefaultOracle(c),
+		core.Options{MaxSplitOps: 4, MaxSyncGroups: 8})
+	if err != nil {
+		t.Fatalf("ComputeStrategy: %v", err)
+	}
+	s.cur = s.candidateActive(cand)
+	saved := *s.cur.art
+	savedGraph := s.cur.graph
+	if len(saved.Order) == 0 {
+		t.Fatal("computed strategy has no execution order; test would not cover order restore")
+	}
+	if err := s.activate(); err != nil {
+		t.Fatalf("activate: %v", err)
+	}
+
+	// Clobber the live state, as activating a bad candidate would.
+	junk := strategy.New(s.base, make([]int, s.base.NumOps()), nil, nil, 0,
+		strategy.Provenance{Origin: "junk"})
+	s.cur = active{graph: s.base, art: junk}
+
+	if err := s.rollback(); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	if !reflect.DeepEqual(*s.cur.art, saved) {
+		t.Errorf("restored artifact differs:\n got %+v\nwant %+v", *s.cur.art, saved)
+	}
+	if !reflect.DeepEqual(s.cur.art.PriorityIndex(), saved.PriorityIndex()) {
+		t.Errorf("restored priorities = %v, want %v",
+			s.cur.art.PriorityIndex(), saved.PriorityIndex())
+	}
+	if got, want := strategy.Fingerprint(s.cur.graph), strategy.Fingerprint(savedGraph); got != want {
+		t.Errorf("re-materialized graph fingerprint = %s, want %s", got, want)
 	}
 }

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/runtime"
+	"fastt/internal/strategy"
+)
+
+// Executor adapts the simulator to the runtime.Executor seam: it runs a
+// materialized graph under a strategy artifact's placement and — when order
+// enforcement is on and the artifact carries one — its execution order.
+type Executor struct {
+	engine *Engine
+}
+
+var _ runtime.Executor = (*Executor)(nil)
+
+// NewExecutor returns a simulator-backed executor for the cluster.
+func NewExecutor(cluster *device.Cluster, oracle *kernels.Oracle) *Executor {
+	return &Executor{engine: NewEngine(cluster, oracle)}
+}
+
+// DefaultExecutor returns a simulator-backed executor with the default
+// kernel oracle — the standard backend for sessions and the CLI.
+func DefaultExecutor(cluster *device.Cluster) *Executor {
+	return NewExecutor(cluster, kernels.NewDefaultOracle(cluster))
+}
+
+// WrapEngine adapts an existing engine.
+func WrapEngine(e *Engine) *Executor { return &Executor{engine: e} }
+
+// Engine exposes the underlying simulator engine for callers that need
+// simulator-specific configuration (disciplines, SharedNIC).
+func (x *Executor) Engine() *Engine { return x.engine }
+
+// Run implements runtime.Executor.
+func (x *Executor) Run(g *graph.Graph, art *strategy.Artifact, cfg runtime.Config) (*runtime.Result, error) {
+	sc := Config{
+		Memory: cfg.Memory,
+		Jitter: cfg.Jitter,
+		Seed:   cfg.Seed,
+	}
+	if cfg.EnforceOrder && len(art.Order) > 0 {
+		sc.Discipline = Priority
+		sc.Priorities = art.PriorityIndex()
+	}
+	return x.engine.Run(g, art.Placement, sc)
+}

@@ -22,11 +22,11 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"fastt/internal/device"
 	"fastt/internal/graph"
 	"fastt/internal/kernels"
+	"fastt/internal/runtime"
 )
 
 // QueueDiscipline selects how a device drains its ready queue.
@@ -57,18 +57,21 @@ var (
 	ErrStalled = errors.New("execution stalled")
 )
 
-// OOMError reports a device exceeding its memory capacity.
-type OOMError struct {
-	Device   int
-	Needed   int64
-	Capacity int64
-}
-
-// Error implements error.
-func (e *OOMError) Error() string {
-	return fmt.Sprintf("OOM on device %d: need %d bytes, capacity %d",
-		e.Device, e.Needed, e.Capacity)
-}
+// The execution result vocabulary (spans, transfers, results, OOM errors)
+// lives in internal/runtime, the backend-agnostic home shared by every
+// runtime.Executor implementation; the aliases below keep sim's historical
+// names working and make sim results directly usable behind the seam.
+type (
+	// OOMError reports a device exceeding its memory capacity.
+	OOMError = runtime.OOMError
+	// Span records one op execution — the computation half of RunMetadata.
+	Span = runtime.Span
+	// Transfer records one tensor movement — the memcpy half of
+	// RunMetadata.
+	Transfer = runtime.Transfer
+	// Result is the outcome of one simulated iteration.
+	Result = runtime.Result
+)
 
 // Config controls one simulated iteration.
 type Config struct {
@@ -97,71 +100,6 @@ type Config struct {
 	// had multiple rails, and the conservative default keeps the DP
 	// baseline strong); turn on for congested-network what-if analysis.
 	SharedNIC bool
-}
-
-// Span records one op execution — the computation half of RunMetadata.
-type Span struct {
-	Op     int
-	Device int
-	Start  time.Duration
-	End    time.Duration
-}
-
-// Transfer records one tensor movement — the memcpy half of RunMetadata.
-// Start is when the channel began moving the tensor (queueing excluded) so
-// the communication cost model learns the link law, not queue contention.
-type Transfer struct {
-	From, To int // device IDs
-	Producer int // op that produced the tensor
-	Consumer int // op awaiting it
-	Bytes    int64
-	Enqueued time.Duration
-	Start    time.Duration
-	End      time.Duration
-}
-
-// Result is the outcome of one simulated iteration.
-type Result struct {
-	// Makespan is the per-iteration time.
-	Makespan time.Duration
-	// Spans are per-op executions ordered by start time.
-	Spans []Span
-	// Transfers are all cross-device tensor movements.
-	Transfers []Transfer
-	// ComputeBusy is per-device total kernel time.
-	ComputeBusy []time.Duration
-	// MemcpyBusy is per-device total transfer time (counted on the
-	// receiving device, where TensorFlow's memcpy shows up).
-	MemcpyBusy []time.Duration
-	// PeakMemory is the per-device peak resident bytes.
-	PeakMemory []int64
-}
-
-// AvgComputeBusy returns the mean per-device compute time over devices that
-// executed at least one op, matching Fig. 5's "computation time".
-func (r *Result) AvgComputeBusy() time.Duration {
-	var sum time.Duration
-	n := 0
-	for _, d := range r.ComputeBusy {
-		if d > 0 {
-			sum += d
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / time.Duration(n)
-}
-
-// TotalMemcpy returns the total transfer time across devices, matching
-// Fig. 5's "memcpy time".
-func (r *Result) TotalMemcpy() time.Duration {
-	var sum time.Duration
-	for _, d := range r.MemcpyBusy {
-		sum += d
-	}
-	return sum
 }
 
 // Engine executes placed graphs on a cluster with ground-truth latencies

@@ -1,0 +1,396 @@
+package strategy_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+	"fastt/internal/placement"
+	"fastt/internal/runtime"
+	"fastt/internal/sim"
+	"fastt/internal/strategy"
+)
+
+func cluster2(t *testing.T) *device.Cluster {
+	t.Helper()
+	c, err := device.SingleServer(2)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	return c
+}
+
+// lenetDP builds a LeNet data-parallel training graph on 2 replicas.
+func lenetDP(t *testing.T, batchPerReplica int) *graph.Graph {
+	t.Helper()
+	m, err := models.LeNet(batchPerReplica)
+	if err != nil {
+		t.Fatalf("LeNet: %v", err)
+	}
+	g, err := graph.BuildDataParallel(m, 2)
+	if err != nil {
+		t.Fatalf("BuildDataParallel: %v", err)
+	}
+	return g
+}
+
+// TestArtifactRoundTripCatalog writes and reloads an artifact for every
+// model in the catalog (paper benchmarks plus extras), asserting the decoded
+// artifact is identical field for field and still validates against its
+// deployment target.
+func TestArtifactRoundTripCatalog(t *testing.T) {
+	c := cluster2(t)
+	for _, spec := range append(models.Catalog(), models.Extras()...) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			per := spec.GlobalBatch / 4
+			if per < 1 {
+				per = 1
+			}
+			m, err := spec.Build(per)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			g, err := graph.BuildDataParallel(m, 2)
+			if err != nil {
+				t.Fatalf("BuildDataParallel: %v", err)
+			}
+			place, err := placement.DataParallel(g, c)
+			if err != nil {
+				t.Fatalf("DataParallel: %v", err)
+			}
+			order, err := g.TopoOrder()
+			if err != nil {
+				t.Fatalf("TopoOrder: %v", err)
+			}
+			art := strategy.New(g, place, order, nil, 123*time.Microsecond, strategy.Provenance{
+				Model:    spec.Name,
+				Origin:   "data-parallel",
+				Cluster:  strategy.ClusterShapeOf(c),
+				CostHash: "0123456789abcdef0123456789abcdef",
+			})
+
+			var buf bytes.Buffer
+			if err := art.WriteJSON(&buf); err != nil {
+				t.Fatalf("WriteJSON: %v", err)
+			}
+			got, err := strategy.ReadJSON(&buf)
+			if err != nil {
+				t.Fatalf("ReadJSON: %v", err)
+			}
+			if !reflect.DeepEqual(got, art) {
+				t.Errorf("round trip differs:\n got %+v\nwant %+v", got, art)
+			}
+			if err := got.Validate(g, c); err != nil {
+				t.Errorf("reloaded artifact invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestReplayDeterminism is the deployment contract end to end: a computed
+// strategy written to JSON and reloaded reproduces a byte-identical
+// materialized graph, the same placement and order, and the same simulated
+// makespan as the original in-memory strategy.
+func TestReplayDeterminism(t *testing.T) {
+	c := cluster2(t)
+	base := lenetDP(t, 64)
+	cand, err := core.ComputeStrategy(base, c, kernels.NewDefaultOracle(c),
+		core.Options{MaxSplitOps: 4, MaxSyncGroups: 8})
+	if err != nil {
+		t.Fatalf("ComputeStrategy: %v", err)
+	}
+	art := cand.Artifact
+	art.Provenance = strategy.Provenance{
+		Model: "LeNet", Origin: "fastt", Cluster: strategy.ClusterShapeOf(c),
+	}
+
+	var buf bytes.Buffer
+	if err := art.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	reloaded, err := strategy.ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(reloaded.Placement, art.Placement) {
+		t.Fatal("placement changed across serialization")
+	}
+	if !reflect.DeepEqual(reloaded.Order, art.Order) {
+		t.Fatal("order changed across serialization")
+	}
+	if !reflect.DeepEqual(reloaded.Splits, art.Splits) {
+		t.Fatal("split list changed across serialization")
+	}
+
+	// Materializing the reloaded artifact reproduces the calculator's graph
+	// byte for byte.
+	g, err := reloaded.Materialize(base)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	var want, got bytes.Buffer
+	if err := cand.Graph.WriteJSON(&want); err != nil {
+		t.Fatalf("WriteJSON(calculator graph): %v", err)
+	}
+	if err := g.WriteJSON(&got); err != nil {
+		t.Fatalf("WriteJSON(materialized graph): %v", err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("materialized graph differs from the calculator's graph")
+	}
+
+	// Same executor, same config: identical simulated makespan.
+	exec := sim.DefaultExecutor(c)
+	cfg := runtime.Config{Jitter: 0.02, Seed: 99, EnforceOrder: true}
+	direct, err := exec.Run(cand.Graph, &art, cfg)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	replayed, err := exec.Run(g, reloaded, cfg)
+	if err != nil {
+		t.Fatalf("replayed run: %v", err)
+	}
+	if direct.Makespan != replayed.Makespan {
+		t.Errorf("makespan diverged: direct %v, replayed %v", direct.Makespan, replayed.Makespan)
+	}
+}
+
+func TestReadJSONRejectsSchemaVersion(t *testing.T) {
+	in := `{"schemaVersion": 99, "graphFingerprint": "abc", "placement": [0],
+		"provenance": {"cluster": {"servers": 1, "gpusPerServer": 2}}}`
+	if _, err := strategy.ReadJSON(strings.NewReader(in)); !errors.Is(err, strategy.ErrSchemaVersion) {
+		t.Errorf("err = %v, want ErrSchemaVersion", err)
+	}
+}
+
+func TestReadJSONRejectsUnknownFields(t *testing.T) {
+	in := `{"schemaVersion": 1, "graphFingerprint": "abc", "placement": [0],
+		"provenance": {"cluster": {"servers": 1, "gpusPerServer": 2}}, "surprise": true}`
+	if _, err := strategy.ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestValidateRejectsMismatches(t *testing.T) {
+	c := cluster2(t)
+	g := lenetDP(t, 64)
+	place, err := placement.DataParallel(g, c)
+	if err != nil {
+		t.Fatalf("DataParallel: %v", err)
+	}
+	art := strategy.New(g, place, nil, nil, 0,
+		strategy.Provenance{Origin: "data-parallel", Cluster: strategy.ClusterShapeOf(c)})
+	if err := art.Validate(g, c); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+
+	// Different base graph: fingerprint mismatch.
+	other := lenetDP(t, 32)
+	if err := art.Validate(other, c); !errors.Is(err, strategy.ErrFingerprint) {
+		t.Errorf("err = %v, want ErrFingerprint", err)
+	}
+
+	// Different cluster topology: shape mismatch.
+	c4, err := device.SingleServer(4)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	if err := art.Validate(g, c4); !errors.Is(err, strategy.ErrClusterShape) {
+		t.Errorf("err = %v, want ErrClusterShape", err)
+	}
+
+	// Foreign schema version.
+	stale := *art
+	stale.SchemaVersion = 0
+	if err := stale.Validate(g, c); !errors.Is(err, strategy.ErrSchemaVersion) {
+		t.Errorf("err = %v, want ErrSchemaVersion", err)
+	}
+}
+
+func TestMaterializeRejectsForeignSplits(t *testing.T) {
+	c := cluster2(t)
+	g := lenetDP(t, 64)
+	place, err := placement.DataParallel(g, c)
+	if err != nil {
+		t.Fatalf("DataParallel: %v", err)
+	}
+	art := strategy.New(g, place, nil,
+		[]graph.SplitDecision{{OpName: "no-such-op", Dim: graph.DimBatch, N: 2}}, 0,
+		strategy.Provenance{Cluster: strategy.ClusterShapeOf(c)})
+	if _, err := art.Materialize(g); !errors.Is(err, strategy.ErrMaterialize) {
+		t.Errorf("err = %v, want ErrMaterialize", err)
+	}
+}
+
+func TestPriorityIndex(t *testing.T) {
+	a := &strategy.Artifact{Order: []int{2, 0, 1}}
+	if got, want := a.PriorityIndex(), []int{1, 2, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PriorityIndex = %v, want %v", got, want)
+	}
+	if (&strategy.Artifact{}).PriorityIndex() != nil {
+		t.Error("empty order should yield nil priorities")
+	}
+	if (&strategy.Artifact{Order: []int{0, 7}}).PriorityIndex() != nil {
+		t.Error("malformed order should yield nil priorities")
+	}
+}
+
+// TestFingerprintStability: independently built instances of the same model
+// fingerprint identically, and any structural change (here: batch size)
+// changes the fingerprint.
+func TestFingerprintStability(t *testing.T) {
+	a := lenetDP(t, 64)
+	b := lenetDP(t, 64)
+	if strategy.Fingerprint(a) != strategy.Fingerprint(b) {
+		t.Error("identical graphs fingerprint differently")
+	}
+	if strategy.Fingerprint(a) == strategy.Fingerprint(lenetDP(t, 32)) {
+		t.Error("different graphs share a fingerprint")
+	}
+	if len(strategy.Fingerprint(a)) != 32 {
+		t.Errorf("fingerprint length = %d, want 32 hex chars", len(strategy.Fingerprint(a)))
+	}
+}
+
+// bottleneckGraph is a hand-built DAG whose huge matmul dominates the
+// critical path so badly that OS-DPOS reliably splits it — the catalog's
+// small models (LeNet et al.) never split, so this is the graph that gets a
+// non-empty split list through the serialization path.
+func bottleneckGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	in := g.MustAddOp(&graph.Op{
+		Name: "input", Kind: graph.KindInput,
+		OutputBytes: 8 << 20, Batch: 64,
+	})
+	cheap := g.MustAddOp(&graph.Op{
+		Name: "branch_cheap", Kind: graph.KindConv2D,
+		FLOPs: 2e9, OutputBytes: 8 << 20, Batch: 64, Channels: 128,
+	})
+	costly := g.MustAddOp(&graph.Op{
+		Name: "branch_costly", Kind: graph.KindConv2D,
+		FLOPs: 40e9, OutputBytes: 8 << 20, Batch: 64, Channels: 128,
+	})
+	join := g.MustAddOp(&graph.Op{
+		Name: "join", Kind: graph.KindConcat,
+		OutputBytes: 16 << 20, Batch: 64, Channels: 256,
+	})
+	bottleneck := g.MustAddOp(&graph.Op{
+		Name: "bottleneck", Kind: graph.KindMatMul,
+		FLOPs: 120e9, ParamBytes: 16 << 20, OutputBytes: 4 << 20,
+		Batch: 64, Channels: 4096,
+	})
+	loss := g.MustAddOp(&graph.Op{
+		Name: "loss", Kind: graph.KindLoss, FLOPs: 1e6, OutputBytes: 4, Batch: 64,
+	})
+	g.MustConnect(in, cheap, 8<<20)
+	g.MustConnect(in, costly, 8<<20)
+	g.MustConnect(cheap, join, 8<<20)
+	g.MustConnect(costly, join, 8<<20)
+	g.MustConnect(join, bottleneck, 16<<20)
+	g.MustConnect(bottleneck, loss, 4<<20)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+// TestSplitListRoundTrip forces a strategy with a non-empty split list and
+// asserts the splits survive serialization and re-materialize into the
+// calculator's exact split graph on an independently rebuilt base.
+func TestSplitListRoundTrip(t *testing.T) {
+	c, err := device.SingleServer(4)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	base := bottleneckGraph(t)
+	cand, err := core.ComputeStrategy(base, c, kernels.NewDefaultOracle(c), core.Options{})
+	if err != nil {
+		t.Fatalf("ComputeStrategy: %v", err)
+	}
+	if len(cand.Splits) == 0 {
+		t.Fatal("bottleneck graph produced no splits; test graph no longer exercises the split path")
+	}
+	art := cand.Artifact
+	art.Provenance = strategy.Provenance{
+		Model: "bottleneck", Origin: "fastt", Cluster: strategy.ClusterShapeOf(c),
+	}
+
+	var buf bytes.Buffer
+	if err := art.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	reloaded, err := strategy.ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(reloaded.Splits, art.Splits) {
+		t.Fatalf("split list changed across serialization:\n got %+v\nwant %+v",
+			reloaded.Splits, art.Splits)
+	}
+
+	// Materialize on a fresh base graph, as a deployment process would.
+	fresh := bottleneckGraph(t)
+	if err := reloaded.Validate(fresh, c); err != nil {
+		t.Fatalf("Validate on fresh base: %v", err)
+	}
+	g, err := reloaded.Materialize(fresh)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	var want, got bytes.Buffer
+	if err := cand.Graph.WriteJSON(&want); err != nil {
+		t.Fatalf("WriteJSON(calculator graph): %v", err)
+	}
+	if err := g.WriteJSON(&got); err != nil {
+		t.Fatalf("WriteJSON(materialized graph): %v", err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("materialized split graph differs from the calculator's graph")
+	}
+
+	exec := sim.DefaultExecutor(c)
+	cfg := runtime.Config{Jitter: 0.02, Seed: 41, EnforceOrder: true}
+	direct, err := exec.Run(cand.Graph, &art, cfg)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	replayed, err := exec.Run(g, reloaded, cfg)
+	if err != nil {
+		t.Fatalf("replayed run: %v", err)
+	}
+	if direct.Makespan != replayed.Makespan {
+		t.Errorf("makespan diverged: direct %v, replayed %v", direct.Makespan, replayed.Makespan)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	c := cluster2(t)
+	g := lenetDP(t, 64)
+	place, err := placement.DataParallel(g, c)
+	if err != nil {
+		t.Fatalf("DataParallel: %v", err)
+	}
+	art := strategy.New(g, place, nil, nil, time.Millisecond,
+		strategy.Provenance{Model: "LeNet", Origin: "data-parallel", Cluster: strategy.ClusterShapeOf(c)})
+	path := t.TempDir() + "/s.json"
+	if err := art.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := strategy.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, art) {
+		t.Errorf("file round trip differs:\n got %+v\nwant %+v", got, art)
+	}
+}

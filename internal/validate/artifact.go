@@ -1,0 +1,34 @@
+package validate
+
+import (
+	"fmt"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/strategy"
+)
+
+// ArtifactStrategy validates a serialized strategy artifact against a
+// deployment target — the base graph it claims to schedule and the cluster
+// it will run on — then materializes the rewritten graph and runs the full
+// structural checks (placement shape, colocation, order precedence,
+// splits). It returns the materialized graph the artifact's placement and
+// order index into, ready to hand to an executor.
+func ArtifactStrategy(art *strategy.Artifact, base *graph.Graph, cluster *device.Cluster, opts Options) (*graph.Graph, error) {
+	if art == nil {
+		return nil, fmt.Errorf("%w: nil artifact", ErrPlacementShape)
+	}
+	if err := art.Validate(base, cluster); err != nil {
+		return nil, err
+	}
+	g, err := art.Materialize(base)
+	if err != nil {
+		return nil, err
+	}
+	st := &core.Strategy{Artifact: *art, Graph: g, Priorities: art.PriorityIndex()}
+	if err := Strategy(st, cluster, opts); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,20 +1,29 @@
 #!/bin/sh
 # check.sh — the repo's verification tiers (see ROADMAP.md).
 #
-#   tier 1: build + full test suite
+#   tier 1: gofmt gate + build + full test suite
 #   tier 2: vet + race detector over the short suite (the parallel strategy
 #           calculator and the cost-model snapshots must hold under -race)
+#   smoke:  CLI strategy-artifact round trip — `fastt compute` writes an
+#           artifact, `fastt -strategy` reloads and executes it, and the two
+#           canonical artifact-exec lines must match byte for byte
 #   bench:  opt-in perf gate — scripts/bench.sh, fails on >10% regression of
 #           the OS-DPOS headline benchmark vs scripts/bench_baseline.json
 #
-# Usage: scripts/check.sh [1|2|bench]   (no argument = tiers 1 and 2)
+# Usage: scripts/check.sh [1|2|smoke|bench]   (no argument = 1, 2 and smoke)
 set -eu
 cd "$(dirname "$0")/.."
 
 tier="${1:-all}"
 
 if [ "$tier" = "1" ] || [ "$tier" = "all" ]; then
-	echo "== tier 1: go build ./... && go test ./..."
+	echo "== tier 1: gofmt -l . && go build ./... && go test ./..."
+	unformatted="$(gofmt -l .)"
+	if [ -n "$unformatted" ]; then
+		echo "gofmt needed on:" >&2
+		echo "$unformatted" >&2
+		exit 1
+	fi
 	go build ./...
 	go test ./...
 fi
@@ -23,6 +32,22 @@ if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
 	echo "== tier 2: go vet ./... && go test -race -short ./..."
 	go vet ./...
 	go test -race -short ./...
+fi
+
+if [ "$tier" = "smoke" ] || [ "$tier" = "all" ]; then
+	echo "== smoke: fastt compute -> fastt -strategy round trip"
+	tmp="$(mktemp -d)"
+	trap 'rm -rf "$tmp"' EXIT
+	go build -o "$tmp/fastt" ./cmd/fastt
+	"$tmp/fastt" compute -model MLP -gpus 2 -out "$tmp/s.json" -seed 7 -iters 2 | tee "$tmp/compute.out"
+	"$tmp/fastt" -model MLP -gpus 2 -strategy "$tmp/s.json" -seed 7 -iters 2 | tee "$tmp/deploy.out"
+	grep '^artifact-exec:' "$tmp/compute.out" > "$tmp/compute.line"
+	grep '^artifact-exec:' "$tmp/deploy.out" > "$tmp/deploy.line"
+	if ! cmp -s "$tmp/compute.line" "$tmp/deploy.line"; then
+		echo "strategy artifact did not replay identically:" >&2
+		cat "$tmp/compute.line" "$tmp/deploy.line" >&2
+		exit 1
+	fi
 fi
 
 # Benchmarks are noisy on shared machines, so the perf gate never runs by
