@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,12 +22,60 @@ func main() {
 	what := flag.String("what", "all", "which artifact to regenerate (comma-separated)")
 	iters := flag.Int("iters", 5, "measured iterations per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
 
-	if err := run(*what, *iters, *seed); err != nil {
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err == nil {
+		err = run(*what, *iters, *seed)
+		if perr := stopProf(); err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles starts a CPU profile when cpuPath is non-empty and returns a
+// stop function that finishes it and writes an exit heap profile to memPath
+// (when non-empty), so search-time regressions can be diagnosed from a flag
+// instead of a rebuilt binary.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(what string, iters int, seed int64) error {

@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"time"
 
 	"fastt/internal/core"
@@ -349,12 +351,51 @@ func exportModel(spec models.Spec, batch int, path string) error {
 	return nil
 }
 
+// startProfiles starts a CPU profile when cpuPath is non-empty and returns a
+// stop function that finishes it and writes an exit heap profile to memPath
+// (when non-empty), so search-time regressions can be diagnosed from a flag
+// instead of a rebuilt binary.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			goruntime.GC() // report live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
 // runCompute implements the `fastt compute` subcommand: run the bootstrap
 // and strategy search offline, write the winning strategy as a versioned
 // JSON artifact (plus, optionally, the learned cost models), then verify the
 // artifact by reloading it from disk and executing it — the exact path a
 // later `fastt -strategy` deployment takes.
-func runCompute(argv []string) error {
+func runCompute(argv []string) (retErr error) {
 	fs := flag.NewFlagSet("fastt compute", flag.ExitOnError)
 	var (
 		model     = fs.String("model", "MLP", "benchmark model (see fastt -list)")
@@ -369,10 +410,21 @@ func runCompute(argv []string) error {
 		saveCost  = fs.String("save-costs", "", "write the learned cost models to this file")
 		loadCost  = fs.String("load-costs", "", "preload cost models saved by an earlier run")
 		maxRounds = fs.Int("rounds", 0, "max pre-training strategy-search rounds (0 = default)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the strategy computation to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); retErr == nil {
+			retErr = perr
+		}
+	}()
 	spec, err := models.ByName(*model)
 	if err != nil {
 		return err

@@ -4,8 +4,6 @@ import (
 	"sync"
 	"time"
 
-	"fastt/internal/cost"
-	"fastt/internal/device"
 	"fastt/internal/graph"
 )
 
@@ -245,50 +243,6 @@ func contextFor(g *graph.Graph) (*scheduleContext, error) {
 	return c, nil
 }
 
-// maxCommCache memoizes the maximal transfer time of a tensor over all
-// ordered device pairs (the c_{i,j} of the rank computation) per distinct
-// tensor size. One cache spans a whole strategy calculation — candidate
-// graphs produced by SplitOperation share most tensor sizes with their
-// parent — and it is safe for the calculator's concurrent workers.
-type maxCommCache struct {
-	mu    sync.RWMutex
-	devs  []*device.Device
-	est   cost.Estimator
-	cache map[int64]time.Duration
-}
-
-func newMaxCommCache(cluster *device.Cluster, est cost.Estimator) *maxCommCache {
-	return &maxCommCache{
-		devs:  cluster.Devices(),
-		est:   est,
-		cache: make(map[int64]time.Duration),
-	}
-}
-
-func (c *maxCommCache) get(bytes int64) time.Duration {
-	c.mu.RLock()
-	v, ok := c.cache[bytes]
-	c.mu.RUnlock()
-	if ok {
-		return v
-	}
-	var maxT time.Duration
-	for _, a := range c.devs {
-		for _, b := range c.devs {
-			if a.ID == b.ID {
-				continue
-			}
-			if t := c.est.Comm(bytes, a, b); t > maxT {
-				maxT = t
-			}
-		}
-	}
-	c.mu.Lock()
-	c.cache[bytes] = maxT
-	c.mu.Unlock()
-	return maxT
-}
-
 // Scratch recycling. OS-DPOS runs one full DPOS per candidate split, and a
 // session recomputes strategies every profiling round; without reuse each
 // run re-allocates O(ops + edges + devices) working state. sync.Pool keeps
@@ -366,24 +320,49 @@ func releaseSchedule(s *Schedule) {
 	}
 }
 
+func resizeUint64s(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
 // dposScratch is the per-run working state of one DPOS list-scheduling
 // pass.
+//
+// The channel books are epoch-stamped flat arrays instead of maps: an entry
+// is valid only when its stamp matches the current epoch, so invalidating a
+// whole book costs one counter increment — no clearing, no map hashing.
+// chanAvail (the committed per-(src dev, dst dev) copy-engine frontier) is
+// small (nDevs²) and is zeroed per run instead of stamped. copyDone — the
+// committed arrival time per (producer op, dest device), deduplicating
+// transfers of one tensor to several consumers on a device — is O(ops ×
+// devs) and validated against the per-run epoch. probeChan/probeCopy are
+// the non-committing EFT-probe overlays, validated against a fresh epoch
+// per probe; stamps never repeat across runs because the counter only
+// grows for the lifetime of the pooled scratch, and freshly grown arrays
+// hold zero stamps the counter has already passed.
 type dposScratch struct {
-	onCP      []bool
-	placed    []bool
-	queue     []int
-	states    []deviceState
-	chanAvail map[[2]int]time.Duration
-	copyDone  map[[2]int]time.Duration
-	// probeChan/probeCopy are the non-committing overlays used while
-	// probing a device for EFT; cleared per probe.
-	probeChan map[[2]int]time.Duration
-	probeCopy map[[2]int]time.Duration
+	onCP   []bool
+	placed []bool
+	queue  []int
+	states []deviceState
+
+	epoch     uint64          // last issued stamp; 0 is never issued
+	chanAvail []time.Duration // nDevs²: committed channel frontier
+	copyDone  []time.Duration // nOps × nDevs: committed arrivals
+	copyEpoch []uint64
+	probeChan []time.Duration // nDevs²: per-probe channel overlay
+	probeCEp  []uint64
+	probeCopy []time.Duration // nOps × nDevs: per-probe arrival overlay
+	probeDEp  []uint64
 }
 
 var scratchPool = sync.Pool{New: func() any { return &dposScratch{} }}
 
-func (s *dposScratch) reset(nOps, nDevs int) {
+// reset prepares the scratch for one run and returns the run epoch that
+// validates copyDone entries.
+func (s *dposScratch) reset(nOps, nDevs int) uint64 {
 	s.onCP = resizeBools(s.onCP, nOps)
 	s.placed = resizeBools(s.placed, nOps)
 	s.queue = resizeInts(s.queue, nOps)
@@ -397,15 +376,22 @@ func (s *dposScratch) reset(nOps, nDevs int) {
 		s.states[i].memFree = 0
 		s.states[i].lastEnd = 0
 	}
-	if s.chanAvail == nil {
-		s.chanAvail = make(map[[2]int]time.Duration)
-		s.copyDone = make(map[[2]int]time.Duration)
-		s.probeChan = make(map[[2]int]time.Duration)
-		s.probeCopy = make(map[[2]int]time.Duration)
-	} else {
-		clear(s.chanAvail)
-		clear(s.copyDone)
-		clear(s.probeChan)
-		clear(s.probeCopy)
+	s.chanAvail = resizeDurations(s.chanAvail, nDevs*nDevs)
+	for i := range s.chanAvail {
+		s.chanAvail[i] = 0
 	}
+	s.probeChan = resizeDurations(s.probeChan, nDevs*nDevs)
+	s.probeCEp = resizeUint64s(s.probeCEp, nDevs*nDevs)
+	s.copyDone = resizeDurations(s.copyDone, nOps*nDevs)
+	s.copyEpoch = resizeUint64s(s.copyEpoch, nOps*nDevs)
+	s.probeCopy = resizeDurations(s.probeCopy, nOps*nDevs)
+	s.probeDEp = resizeUint64s(s.probeDEp, nOps*nDevs)
+	s.epoch++
+	return s.epoch
+}
+
+// nextEpoch issues a fresh probe epoch.
+func (s *dposScratch) nextEpoch() uint64 {
+	s.epoch++
+	return s.epoch
 }

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"fastt/internal/cost"
@@ -22,6 +24,19 @@ var ErrNoFeasiblePlacement = errors.New("no device can hold operation")
 // candidate cannot strictly beat the incumbent, so finishing the schedule
 // would be wasted work. Internal to the OS-DPOS candidate search.
 var errPruned = errors.New("candidate pruned by makespan bound")
+
+// prunedError carries the bound that was in effect at the abort (the live
+// shared incumbent may have tightened it below the caller's static bound).
+// A pruned candidate's true makespan is >= that bound, which is exactly the
+// fact the deterministic tie-resolution pass in OS-DPOS needs. It matches
+// errPruned under errors.Is.
+type prunedError struct {
+	bound time.Duration
+}
+
+func (e *prunedError) Error() string { return errPruned.Error() }
+
+func (e *prunedError) Is(target error) bool { return target == errPruned }
 
 // Options tunes DPOS and OS-DPOS.
 type Options struct {
@@ -44,7 +59,9 @@ type Options struct {
 	// concurrently. 0 (the default) uses runtime.GOMAXPROCS(0); 1 forces
 	// the sequential path. Any value yields byte-identical strategies:
 	// candidates are reduced in deterministic (makespan, dim, n) order
-	// regardless of evaluation order.
+	// regardless of evaluation order, and the live shared pruning bound of
+	// the concurrent path resolves ties back to the sequential
+	// first-minimum winner.
 	Workers int
 	// DisableInsertion turns off idle-slot insertion (ablation): operations
 	// are appended after the device's last scheduled interval instead of
@@ -64,6 +81,12 @@ type Options struct {
 	// proves it cannot beat the incumbent makespan. Pruning never changes
 	// the accepted split list; disabling it only costs time.
 	DisablePruning bool
+	// DisableLattice makes every scheduling pass resolve costs through
+	// direct per-entry cost.Estimator calls instead of the cached dense
+	// cost lattice (no comm-class dedup, no cross-call reuse, no O(Δ)
+	// overlay extension). Both paths produce byte-identical strategies;
+	// the direct path exists as the reference for equivalence tests.
+	DisableLattice bool
 }
 
 func (o Options) memory() graph.MemoryModel {
@@ -108,7 +131,7 @@ type interval struct {
 
 // deviceState tracks one device during list scheduling.
 type deviceState struct {
-	intervals []interval // sorted by start
+	intervals []interval // sorted by (start, end)
 	memFree   int64
 	lastEnd   time.Duration // max interval end, the append-only frontier
 }
@@ -117,6 +140,13 @@ type deviceState struct {
 // an op of duration dur, allowing insertion into idle gaps between
 // already-scheduled intervals (the paper's avail[j] semantics). With
 // appendOnly it degrades to scheduling after the last interval (ablation).
+//
+// Intervals are kept sorted by (start, end); committed intervals never
+// properly overlap, so their end times are monotone too (a zero-duration
+// interval sharing its start with a longer one sorts first). That makes
+// the list its own gap index: every interval ending at or before `ready`
+// is irrelevant, and a binary search jumps straight past them instead of
+// linearly rescanning the whole prefix on every EFT probe.
 func (d *deviceState) insertionSlot(ready, dur time.Duration, appendOnly bool) time.Duration {
 	cand := ready
 	if appendOnly {
@@ -130,7 +160,18 @@ func (d *deviceState) insertionSlot(ready, dur time.Duration, appendOnly bool) t
 		// a start at cand; skip the scan.
 		return cand
 	}
-	for _, iv := range d.intervals {
+	ivs := d.intervals
+	// First interval that can still constrain cand: ends strictly after it.
+	lo, hi := 0, len(ivs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ivs[mid].end > cand {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for _, iv := range ivs[lo:] {
 		if cand+dur <= iv.start {
 			return cand
 		}
@@ -141,7 +182,8 @@ func (d *deviceState) insertionSlot(ready, dur time.Duration, appendOnly bool) t
 	return cand
 }
 
-// commit inserts the interval, keeping the list sorted by start.
+// commit inserts the interval, keeping the list sorted by (start, end) —
+// the lexicographic order insertionSlot's binary search relies on.
 func (d *deviceState) commit(iv interval) {
 	// Append-at-end fast path: an interval starting at or past the current
 	// frontier sorts after every existing interval (each starts no later
@@ -156,7 +198,10 @@ func (d *deviceState) commit(iv interval) {
 		return
 	}
 	i := sort.Search(len(d.intervals), func(i int) bool {
-		return d.intervals[i].start >= iv.start
+		if d.intervals[i].start != iv.start {
+			return d.intervals[i].start > iv.start
+		}
+		return d.intervals[i].end >= iv.end
 	})
 	d.intervals = append(d.intervals, interval{})
 	copy(d.intervals[i+1:], d.intervals[i:])
@@ -170,47 +215,60 @@ func (d *deviceState) commit(iv interval) {
 // list scheduling with critical-path-aware device selection and
 // insertion-based earliest-finish-time placement for off-path operations.
 func DPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Schedule, error) {
+	est = cost.ReadSnapshot(est)
 	ctx, err := contextFor(g)
 	if err != nil {
 		return nil, fmt.Errorf("compute ranks: %w", err)
 	}
-	ranks := computeRanksCtx(ctx, cluster, est, newMaxCommCache(cluster, est))
+	lat := latticeFor(ctx, cluster, est, opts)
+	ranks := computeRanksCtx(ctx, lat)
 	defer releaseRanks(ranks)
-	return dposCtx(ctx, cluster, est, opts, ranks, 0)
+	return dposCtx(ctx, cluster, lat, opts, ranks, 0, nil)
 }
 
-// dposFresh schedules a throwaway graph (an OS-DPOS split candidate): the
-// context is derived locally and never enters the global cache, while the
-// maximal-transfer-time memo is shared with the rest of the calculation.
+// dposFresh schedules a throwaway graph (an OS-DPOS clone candidate): the
+// context and lattice are derived locally and never enter the global
+// caches, exactly like the clone graph itself.
 func dposFresh(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
-	opts Options, mc *maxCommCache, bound time.Duration) (*Schedule, error) {
+	opts Options, bound time.Duration, live *atomic.Int64) (*Schedule, error) {
 	ctx, err := newScheduleContext(g)
 	if err != nil {
 		return nil, err
 	}
-	ranks := computeRanksCtx(ctx, cluster, est, mc)
+	lat := buildLattice(ctx, cluster.Devices(), est, !opts.DisableLattice)
+	ranks := computeRanksCtx(ctx, lat)
 	defer releaseRanks(ranks)
-	return dposCtx(ctx, cluster, est, opts, ranks, bound)
+	return dposCtx(ctx, cluster, lat, opts, ranks, bound, live)
 }
 
-// dposCtx is the core list scheduler. All per-run working state comes from
-// the scratch pool; the returned Schedule comes from the schedule pool and
-// belongs to the caller.
+// dposCtx is the core list scheduler. Every cost it consumes comes
+// pre-resolved from the dense lattice; the estimator interface is never
+// crossed in here. All per-run working state comes from the scratch pool;
+// the returned Schedule comes from the schedule pool and belongs to the
+// caller.
 //
 // A positive bound makes the run a candidate evaluation against an
 // incumbent makespan: the moment an op is placed whose finish time plus
 // ranks.RestMin (a lower bound on the remaining time to the exit's finish
-// under any schedule) reaches the bound, the run aborts with errPruned —
-// the final makespan could only have been >= bound, so the candidate can
+// under any schedule) reaches the bound, the run aborts with a prunedError
+// — the final makespan could only have been >= bound, so the candidate can
 // never strictly improve on the incumbent. Zero disables pruning.
-func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
-	opts Options, ranks *Ranks, bound time.Duration) (*Schedule, error) {
+//
+// live, when non-nil, is the shared incumbent of a concurrent candidate
+// round: it holds the smallest makespan any worker has completed so far
+// (never above the static bound), and each placement checks against its
+// current value, so one worker's finished candidate aborts the others
+// mid-run. The prunedError records the live value that triggered the
+// abort.
+func dposCtx(ctx *scheduleContext, cluster *device.Cluster, lat *costLattice,
+	opts Options, ranks *Ranks, bound time.Duration, live *atomic.Int64) (*Schedule, error) {
 	n := ctx.nOps
 	mm := opts.memory()
 	devs := cluster.Devices()
+	nd := len(devs)
 
 	scratch := scratchPool.Get().(*dposScratch)
-	scratch.reset(n, len(devs))
+	runEpoch := scratch.reset(n, nd)
 	defer scratchPool.Put(scratch)
 
 	cp := criticalPathCtx(ctx, ranks)
@@ -232,12 +290,15 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	for i := range queue {
 		queue[i] = i
 	}
-	sort.Slice(queue, func(a, b int) bool {
-		ra, rb := ranks.Rank[queue[a]], ranks.Rank[queue[b]]
+	slices.SortFunc(queue, func(a, b int) int {
+		ra, rb := ranks.Rank[a], ranks.Rank[b]
 		if ra != rb {
-			return ra > rb
+			if ra > rb {
+				return -1
+			}
+			return 1
 		}
-		return queue[a] < queue[b]
+		return a - b
 	})
 
 	sched := scheduleFromPool(n)
@@ -259,18 +320,17 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	cpCursor := 0
 	selectCPDevice := func() int {
 		bestDev, bestAvg := -1, math.MaxFloat64
-		for di, d := range devs {
+		for di := range devs {
 			free := states[di].memFree
 			var total time.Duration
 			count := 0
 			for _, id := range cp[cpCursor:] {
-				op := ctx.op(id)
-				need := mm.OpBytes(op)
+				need := mm.OpBytes(ctx.op(id))
 				if need > free {
 					break
 				}
 				free -= need
-				total += est.Exec(op, d)
+				total += lat.execAt(id, di)
 				count++
 			}
 			if count == 0 {
@@ -294,30 +354,21 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	// is sent once. Without this, the estimate hides exactly the
 	// congestion that gradient-sync colocation removes, and the strategy
 	// calculator cannot see colocation's benefit.
+	//
+	// The books are the scratch's epoch-stamped flat arrays: committed
+	// state is validated against runEpoch, probe overlays against a fresh
+	// epoch per probe, so a probe costs zero setup instead of clearing
+	// maps.
 	chanAvail := scratch.chanAvail
-	copyDone := scratch.copyDone
+	copyDone, copyEpoch := scratch.copyDone, scratch.copyEpoch
+	probeChan, probeCEp := scratch.probeChan, scratch.probeCEp
+	probeCopy, probeDEp := scratch.probeCopy, scratch.probeDEp
 
 	// arrivals returns when op's inputs are all present on dev; when
-	// commit is true the implied transfers are booked on their channels.
-	arrivals := func(op *graph.Op, dev int, commit bool) time.Duration {
+	// commit is true the implied transfers are booked on their channels,
+	// otherwise they land in the probe overlay of epoch pe.
+	arrivals := func(op *graph.Op, dev int, commit bool, pe uint64) time.Duration {
 		var t time.Duration
-		// Probe overlays so probing does not mutate the books.
-		var localChan map[[2]int]time.Duration
-		var localCopy map[[2]int]time.Duration
-		if !commit {
-			localChan = scratch.probeChan
-			localCopy = scratch.probeCopy
-			clear(localChan)
-			clear(localCopy)
-		}
-		getChan := func(k [2]int) time.Duration {
-			if !commit {
-				if v, ok := localChan[k]; ok {
-					return v
-				}
-			}
-			return chanAvail[k]
-		}
 		for _, ei := range ctx.inIdx[op.ID] {
 			e := ctx.edgeAt(ei)
 			if !placed[e.From] {
@@ -330,26 +381,38 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 				}
 				continue
 			}
-			ck := [2]int{e.From, dev}
-			var arr time.Duration
-			if v, ok := copyDone[ck]; ok {
-				arr = v
-			} else if v, ok := localCopy[ck]; !commit && ok {
-				arr = v
-			} else {
-				pair := [2]int{from, dev}
-				start := sched.Finish[e.From]
-				if avail := getChan(pair); avail > start {
+			ck := e.From*nd + dev
+			if copyEpoch[ck] == runEpoch {
+				if v := copyDone[ck]; v > t {
+					t = v
+				}
+				continue
+			}
+			if !commit && probeDEp[ck] == pe {
+				if v := probeCopy[ck]; v > t {
+					t = v
+				}
+				continue
+			}
+			pair := from*nd + dev
+			start := sched.Finish[e.From]
+			if !commit && probeCEp[pair] == pe {
+				if avail := probeChan[pair]; avail > start {
 					start = avail
 				}
-				arr = start + est.Comm(e.Bytes, devs[from], devs[dev])
-				if commit {
-					chanAvail[pair] = arr
-					copyDone[ck] = arr
-				} else {
-					localChan[pair] = arr
-					localCopy[ck] = arr
-				}
+			} else if avail := chanAvail[pair]; avail > start {
+				start = avail
+			}
+			arr := start + lat.commAt(ei, from, dev)
+			if commit {
+				chanAvail[pair] = arr
+				copyDone[ck] = arr
+				copyEpoch[ck] = runEpoch
+			} else {
+				probeChan[pair] = arr
+				probeCEp[pair] = pe
+				probeCopy[ck] = arr
+				probeDEp[ck] = pe
 			}
 			if arr > t {
 				t = arr
@@ -357,14 +420,12 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 		}
 		return t
 	}
-	ready := func(op *graph.Op, dev int) time.Duration {
-		return arrivals(op, dev, false)
-	}
 
 	aborted := false
+	var abortBound time.Duration
 	place := func(op *graph.Op, dev int) {
-		dur := est.Exec(op, devs[dev])
-		st := states[dev].insertionSlot(arrivals(op, dev, true), dur, opts.DisableInsertion)
+		dur := lat.execAt(op.ID, dev)
+		st := states[dev].insertionSlot(arrivals(op, dev, true, 0), dur, opts.DisableInsertion)
 		states[dev].commit(interval{start: st, end: st + dur, op: op.ID})
 		states[dev].memFree -= mm.OpBytes(op)
 		sched.Placement[op.ID] = dev
@@ -374,8 +435,15 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 		// Candidate pruning: the exit op finishes no earlier than this op's
 		// finish plus the minimal remaining work along some path to it. The
 		// bound is checked on commit only, so every completed run is exact.
-		if bound > 0 && st+dur+ranks.RestMin[op.ID] >= bound {
+		b := bound
+		if live != nil {
+			if lv := time.Duration(live.Load()); b == 0 || lv < b {
+				b = lv
+			}
+		}
+		if b > 0 && st+dur+ranks.RestMin[op.ID] >= b {
 			aborted = true
+			abortBound = b
 		}
 	}
 
@@ -385,12 +453,13 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 		need := mm.OpBytes(op)
 		bestDev := -1
 		var bestFinish time.Duration
-		for di, d := range devs {
+		for di := range devs {
 			if states[di].memFree < need {
 				continue // EFT = +inf (Alg. 1 line 14)
 			}
-			dur := est.Exec(op, d)
-			st := states[di].insertionSlot(ready(op, di), dur, opts.DisableInsertion)
+			dur := lat.execAt(op.ID, di)
+			ready := arrivals(op, di, false, scratch.nextEpoch())
+			st := states[di].insertionSlot(ready, dur, opts.DisableInsertion)
 			if ft := st + dur; bestDev == -1 || ft < bestFinish {
 				bestDev = di
 				bestFinish = ft
@@ -405,7 +474,7 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	for _, id := range queue {
 		if aborted {
 			releaseSchedule(sched)
-			return nil, errPruned
+			return nil, &prunedError{bound: abortBound}
 		}
 		if id == ctx.dead {
 			continue
@@ -454,7 +523,7 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	}
 	if aborted {
 		releaseSchedule(sched)
-		return nil, errPruned
+		return nil, &prunedError{bound: abortBound}
 	}
 
 	// Execution list A: ops by ascending ST (Alg. 1 line 23).
@@ -462,16 +531,22 @@ func dposCtx(ctx *scheduleContext, cluster *device.Cluster, est cost.Estimator,
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		sa, sb := sched.Start[order[a]], sched.Start[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		sa, sb := sched.Start[a], sched.Start[b]
 		if sa != sb {
-			return sa < sb
+			if sa < sb {
+				return -1
+			}
+			return 1
 		}
-		ra, rb := ranks.Rank[order[a]], ranks.Rank[order[b]]
+		ra, rb := ranks.Rank[a], ranks.Rank[b]
 		if ra != rb {
-			return ra > rb
+			if ra > rb {
+				return -1
+			}
+			return 1
 		}
-		return order[a] < order[b]
+		return a - b
 	})
 	for i, id := range order {
 		sched.Priorities[id] = i

@@ -134,9 +134,10 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 	if err != nil {
 		return nil, nil, fmt.Errorf("colocate sync: %w", err)
 	}
-	ranks := computeRanksCtx(ctx, cluster, est, newMaxCommCache(cluster, est))
+	lat := latticeFor(ctx, cluster, est, opts)
+	ranks := computeRanksCtx(ctx, lat)
 	defer releaseRanks(ranks)
-	sched, err := dposCtx(ctx, cluster, est, opts, ranks, 0)
+	sched, err := dposCtx(ctx, cluster, lat, opts, ranks, 0, nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("colocate sync: %w", err)
 	}
@@ -170,7 +171,7 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		}
 		trialOpts := opts
 		trialOpts.Pinned = mergePins(opts.Pinned, trial)
-		cand, err := dposCtx(ctx, cluster, est, trialOpts, ranks, 0)
+		cand, err := dposCtx(ctx, cluster, lat, trialOpts, ranks, 0, nil)
 		if err != nil {
 			continue // infeasible under pins; try the next group
 		}

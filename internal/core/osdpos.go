@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"fastt/internal/cost"
@@ -22,6 +23,10 @@ type SplitResult struct {
 	Splits []graph.SplitDecision
 	// Evaluated counts candidate (dimension, split count) DPOS evaluations
 	// run to completion, for strategy-computation-time analysis (Table 4).
+	// With concurrent workers the live shared bound can abort a candidate
+	// the sequential pass would have finished, so the Evaluated/Pruned
+	// split (never the strategy) may vary with worker count and timing;
+	// Evaluated never exceeds the sequential pass's count.
 	Evaluated int
 	// Pruned counts candidate evaluations aborted early because a lower
 	// bound on their makespan proved they could not beat the incumbent
@@ -35,14 +40,92 @@ type splitCand struct {
 	n   int
 }
 
-// candOutcome is the result of one candidate evaluation. Only the makespan
-// survives — candidate schedules are discarded and the single accepted
-// winner is re-materialized, which keeps the overlay fast path and the
-// clone reference path behaviorally interchangeable.
+// candOutcome is the result of one candidate evaluation. Completed
+// candidates retain their pooled schedule until the round's reduce: the
+// winner's is adopted as the schedule of the materialized graph (a completed
+// bounded run is exact, and the overlay and clone paths produce schedules
+// byte-identical to a fresh pass over the materialized clone — the
+// equivalence the incremental tests pin down), and the losers' are released.
 type candOutcome struct {
 	makespan time.Duration
-	ok       bool // scheduled to completion
-	pruned   bool // aborted by the makespan bound
+	sched    *Schedule     // retained on ok; released by the reduce
+	ok       bool          // scheduled to completion
+	pruned   bool          // aborted by the makespan bound
+	bound    time.Duration // the bound in effect at the abort (pruned only)
+}
+
+// releaseOutcomes returns every retained candidate schedule to the pool.
+func releaseOutcomes(results []candOutcome) {
+	for i := range results {
+		if results[i].sched != nil {
+			releaseSchedule(results[i].sched)
+			results[i].sched = nil
+		}
+	}
+}
+
+// compactWinner rewrites a winner schedule produced in an overlay's ID space
+// (dead target slot in place, delta ops appended) into the compact ID space
+// of the materialized SplitOperation graph, following the overlay's strictly
+// monotone CloneID map: IDs below the dead slot are unchanged, IDs above it
+// shift down by one. O(nOps), replacing the full DPOS pass the materialized
+// winner would otherwise pay to recompute a schedule already in hand.
+func compactWinner(s *Schedule, dead int) *Schedule {
+	n := len(s.Placement) - 1
+	out := scheduleFromPool(n)
+	out.Makespan = s.Makespan
+	for id := 0; id <= n; id++ {
+		if id == dead {
+			continue
+		}
+		c := id
+		if id > dead {
+			c = id - 1
+		}
+		out.Placement[c] = s.Placement[id]
+		out.Start[c] = s.Start[id]
+		out.Finish[c] = s.Finish[id]
+	}
+	k := 0
+	for _, id := range s.Order {
+		if id == dead {
+			continue
+		}
+		if id > dead {
+			id--
+		}
+		out.Order[k] = id
+		k++
+	}
+	for i, id := range out.Order {
+		out.Priorities[id] = i
+	}
+	if len(s.CriticalPath) > 0 {
+		cp := make([]int, 0, len(s.CriticalPath))
+		for _, id := range s.CriticalPath {
+			if id == dead {
+				continue
+			}
+			if id > dead {
+				id--
+			}
+			cp = append(cp, id)
+		}
+		out.CriticalPath = cp
+	}
+	releaseSchedule(s)
+	return out
+}
+
+// publishIncumbent lowers the shared live bound to m if m is smaller,
+// racing CAS-free against other workers doing the same.
+func publishIncumbent(live *atomic.Int64, m time.Duration) {
+	for {
+		cur := live.Load()
+		if int64(m) >= cur || live.CompareAndSwap(cur, int64(m)) {
+			return
+		}
+	}
 }
 
 // OSDPOS implements Alg. 2 (Operation Splitting DPOS): run DPOS, compute
@@ -53,28 +136,40 @@ type candOutcome struct {
 // does not improve it.
 //
 // The candidate (dimension, split count) evaluations for one operation are
-// independent, so they fan out across opts.Workers goroutines. Each
-// candidate is evaluated incrementally: a copy-on-write graph.SplitOverlay
-// records the rewrite as a delta, overlayContext patches the cached edge
-// indexes in O(Δ), deltaRanksOverlay reuses the base ranks everywhere
-// outside the rewritten region and the target's ancestors, and dposCtx runs
-// under the incumbent-makespan bound so hopeless candidates abort early.
-// Only the accepted winner of a round is materialized into a real graph
-// (and rescheduled without a bound, through exactly the code path a clone
-// evaluation takes). The winner is reduced from the position-indexed
-// results in enumeration order with a strictly-less comparison, which
-// reproduces the sequential first-minimum choice exactly: any worker count,
-// with overlays or clones, pruning on or off, returns byte-identical
-// strategies.
+// independent, so they fan out over a worker pool created once per call
+// and fed every round. Each candidate is evaluated incrementally: a
+// copy-on-write graph.SplitOverlay records the rewrite as a delta,
+// overlayContext patches the cached edge indexes in O(Δ), extendLattice
+// patches the dense cost lattice in O(Δ), deltaRanksOverlay reuses the
+// base ranks everywhere outside the rewritten region and the target's
+// ancestors, and dposCtx runs under the incumbent-makespan bound so
+// hopeless candidates abort early. With workers > 1 the bound is *live*:
+// every completed candidate publishes its makespan to a shared atomic and
+// in-flight candidates prune against the tightest value, so one cheap
+// improving candidate aborts its round-mates mid-run.
+//
+// Only the accepted winner of a round is materialized into a real graph,
+// and the schedule its evaluation already produced is adopted as the
+// round's new incumbent. The winner is reduced from the position-indexed
+// results in enumeration order with a strictly-less comparison; because
+// the live bound can abort an earlier-position candidate whose makespan
+// *ties* the round minimum (the sequential pass would have completed and
+// preferred it), any pruned candidate before the provisional winner whose
+// abort bound equals the minimum is re-evaluated under bound minimum+1 —
+// it completes iff its makespan equals the minimum, restoring the
+// sequential first-minimum choice. Any worker count, with overlays or
+// clones, pruning on or off, lattice or direct estimator, returns
+// byte-identical strategies.
 func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*SplitResult, error) {
 	est = cost.ReadSnapshot(est)
 	baseCtx, err := contextFor(g)
 	if err != nil {
 		return nil, fmt.Errorf("initial DPOS: %w", err)
 	}
-	mc := newMaxCommCache(cluster, est)
-	baseRanks := computeRanksCtx(baseCtx, cluster, est, mc)
-	sched, err := dposCtx(baseCtx, cluster, est, opts, baseRanks, 0)
+	devs := cluster.Devices()
+	baseLat := latticeFor(baseCtx, cluster, est, opts)
+	baseRanks := computeRanksCtx(baseCtx, baseLat)
+	sched, err := dposCtx(baseCtx, cluster, baseLat, opts, baseRanks, 0, nil)
 	if err != nil {
 		releaseRanks(baseRanks)
 		return nil, fmt.Errorf("initial DPOS: %w", err)
@@ -85,7 +180,7 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 
 	// Critical path based on S_new and G (Alg. 2 line 4): ranks evaluated
 	// at the placed devices rather than worst-case maxima.
-	cp, placedRanks := placedCriticalPath(baseCtx, cluster, est, sched)
+	cp, placedRanks := placedCriticalPath(baseCtx, baseLat, sched)
 	// Sort CP by descending computation time (line 5).
 	execOnPlaced := placedRanks.W
 	sort.SliceStable(cp, func(a, b int) bool {
@@ -94,7 +189,11 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 	releaseRanks(placedRanks)
 
 	numDev := cluster.NumDevices()
-	workers := opts.workers()
+	// One pool serves every round of this call; rounds with fewer
+	// candidates than workers leave the surplus workers parked instead of
+	// respawning goroutines per round.
+	pool := newEvalPool(opts.workers())
+	defer pool.close()
 	attempted := 0
 	for _, cpID := range cp {
 		opName := g.Op(cpID).Name // names survive rewrites; IDs do not
@@ -121,18 +220,24 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 		}
 		base, curID := res.Graph, cur.ID
 		// The pruning bound is the incumbent makespan: only candidates
-		// strictly below it can ever be accepted.
+		// strictly below it can ever be accepted. The concurrent path
+		// additionally shares a live incumbent seeded with it.
 		bound := ftOld
+		var live *atomic.Int64
 		if opts.DisablePruning {
 			bound = 0
+		} else if pool != nil {
+			live = new(atomic.Int64)
+			live.Store(int64(ftOld))
 		}
 		var anc []bool
 		if !opts.DisableIncremental {
 			anc = ancestorsOf(baseCtx, curID)
 		}
-		// eval runs one candidate; shared state (baseCtx, baseRanks, anc,
-		// mc, the estimator snapshot) is read-only during the fan-out.
-		eval := func(c splitCand, bound time.Duration) candOutcome {
+		// eval runs one candidate; shared state (baseCtx, baseRanks,
+		// baseLat, anc, the estimator snapshot) is read-only during the
+		// fan-out.
+		eval := func(c splitCand, bound time.Duration, live *atomic.Int64) candOutcome {
 			var s *Schedule
 			var err error
 			if opts.DisableIncremental {
@@ -141,7 +246,7 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 				if err != nil {
 					return candOutcome{} // extent too small for this n, etc.
 				}
-				s, err = dposFresh(candidate, cluster, est, opts, mc, bound)
+				s, err = dposFresh(candidate, cluster, est, opts, bound, live)
 			} else {
 				var ov *graph.SplitOverlay
 				ov, err = graph.NewSplitOverlay(base, curID, c.dim, c.n)
@@ -149,30 +254,41 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 					return candOutcome{}
 				}
 				octx := overlayContext(baseCtx, ov)
-				ranks := deltaRanksOverlay(baseCtx, baseRanks, octx, anc, cluster, est, mc)
-				s, err = dposCtx(octx, cluster, est, opts, ranks, bound)
+				var clat *costLattice
+				if opts.DisableLattice {
+					clat = buildLattice(octx, devs, est, false)
+				} else {
+					clat = extendLattice(baseLat, octx, devs, est)
+				}
+				ranks := deltaRanksOverlay(baseCtx, baseRanks, octx, anc, clat)
+				s, err = dposCtx(octx, cluster, clat, opts, ranks, bound, live)
 				releaseRanks(ranks)
+				if !opts.DisableLattice {
+					releaseLattice(clat)
+				}
 				releaseOverlayContext(octx)
 			}
 			if err != nil {
-				if errors.Is(err, errPruned) {
-					return candOutcome{pruned: true}
+				var pe *prunedError
+				if errors.As(err, &pe) {
+					return candOutcome{pruned: true, bound: pe.bound}
 				}
 				return candOutcome{} // infeasible under memory constraints
 			}
-			out := candOutcome{makespan: s.Makespan, ok: true}
-			releaseSchedule(s)
-			return out
+			if live != nil {
+				publishIncumbent(live, s.Makespan)
+			}
+			return candOutcome{makespan: s.Makespan, sched: s, ok: true}
 		}
 
 		results := make([]candOutcome, len(cands))
-		runParallel(len(cands), workers, func(i int) {
-			results[i] = eval(cands[i], bound)
+		pool.run(len(cands), func(i int) {
+			results[i] = eval(cands[i], bound, live)
 		})
 
 		bestIdx := -1
 		var bestFT time.Duration
-		pruned := 0
+		evaluated, pruned := 0, 0
 		for i, r := range results {
 			if r.pruned {
 				pruned++
@@ -181,10 +297,33 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 			if !r.ok {
 				continue
 			}
-			res.Evaluated++
+			evaluated++
 			if bestIdx < 0 || r.makespan < bestFT {
 				bestIdx = i
 				bestFT = r.makespan
+			}
+		}
+
+		// Deterministic tie resolution for the live bound: a pruned
+		// candidate's makespan is >= its abort bound, and abort bounds
+		// never drop below the round's final minimum (only completed
+		// makespans are published), so exactly the candidates aborted at
+		// bound == bestFT could have tied it. The sequential reference
+		// prefers the earliest tie, so re-run those before the provisional
+		// winner under bestFT+1: completion proves makespan == bestFT.
+		if live != nil && bestIdx > 0 {
+			for i := 0; i < bestIdx; i++ {
+				if !results[i].pruned || results[i].bound != bestFT {
+					continue
+				}
+				full := eval(cands[i], bestFT+1, nil)
+				if full.ok {
+					results[i] = full
+					evaluated++
+					pruned--
+					bestIdx = i
+					break
+				}
 			}
 		}
 
@@ -196,28 +335,33 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 			// candidates without a bound, in canonical order, until one
 			// completes. This path is rare — it needs every completing
 			// candidate of an op to be non-improving AND pruning to fire
-			// before each one finishes.
+			// before each one finishes. (No candidate completed, so the
+			// live incumbent never moved off ftOld and the pruned set
+			// matches the sequential pass's exactly.)
 			completed := false
 			for i, r := range results {
 				if !r.pruned {
 					continue
 				}
-				full := eval(cands[i], 0)
+				full := eval(cands[i], 0, nil)
 				pruned--
 				if full.ok {
-					res.Evaluated++
+					releaseSchedule(full.sched)
+					evaluated++
 					completed = true
 					break
 				}
 				// Pruned earlier but infeasible when run to completion:
 				// the clone path would have counted it nowhere either.
 			}
+			res.Evaluated += evaluated
 			res.Pruned += pruned
 			if completed {
 				break // first non-improving operation ends the exploration
 			}
 			continue
 		}
+		res.Evaluated += evaluated
 		res.Pruned += pruned
 		if bestIdx < 0 {
 			continue // every candidate infeasible: try the next CP op
@@ -226,27 +370,35 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 			// First non-improving operation ends the exploration (Alg. 2
 			// lines 11-13). Unreachable with pruning active: a completed
 			// candidate beat the bound by construction.
+			releaseOutcomes(results)
 			break
 		}
 
-		// Materialize the single accepted winner as a real graph and
-		// reschedule it unbounded — the same construction and scheduling
-		// path a clone evaluation takes, so the retained strategy is
-		// byte-identical to the clone-everything search's.
+		// Materialize the single accepted winner as a real graph and adopt
+		// the schedule its evaluation already produced: a completed bounded
+		// run is exact, and overlay and clone candidate schedules are
+		// byte-identical to a fresh pass over the materialized clone, so
+		// rescheduling it would recompute the same bytes.
+		wsched := results[bestIdx].sched
+		results[bestIdx].sched = nil
+		releaseOutcomes(results)
+		if !opts.DisableIncremental {
+			// Overlay schedules live in the overlay's ID space; the clone
+			// reference path already produces the compact layout.
+			wsched = compactWinner(wsched, curID)
+		}
 		winner, err := graph.SplitOperation(base, curID, cands[bestIdx].dim, cands[bestIdx].n)
 		if err != nil {
+			releaseSchedule(wsched)
 			return nil, fmt.Errorf("materialize split: %w", err)
 		}
 		wctx, err := contextFor(winner)
 		if err != nil {
+			releaseSchedule(wsched)
 			return nil, fmt.Errorf("materialize split: %w", err)
 		}
-		wranks := computeRanksCtx(wctx, cluster, est, mc)
-		wsched, err := dposCtx(wctx, cluster, est, opts, wranks, 0)
-		if err != nil {
-			releaseRanks(wranks)
-			return nil, fmt.Errorf("materialize split: %w", err)
-		}
+		wlat := latticeFor(wctx, cluster, est, opts)
+		wranks := computeRanksCtx(wctx, wlat)
 		ftOld = wsched.Makespan
 		releaseSchedule(res.Schedule)
 		res.Graph = winner
@@ -255,33 +407,29 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 			OpName: opName, Dim: cands[bestIdx].dim, N: cands[bestIdx].n,
 		})
 		releaseRanks(baseRanks)
-		baseCtx, baseRanks = wctx, wranks
+		baseCtx, baseRanks, baseLat = wctx, wranks, wlat
 	}
 	return res, nil
 }
 
 // placedCriticalPath recomputes the critical path using the actual
 // placement: w_i is the execution time on the op's assigned device, and
-// edge costs are the transfer times between the assigned devices. It
-// returns the path and a pooled Ranks whose W holds the per-op placed
-// execution times; the caller releases it.
-func placedCriticalPath(ctx *scheduleContext, cluster *device.Cluster,
-	est cost.Estimator, sched *Schedule) ([]int, *Ranks) {
-	g := ctx.g
-	n := g.NumOps()
+// edge costs are the transfer times between the assigned devices, all read
+// from the dense lattice. It returns the path and a pooled Ranks whose W
+// holds the per-op placed execution times; the caller releases it.
+func placedCriticalPath(ctx *scheduleContext, lat *costLattice, sched *Schedule) ([]int, *Ranks) {
+	n := ctx.nOps
 	r := ranksFromPool(n, 0)
 	exec, rank := r.W, r.Rank
-	for _, op := range g.Ops() {
-		exec[op.ID] = est.Exec(op, cluster.Device(sched.Placement[op.ID]))
+	for id := 0; id < n; id++ {
+		exec[id] = lat.execAt(id, sched.Placement[id])
 	}
 	for i := len(ctx.topo) - 1; i >= 0; i-- {
 		id := ctx.topo[i]
 		var best time.Duration
 		for _, ei := range ctx.outIdx[id] {
 			e := ctx.edgeAt(ei)
-			comm := est.Comm(e.Bytes,
-				cluster.Device(sched.Placement[e.From]),
-				cluster.Device(sched.Placement[e.To]))
+			comm := lat.commAt(ei, sched.Placement[e.From], sched.Placement[e.To])
 			if v := comm + rank[e.To]; v > best {
 				best = v
 			}

@@ -38,3 +38,75 @@ func runParallel(n, workers int, fn func(int)) {
 	}
 	wg.Wait()
 }
+
+// evalRound is one batch of indexed jobs dispatched to an evalPool.
+type evalRound struct {
+	n    int
+	fn   func(int)
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// evalPool is a fixed set of worker goroutines reused across the candidate
+// rounds of one OS-DPOS call. Unlike runParallel it spawns its goroutines
+// once: a round with fewer candidates than workers wakes only as many
+// workers as it has candidates, and the rest stay parked on the channel
+// instead of being respawned and immediately retired every round.
+type evalPool struct {
+	workers int
+	rounds  chan *evalRound
+}
+
+// newEvalPool starts a pool of `workers` goroutines, or returns nil (a
+// valid, sequential pool) when workers <= 1. Callers must close a non-nil
+// pool to release the goroutines.
+func newEvalPool(workers int) *evalPool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &evalPool{workers: workers, rounds: make(chan *evalRound, workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for r := range p.rounds {
+				for {
+					i := int(r.next.Add(1)) - 1
+					if i >= r.n {
+						break
+					}
+					r.fn(i)
+				}
+				r.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run invokes fn(0..n-1) on the pool's workers and returns when all calls
+// have finished; indices are handed out by an atomic counter, so order is
+// unspecified. A nil pool (or n <= 1) runs sequentially on the caller.
+func (p *evalPool) run(n int, fn func(int)) {
+	if p == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	r := &evalRound{n: n, fn: fn}
+	r.wg.Add(w)
+	for i := 0; i < w; i++ {
+		p.rounds <- r
+	}
+	r.wg.Wait()
+}
+
+// close retires the pool's goroutines. No run may be in flight or follow.
+func (p *evalPool) close() {
+	if p != nil {
+		close(p.rounds)
+	}
+}

@@ -58,8 +58,13 @@ func TestOSDPOSWorkerDeterminism(t *testing.T) {
 				t.Fatalf("parallel OSDPOS: %v", err)
 			}
 
-			if seq.Evaluated != par.Evaluated {
-				t.Errorf("Evaluated: sequential %d, parallel %d", seq.Evaluated, par.Evaluated)
+			// The live shared bound lets the concurrent pass abort
+			// candidates the sequential pass finishes, so only an upper
+			// bound on Evaluated is deterministic (a candidate completing
+			// under the tighter live bound completes under the static one
+			// too). The strategy equality below stays exact.
+			if par.Evaluated > seq.Evaluated {
+				t.Errorf("Evaluated: parallel %d exceeds sequential %d", par.Evaluated, seq.Evaluated)
 			}
 			if len(seq.Splits) != len(par.Splits) {
 				t.Fatalf("split lists differ: %v vs %v", seq.Splits, par.Splits)

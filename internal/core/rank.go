@@ -42,35 +42,24 @@ func ComputeRanks(g *graph.Graph, cluster *device.Cluster, est cost.Estimator) (
 	if err != nil {
 		return nil, err
 	}
-	return computeRanksCtx(ctx, cluster, est, newMaxCommCache(cluster, est)), nil
+	est = cost.ReadSnapshot(est)
+	return computeRanksCtx(ctx, latticeFor(ctx, cluster, est, Options{})), nil
 }
 
 // computeRanksCtx is the context-based core of ComputeRanks: topological
-// order and edge indexes come from ctx, the per-size maximal transfer times
-// from mc (shared across the candidate evaluations of one calculation). The
-// result comes from the ranks pool; internal callers release it when done.
-func computeRanksCtx(ctx *scheduleContext, cluster *device.Cluster,
-	est cost.Estimator, mc *maxCommCache) *Ranks {
-	g := ctx.g
-	r := ranksFromPool(g.NumOps(), g.NumEdges())
-	devs := cluster.Devices()
-	for _, op := range g.Ops() {
-		var w, minw time.Duration
-		for di, d := range devs {
-			t := est.Exec(op, d)
-			if t > w {
-				w = t
-			}
-			if di == 0 || t < minw {
-				minw = t
-			}
-		}
-		r.W[op.ID] = w
-		r.MinW[op.ID] = minw
+// order and edge indexes come from ctx, every cost from the dense lattice
+// resolved for (ctx, cluster, estimator). The result comes from the ranks
+// pool; internal callers release it when done.
+func computeRanksCtx(ctx *scheduleContext, lat *costLattice) *Ranks {
+	n := ctx.nOps
+	nEdges := ctx.numEdges()
+	r := ranksFromPool(n, nEdges)
+	for id := 0; id < n; id++ {
+		r.W[id] = lat.wAt(id)
+		r.MinW[id] = lat.minWAt(id)
 	}
-	edges := g.Edges()
-	for i := range edges {
-		r.CMax[i] = mc.get(edges[i].Bytes)
+	for ei := 0; ei < nEdges; ei++ {
+		r.CMax[ei] = lat.maxCommAt(ei)
 	}
 	// Reverse topological accumulation.
 	for i := len(ctx.topo) - 1; i >= 0; i-- {
@@ -78,11 +67,11 @@ func computeRanksCtx(ctx *scheduleContext, cluster *device.Cluster,
 		best := time.Duration(0)
 		rest := time.Duration(0)
 		for _, ei := range ctx.outIdx[id] {
-			e := edges[ei]
-			if v := r.CMax[ei] + r.Rank[e.To]; v > best {
+			to := ctx.edgeAt(ei).To
+			if v := r.CMax[ei] + r.Rank[to]; v > best {
 				best = v
 			}
-			if v := r.MinW[e.To] + r.RestMin[e.To]; v > rest {
+			if v := r.MinW[to] + r.RestMin[to]; v > rest {
 				rest = v
 			}
 		}
@@ -126,10 +115,12 @@ func ancestorsOf(ctx *scheduleContext, target int) []bool {
 // (the overlay adds no edges between base ops).
 //
 // bctx/baseRanks describe ov.Base(); octx must come from
-// overlayContext(bctx, ov); anc from ancestorsOf(bctx, target). The result
-// comes from the ranks pool; the caller releases it.
+// overlayContext(bctx, ov); anc from ancestorsOf(bctx, target); lat must be
+// a lattice covering the overlay view (extendLattice of the base lattice,
+// or a direct build over octx on the reference path). The result comes from
+// the ranks pool; the caller releases it.
 func deltaRanksOverlay(bctx *scheduleContext, baseRanks *Ranks, octx *scheduleContext,
-	anc []bool, cluster *device.Cluster, est cost.Estimator, mc *maxCommCache) *Ranks {
+	anc []bool, lat *costLattice) *Ranks {
 	ov := octx.ov
 	baseE := len(bctx.baseEdges)
 	r := ranksFromPool(octx.nOps, octx.numEdges())
@@ -139,24 +130,13 @@ func deltaRanksOverlay(bctx *scheduleContext, baseRanks *Ranks, octx *scheduleCo
 	copy(r.Rank, baseRanks.Rank)
 	copy(r.RestMin, baseRanks.RestMin)
 
-	devs := cluster.Devices()
 	newOps := ov.NewOps()
 	for _, op := range newOps {
-		var w, minw time.Duration
-		for di, d := range devs {
-			t := est.Exec(op, d)
-			if t > w {
-				w = t
-			}
-			if di == 0 || t < minw {
-				minw = t
-			}
-		}
-		r.W[op.ID] = w
-		r.MinW[op.ID] = minw
+		r.W[op.ID] = lat.wAt(op.ID)
+		r.MinW[op.ID] = lat.minWAt(op.ID)
 	}
-	for j, e := range octx.extraEdges {
-		r.CMax[baseE+j] = mc.get(e.Bytes)
+	for j := range octx.extraEdges {
+		r.CMax[baseE+j] = lat.maxCommAt(baseE + j)
 	}
 
 	recompute := func(id int) {

@@ -37,17 +37,17 @@ func BenchmarkSplitCandidate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mc := newMaxCommCache(cluster, est)
-	baseRanks := computeRanksCtx(baseCtx, cluster, est, mc)
+	baseLat := latticeFor(baseCtx, cluster, est, Options{})
+	baseRanks := computeRanksCtx(baseCtx, baseLat)
 	defer releaseRanks(baseRanks)
 
 	// Use the scheduler's own notion of a candidate: the top op on the
 	// placed critical path, batch-split across all devices.
-	base, err := dposCtx(baseCtx, cluster, est, Options{}, baseRanks, 0)
+	base, err := dposCtx(baseCtx, cluster, baseLat, Options{}, baseRanks, 0, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cp, cpRanks := placedCriticalPath(baseCtx, cluster, est, base)
+	cp, cpRanks := placedCriticalPath(baseCtx, baseLat, base)
 	releaseRanks(cpRanks)
 	releaseSchedule(base)
 	target := -1
@@ -69,7 +69,7 @@ func BenchmarkSplitCandidate(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			s, err := dposFresh(cand, cluster, est, Options{}, mc, 0)
+			s, err := dposFresh(cand, cluster, est, Options{}, 0, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -85,13 +85,15 @@ func BenchmarkSplitCandidate(b *testing.B) {
 				b.Fatal(err)
 			}
 			octx := overlayContext(baseCtx, ov)
-			ranks := deltaRanksOverlay(baseCtx, baseRanks, octx, anc, cluster, est, mc)
-			s, err := dposCtx(octx, cluster, est, Options{}, ranks, 0)
+			clat := extendLattice(baseLat, octx, cluster.Devices(), est)
+			ranks := deltaRanksOverlay(baseCtx, baseRanks, octx, anc, clat)
+			s, err := dposCtx(octx, cluster, clat, Options{}, ranks, 0, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
 			releaseSchedule(s)
 			releaseRanks(ranks)
+			releaseLattice(clat)
 			releaseOverlayContext(octx)
 		}
 	})

@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh — the repo's verification tiers (see ROADMAP.md).
 #
-#   tier 1: gofmt gate + build + full test suite
+#   tier 1: gofmt gate + build + full test suite + a 1-iteration bench
+#           smoke so the bench harness itself cannot silently rot between
+#           opt-in bench runs (no timing gate — it only has to run)
 #   tier 2: vet + race detector over the short suite (the parallel strategy
 #           calculator and the cost-model snapshots must hold under -race)
 #   smoke:  CLI strategy-artifact round trip — `fastt compute` writes an
@@ -26,6 +28,8 @@ if [ "$tier" = "1" ] || [ "$tier" = "all" ]; then
 	fi
 	go build ./...
 	go test ./...
+	echo "== tier 1: bench smoke (BenchmarkDPOSThroughput, 1 iteration)"
+	go test -run '^$' -bench BenchmarkDPOSThroughput -benchtime 1x .
 fi
 
 if [ "$tier" = "2" ] || [ "$tier" = "all" ]; then
