@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations] [-iters N] [-seed N]
+//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults] [-iters N] [-seed N]
 package main
 
 import (
@@ -212,6 +212,18 @@ func run(what string, iters int, seed int64) error {
 			}
 			fmt.Fprintln(w)
 		}
+	}
+	if all || want["faults"] {
+		rows, err := experiments.FaultRecoveryTable(cfg, allModels(), 8, 30,
+			experiments.FaultRates())
+		if err != nil {
+			return fmt.Errorf("fault table: %w", err)
+		}
+		fmt.Fprintln(w, "Fault recovery: cost vs fault rate (8 GPUs, 30 iterations, faults/iter)")
+		if err := experiments.WriteFaultTable(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "(generated in %v)\n", time.Since(started).Round(time.Millisecond))
 	return nil

@@ -11,6 +11,7 @@
 //	fastt -model VGG-19 -gpus 4 [-servers 1] [-batch 64] [-weak]
 //	      [-workers N] [-trace out.json] [-dot out.dot] [-timeline]
 //	      [-strategy s.json] [-save-costs c.json] [-load-costs c.json]
+//	      [-faults plan.json]
 //	fastt compute -model MLP -gpus 2 -out s.json [-save-costs c.json]
 //
 // The compute subcommand runs the strategy search offline and writes the
@@ -76,6 +77,7 @@ func run() error {
 		stratIn  = flag.String("strategy", "", "execute a strategy artifact written by 'fastt compute' instead of searching")
 		saveCost = flag.String("save-costs", "", "write the learned cost models to this file after training")
 		loadCost = flag.String("load-costs", "", "preload cost models saved by an earlier run before bootstrapping")
+		faultsIn = flag.String("faults", "", "inject deterministic faults from a JSON plan (times relative to training start); device failures trigger checkpoint recovery")
 	)
 	flag.Parse()
 
@@ -160,7 +162,25 @@ func run() error {
 		// validate the artifact against this graph and cluster and execute it.
 		return runStrategyFile(*stratIn, cluster, train, global, *iters, *seed)
 	}
-	s, err := session.New(cluster, sim.WrapEngine(engine), train, session.Config{Seed: *seed, Sched: core.Options{
+	var exec runtime.Executor = sim.WrapEngine(engine)
+	var faultExec *sim.FaultyExecutor
+	var plan *sim.FaultPlan
+	if *faultsIn != "" {
+		if plan, err = sim.ReadPlanFile(*faultsIn); err != nil {
+			return err
+		}
+		if err := plan.Validate(cluster.NumDevices()); err != nil {
+			return err
+		}
+		// The plan is armed after bootstrap: its times are relative to the
+		// start of normal training, so the user does not need to know how
+		// much simulated time pre-training consumes.
+		if faultExec, err = sim.NewFaultyExecutor(cluster, kernels.NewDefaultOracle(cluster), nil); err != nil {
+			return err
+		}
+		exec = faultExec
+	}
+	s, err := session.New(cluster, exec, train, session.Config{Seed: *seed, Sched: core.Options{
 		MaxSplitOps:   8,
 		MaxSyncGroups: 8,
 		Workers:       *workers,
@@ -176,6 +196,14 @@ func run() error {
 	rep, err := s.Bootstrap()
 	if err != nil {
 		return fmt.Errorf("bootstrap: %w", err)
+	}
+	if faultExec != nil {
+		for i := range plan.Faults {
+			plan.Faults[i].AtNs += int64(faultExec.Epoch())
+		}
+		if err := faultExec.SetPlan(plan); err != nil {
+			return fmt.Errorf("arm fault plan: %w", err)
+		}
 	}
 	run, err := s.Run(*iters)
 	if err != nil {
@@ -200,13 +228,33 @@ func run() error {
 			fmt.Printf("  %s\n", sp)
 		}
 	}
+	if faultExec != nil {
+		fmt.Printf("\ninjected faults: %d event(s), %d device loss(es)\n",
+			len(run.FaultEvents)+run.DeviceLosses, run.DeviceLosses)
+		for _, ev := range run.FaultEvents {
+			fmt.Printf("  %s\n", ev)
+		}
+		if run.DeviceLosses > 0 {
+			fmt.Printf("recovery      : %d iteration(s) lost, %v simulated recovery, recompute wall %v\n",
+				run.LostIterations, run.RecoveryTime.Round(time.Millisecond),
+				run.RecomputeWall.Round(time.Millisecond))
+			if run.Degraded != "" {
+				fmt.Printf("                degraded to %s after exhausting retries\n", run.Degraded)
+			} else {
+				fmt.Printf("                resumed under a recomputed strategy on %d GPU(s)\n",
+					s.Cluster().NumDevices())
+			}
+		}
+	}
 	counts := make(map[int]int)
 	for _, d := range s.ActivePlacement() {
 		counts[d]++
 	}
+	// Recovery may have shrunk the cluster; report the one actually in use.
+	live := s.Cluster()
 	fmt.Println("\nops per device:")
-	for d := 0; d < cluster.NumDevices(); d++ {
-		fmt.Printf("  %-14s %d\n", cluster.Device(d).Name, counts[d])
+	for d := 0; d < live.NumDevices(); d++ {
+		fmt.Printf("  %-14s %d\n", live.Device(d).Name, counts[d])
 	}
 
 	fmt.Println("\nutilization (last iteration):")

@@ -1,0 +1,47 @@
+package cost
+
+import (
+	"bytes"
+	"testing"
+
+	"fastt/internal/device"
+)
+
+// FuzzModelReadJSON asserts the cost-model loader's contract on arbitrary
+// bytes: it never panics, and any document it accepts merges into a state
+// that serializes canonically — writing, re-reading into a fresh model, and
+// writing again produces identical bytes.
+func FuzzModelReadJSON(f *testing.F) {
+	f.Add([]byte(`{"comp":[{"name":"conv1","dev":0,"n":3,"mean":1500000,"m2":12.5}],` +
+		`"comm":[{"from":0,"to":1,"n":2,"sumX":1024,"sumY":9,"sumXX":524800,` +
+		`"sumXY":4608,"minX":256,"maxX":768}]}`))
+	f.Add([]byte(`{"comp":[],"comm":[]}`))
+	f.Add([]byte(`{"comp":[{"name":"x","dev":0,"n":-1}]}`))
+	f.Add([]byte(`{"comm":[{"from":9,"to":0}]}`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cluster, err := device.SingleServer(4)
+		if err != nil {
+			t.Fatalf("SingleServer: %v", err)
+		}
+		m := NewModel(cluster)
+		if err := m.ReadJSON(bytes.NewReader(data)); err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := m.WriteJSON(&first); err != nil {
+			t.Fatalf("accepted model does not serialize: %v", err)
+		}
+		fresh := NewModel(cluster)
+		if err := fresh.ReadJSON(bytes.NewReader(first.Bytes())); err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := fresh.WriteJSON(&second); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round-trip is not canonical:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

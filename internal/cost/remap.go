@@ -1,0 +1,78 @@
+package cost
+
+import "fastt/internal/device"
+
+// RemapDevices returns a new model for a shrunk cluster, carrying over every
+// observation that survives a device loss. oldToNew maps old device IDs to
+// new ones, with -1 marking removed devices — the mapping Cluster.Without
+// returns. Computation entries on a removed device and communication pairs
+// touching it are dropped; everything else is renumbered. The per-name and
+// link-class aggregates are rebuilt from the surviving entries only, so the
+// dead device's timings stop influencing fallback estimates after recovery.
+func (m *Model) RemapDevices(cluster *device.Cluster, oldToNew []int) *Model {
+	next := NewModel(cluster)
+	m.Comp.remapInto(next.Comp, oldToNew)
+	m.Link.remapInto(next.Link, oldToNew)
+	return next
+}
+
+func (m *CompModel) remapInto(dst *CompModel, oldToNew []int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	dst.splitExponent = m.splitExponent
+	for k, s := range m.stats {
+		if k.dev < 0 || k.dev >= len(oldToNew) || oldToNew[k.dev] < 0 {
+			continue
+		}
+		nk := compKey{name: k.name, dev: oldToNew[k.dev]}
+		cp := *s
+		dst.stats[nk] = &cp
+		agg, ok := dst.byName[k.name]
+		if !ok {
+			agg = &runningStat{}
+			dst.byName[k.name] = agg
+		}
+		mergeStat(agg, s.n, s.mean, s.m2)
+	}
+}
+
+func (m *CommModel) remapInto(dst *CommModel, oldToNew []int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for k, acc := range m.pairs {
+		if k.from < 0 || k.from >= len(oldToNew) || oldToNew[k.from] < 0 {
+			continue
+		}
+		if k.to < 0 || k.to >= len(oldToNew) || oldToNew[k.to] < 0 {
+			continue
+		}
+		nk := pairKey{from: oldToNew[k.from], to: oldToNew[k.to]}
+		cp := *acc
+		dst.pairs[nk] = &cp
+		mergeOLSAcc(dst.classes[dst.classOf(nk.from, nk.to)], &cp)
+	}
+}
+
+// mergeOLSAcc folds src's accumulated sums into dst — exact for the sums the
+// fit uses; the first-observation bookkeeping keeps dst's values, which only
+// matters for degenerate single-size fits.
+func mergeOLSAcc(dst, src *olsAccumulator) {
+	if src.n == 0 {
+		return
+	}
+	if dst.n == 0 {
+		*dst = *src
+		return
+	}
+	if src.minX < dst.minX {
+		dst.minX = src.minX
+	}
+	if src.maxX > dst.maxX {
+		dst.maxX = src.maxX
+	}
+	dst.n += src.n
+	dst.sumX += src.sumX
+	dst.sumY += src.sumY
+	dst.sumXX += src.sumXX
+	dst.sumXY += src.sumXY
+}

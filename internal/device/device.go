@@ -156,6 +156,59 @@ func SingleServer(gpus int, opts ...Option) (*Cluster, error) {
 	return NewCluster(1, gpus, opts...)
 }
 
+// Without returns a new cluster omitting the given device — the degraded
+// cluster the session reschedules onto after a device failure. Survivors
+// keep their names, servers and pairwise links but are renumbered to
+// contiguous IDs in their original order; the second return maps old ID ->
+// new ID, with -1 for the removed device. Removing the last device (or an
+// out-of-range one) fails.
+func (c *Cluster) Without(failed int) (*Cluster, []int, error) {
+	if failed < 0 || failed >= len(c.devices) {
+		return nil, nil, fmt.Errorf("device %d outside cluster of %d", failed, len(c.devices))
+	}
+	if len(c.devices) == 1 {
+		return nil, nil, fmt.Errorf("%w: removing device %d empties the cluster", ErrNoDevices, failed)
+	}
+	n := len(c.devices) - 1
+	mapping := make([]int, len(c.devices))
+	next := &Cluster{
+		devices: make([]*Device, 0, n),
+		links:   make([][]Link, n),
+	}
+	for id, d := range c.devices {
+		if id == failed {
+			mapping[id] = -1
+			continue
+		}
+		mapping[id] = len(next.devices)
+		cp := *d
+		cp.ID = len(next.devices)
+		next.devices = append(next.devices, &cp)
+	}
+	for i, oldI := range survivorIDs(len(c.devices), failed) {
+		next.links[i] = make([]Link, n)
+		for j, oldJ := range survivorIDs(len(c.devices), failed) {
+			if i == j {
+				continue
+			}
+			next.links[i][j] = c.links[oldI][oldJ]
+		}
+	}
+	return next, mapping, nil
+}
+
+// survivorIDs lists the original device IDs surviving the removal of
+// `failed`, in order.
+func survivorIDs(n, failed int) []int {
+	ids := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != failed {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
 // NumDevices returns the number of devices in the cluster.
 func (c *Cluster) NumDevices() int { return len(c.devices) }
 

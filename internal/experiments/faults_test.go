@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFaultRecoveryTableSmoke(t *testing.T) {
+	cfg := fastCfg()
+	rows, err := FaultRecoveryTable(cfg, []string{"LeNet"}, 4, 12, []float64{0, 0.3})
+	if err != nil {
+		t.Fatalf("FaultRecoveryTable: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	clean, faulty := rows[0], rows[1]
+	if clean.Injected != 0 || clean.DeviceLosses != 0 || clean.RecoveryTime != 0 {
+		t.Errorf("rate-0 row not clean: %+v", clean)
+	}
+	if clean.Survivors != 4 {
+		t.Errorf("rate-0 row lost devices: %d survivors", clean.Survivors)
+	}
+	if faulty.Injected == 0 {
+		t.Fatalf("rate-0.3 plan injected no faults")
+	}
+	if faulty.DeviceLosses > 0 {
+		if faulty.RecoveryTime <= 0 {
+			t.Error("device losses with no recovery time charged")
+		}
+		if faulty.Survivors != 4-faulty.DeviceLosses {
+			t.Errorf("survivors = %d after %d losses", faulty.Survivors, faulty.DeviceLosses)
+		}
+	}
+	if faulty.AvgIter <= 0 {
+		t.Error("faulty run reported no iteration time")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFaultTable(&buf, rows); err != nil {
+		t.Fatalf("WriteFaultTable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Model", "LostIters", "LeNet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "LeNet") != 2 {
+		t.Errorf("table does not have one line per row:\n%s", out)
+	}
+}
+
+func TestFaultRecoveryTableDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duplicate sweep is slow")
+	}
+	cfg := fastCfg()
+	a, err := FaultRecoveryTable(cfg, []string{"LeNet"}, 4, 12, []float64{0.3})
+	if err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	b, err := FaultRecoveryTable(cfg, []string{"LeNet"}, 4, 12, []float64{0.3})
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	ar, br := a[0], b[0]
+	// RecomputeWall is real wall-clock; everything else must reproduce.
+	ar.RecomputeWall, br.RecomputeWall = 0, 0
+	if ar != br {
+		t.Errorf("fault sweep not deterministic:\n%+v\nvs\n%+v", ar, br)
+	}
+}

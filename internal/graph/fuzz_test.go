@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON asserts the graph decoder's contract on arbitrary bytes: it
+// never panics, everything it accepts is a valid DAG, and accepted graphs
+// serialize canonically — the written form re-reads and re-writes
+// byte-identically.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"ops":[{"name":"x","kind":"Input","outputBytes":4},` +
+		`{"name":"w","kind":"Variable","paramBytes":8},` +
+		`{"name":"mm","kind":"MatMul","flops":64,"batch":2}],` +
+		`"edges":[{"from":"x","to":"mm","bytes":4},{"from":"w","to":"mm","bytes":8}]}`))
+	f.Add([]byte(`{"ops":[],"edges":[]}`))
+	f.Add([]byte(`{"ops":[{"name":"a","kind":"Relu"},{"name":"b","kind":"Relu"}],` +
+		`"edges":[{"from":"a","to":"b","bytes":0},{"from":"b","to":"a","bytes":0}]}`))
+	f.Add([]byte(`{"ops":[{"name":"a","kind":"NoSuchKind"}]}`))
+	f.Add([]byte(`[`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		var first bytes.Buffer
+		if err := g.WriteJSON(&first); err != nil {
+			t.Fatalf("accepted graph does not serialize: %v", err)
+		}
+		h, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := h.WriteJSON(&second); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round-trip is not canonical:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -62,6 +62,13 @@ func NewDefaultOracle(cluster *device.Cluster) *Oracle {
 	return NewOracle(DefaultConfig(), cluster)
 }
 
+// WithCluster returns an oracle with the same kernel configuration rebound
+// to a different cluster — the degraded-cluster path after a device loss,
+// where survivor timings must stay identical to their pre-failure values.
+func (o *Oracle) WithCluster(cluster *device.Cluster) *Oracle {
+	return NewOracle(o.cfg, cluster)
+}
+
 // peakEfficiency is the fraction of device peak FLOPS an operation kind can
 // reach at large sizes. Dense GEMMs run near peak; convolutions slightly
 // lower; recurrent cells lower still (many small fused GEMMs); elementwise

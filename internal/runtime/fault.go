@@ -1,0 +1,82 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultKind enumerates the fault classes a backend can inject or observe.
+// The taxonomy mirrors what kills real multi-GPU training jobs: a device
+// dropping out entirely, a device losing throughput (thermal throttling,
+// noisy neighbours), and a link losing bandwidth (congestion, a flapping
+// NIC).
+type FaultKind int
+
+const (
+	// FaultDeviceFailure is the permanent loss of a device: the iteration
+	// in flight dies and the device cannot be scheduled onto again.
+	FaultDeviceFailure FaultKind = iota + 1
+	// FaultStraggler is a persistent slowdown of one device's compute
+	// throughput by a multiplicative factor.
+	FaultStraggler
+	// FaultLinkDegrade is a persistent slowdown of one ordered device
+	// pair's transfers by a multiplicative factor.
+	FaultLinkDegrade
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDeviceFailure:
+		return "device-failure"
+	case FaultStraggler:
+		return "straggler"
+	case FaultLinkDegrade:
+		return "link-degrade"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultEvent records one injected fault taking effect, in the device IDs of
+// the cluster that was current when it fired. At is absolute time on the
+// training timeline (cumulative across iterations), not an offset within
+// one iteration.
+type FaultEvent struct {
+	Kind   FaultKind     `json:"kind"`
+	At     time.Duration `json:"atNs"`
+	Device int           `json:"device,omitempty"`
+	From   int           `json:"from,omitempty"`
+	To     int           `json:"to,omitempty"`
+	Factor float64       `json:"factor,omitempty"`
+}
+
+// String implements fmt.Stringer for human-readable fault reports.
+func (e FaultEvent) String() string {
+	switch e.Kind {
+	case FaultDeviceFailure:
+		return fmt.Sprintf("device %d failed at %v", e.Device, e.At)
+	case FaultStraggler:
+		return fmt.Sprintf("device %d straggling x%.1f from %v", e.Device, e.Factor, e.At)
+	case FaultLinkDegrade:
+		return fmt.Sprintf("link %d->%d degraded x%.1f from %v", e.From, e.To, e.Factor, e.At)
+	default:
+		return fmt.Sprintf("%s at %v", e.Kind, e.At)
+	}
+}
+
+// DeviceLostError aborts an execution when a device fails mid-iteration.
+// The session reacts by restoring the latest checkpoint, shrinking the
+// cluster around the lost device, and recomputing the strategy on the
+// survivors.
+type DeviceLostError struct {
+	// Device is the failed device's ID in the cluster the run used.
+	Device int
+	// At is the failure time on the training timeline.
+	At time.Duration
+}
+
+// Error implements error.
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("device %d lost at %v", e.Device, e.At)
+}

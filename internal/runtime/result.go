@@ -54,6 +54,11 @@ type Result struct {
 	MemcpyBusy []time.Duration
 	// PeakMemory is the per-device peak resident bytes.
 	PeakMemory []int64
+	// Faults are the injected faults that first took effect during this
+	// iteration (stragglers, link degradations), in schedule order. A
+	// device failure never appears here: it aborts the run with a
+	// DeviceLostError instead.
+	Faults []FaultEvent
 }
 
 // AvgComputeBusy returns the mean per-device compute time over devices that

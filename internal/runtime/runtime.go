@@ -8,6 +8,9 @@
 package runtime
 
 import (
+	"time"
+
+	"fastt/internal/device"
 	"fastt/internal/graph"
 	"fastt/internal/strategy"
 )
@@ -34,4 +37,25 @@ type Config struct {
 // must be the artifact's materialized graph — see strategy.Materialize.
 type Executor interface {
 	Run(g *graph.Graph, art *strategy.Artifact, cfg Config) (*Result, error)
+}
+
+// DegradableExecutor is implemented by executors that can continue after a
+// device loss — the capability the session's fault recovery needs. A
+// backend that cannot shrink simply does not implement it, and DeviceLost
+// errors propagate to the caller instead of triggering recovery.
+type DegradableExecutor interface {
+	Executor
+	// Shrink returns an executor and its cluster for the devices surviving
+	// the loss of failedDevice, carrying over backend state (clocks,
+	// pending fault schedules) so the training timeline stays continuous.
+	// Survivors keep their relative order and are renumbered contiguously:
+	// old ID d maps to d when d < failedDevice and d-1 when d >
+	// failedDevice. Shrinking the last device fails.
+	Shrink(failedDevice int) (Executor, *device.Cluster, error)
+	// Advance moves the backend's training-timeline clock forward by a
+	// simulated duration — checkpoint restores and retry backoff the
+	// session charges between iterations — so time-anchored fault
+	// schedules stay aligned with the session's accounting. Backends
+	// without a clock treat it as a no-op.
+	Advance(d time.Duration)
 }

@@ -66,6 +66,19 @@ type Config struct {
 	// DriftFraction is the fraction of ops that must drift before the
 	// strategy is recomputed (default 0.05).
 	DriftFraction float64
+	// MaxFaultRetries bounds the device losses within one Run that trigger a
+	// full OS-DPOS recomputation on the survivors; losses past the budget (a
+	// fault storm) degrade straight to the bootstrap fallbacks — model
+	// parallelism, then single device — instead of erroring. Default 3.
+	MaxFaultRetries int
+	// FaultBackoff is the simulated base backoff charged to the training
+	// timeline per recovery, doubling with each consecutive device loss.
+	// Default 2s.
+	FaultBackoff time.Duration
+	// CheckpointEvery saves a training checkpoint every N successful Run
+	// iterations, bounding the iterations lost to a device failure. 0 keeps
+	// only the Run-start and post-recovery checkpoints.
+	CheckpointEvery int
 }
 
 // withDefaults fills zero fields.
@@ -93,6 +106,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DriftFraction == 0 {
 		c.DriftFraction = 0.05
+	}
+	if c.MaxFaultRetries == 0 {
+		c.MaxFaultRetries = 3
+	}
+	if c.FaultBackoff == 0 {
+		c.FaultBackoff = 2 * time.Second
 	}
 	if c.Sched.Memory == (graph.MemoryModel{}) {
 		c.Sched.Memory = c.Memory
@@ -165,9 +184,31 @@ type RunStats struct {
 	Last *runtime.Result
 	// Reprofiles counts the periodic profiling checks performed;
 	// Recomputed counts strategy recomputations triggered by cost-model
-	// drift (each implies a checkpoint/restart on the training timeline).
+	// drift or device-loss recovery (each implies a checkpoint/restart on
+	// the training timeline).
 	Reprofiles int
 	Recomputed int
+	// FaultEvents are the non-fatal injected faults (stragglers, link
+	// degradations) the executor surfaced, each exactly once, in the order
+	// they took effect.
+	FaultEvents []runtime.FaultEvent
+	// DeviceLosses counts device failures recovered from during the run.
+	DeviceLosses int
+	// LostIterations counts training iterations rolled back by checkpoint
+	// restores after device losses.
+	LostIterations int
+	// RecoveryTime is the simulated training-timeline time spent off the
+	// training path: checkpoint restarts and retry backoff after device
+	// losses, re-profiling of recovered or drift-recomputed strategies, and
+	// the restart cycles of drift-triggered activations.
+	RecoveryTime time.Duration
+	// RecomputeWall is the wall-clock time the strategy calculator spent on
+	// device-loss recomputations.
+	RecomputeWall time.Duration
+	// Degraded names the fallback the session was driven to when recovery
+	// exhausted its retry budget ("model-parallel" or "single-device");
+	// empty while OS-DPOS strategies are active.
+	Degraded string
 }
 
 // Session owns the training loop state. All execution goes through the
@@ -214,6 +255,12 @@ func New(cluster *device.Cluster, exec runtime.Executor, trainGraph *graph.Graph
 
 // Costs exposes the learned cost models (read-mostly; used by analysis).
 func (s *Session) Costs() *cost.Model { return s.costs }
+
+// Cluster returns the cluster the session is currently scheduling onto. It
+// starts as the cluster passed to New and shrinks when device-loss recovery
+// drops failed devices, so callers reporting per-device state must read it
+// after Run rather than holding the original.
+func (s *Session) Cluster() *device.Cluster { return s.cluster }
 
 // SaveCosts writes the learned cost models, so a later session training the
 // same model can skip most of the pre-training exploration.
@@ -321,6 +368,7 @@ func (s *Session) Bootstrap() (*Report, error) {
 				return nil, fmt.Errorf("round %d: activate: %w", round, err)
 			}
 			rep.SimulatedOverhead += s.restartCost()
+			s.advanceTimeline(s.restartCost())
 			m, oom, err := s.profile(next)
 			switch {
 			case oom != nil:
@@ -330,6 +378,7 @@ func (s *Session) Bootstrap() (*Report, error) {
 					return nil, fmt.Errorf("round %d: rollback: %w", round, err)
 				}
 				rep.SimulatedOverhead += s.restartCost()
+				s.advanceTimeline(s.restartCost())
 				r.RolledBack = true
 				r.Measured = s.curMeasured
 			case err != nil:
@@ -340,6 +389,7 @@ func (s *Session) Bootstrap() (*Report, error) {
 					return nil, fmt.Errorf("round %d: rollback: %w", round, err)
 				}
 				rep.SimulatedOverhead += s.restartCost() + m*time.Duration(s.cfg.ProfileIters)
+				s.advanceTimeline(s.restartCost())
 				r.RolledBack = true
 				r.Measured = m
 			default:
@@ -381,28 +431,54 @@ func (s *Session) Run(iters int) (*RunStats, error) {
 	if iters < 1 {
 		return nil, fmt.Errorf("iters must be >= 1, got %d", iters)
 	}
+	// Checkpoint the entry state so a device failure early in the run has a
+	// snapshot to restore.
+	if err := s.activate(); err != nil {
+		return nil, fmt.Errorf("checkpoint at run start: %w", err)
+	}
 	var total time.Duration
 	var last *runtime.Result
 	stats := &RunStats{Iterations: iters}
 	for i := 0; i < iters; i++ {
 		res, err := s.runOnce(s.cur)
 		if err != nil {
+			if lost := asDeviceLost(err); lost != nil {
+				if rerr := s.recoverFromDeviceLoss(lost, stats); rerr != nil {
+					return nil, fmt.Errorf("iteration %d: %w", i, rerr)
+				}
+				i-- // redo the aborted iteration under the recovered strategy
+				continue
+			}
 			return nil, fmt.Errorf("iteration %d: %w", i, err)
 		}
 		total += res.Makespan
 		last = res
 		s.step++
+		stats.FaultEvents = append(stats.FaultEvents, res.Faults...)
 
+		if s.cfg.CheckpointEvery > 0 && (i+1)%s.cfg.CheckpointEvery == 0 {
+			if err := s.activate(); err != nil {
+				return nil, fmt.Errorf("iteration %d: checkpoint: %w", i, err)
+			}
+		}
 		if s.cfg.ReprofileEvery > 0 && (i+1)%s.cfg.ReprofileEvery == 0 {
 			stats.Reprofiles++
 			if s.drifted(res) {
 				// Execution times changed significantly: refresh the cost
 				// models and recompute the strategy (Sec. 4).
 				s.observe(s.cur.graph, res)
-				recomputed, err := s.refreshStrategy(res.Makespan)
+				recomputed, charged, err := s.refreshStrategy(res.Makespan)
 				if err != nil {
+					if lost := asDeviceLost(err); lost != nil {
+						stats.RecoveryTime += charged
+						if rerr := s.recoverFromDeviceLoss(lost, stats); rerr != nil {
+							return nil, fmt.Errorf("iteration %d: %w", i, rerr)
+						}
+						continue
+					}
 					return nil, fmt.Errorf("iteration %d: reprofile: %w", i, err)
 				}
+				stats.RecoveryTime += charged
 				if recomputed {
 					stats.Recomputed++
 				}
@@ -441,39 +517,57 @@ func (s *Session) drifted(res *runtime.Result) bool {
 
 // refreshStrategy recomputes the strategy against the refreshed cost models
 // and activates it when its estimate beats the latest measurement. Returns
-// whether a new strategy was activated.
-func (s *Session) refreshStrategy(latest time.Duration) (bool, error) {
+// whether a new strategy was activated, plus the simulated recovery time the
+// attempt charged to the training timeline: every activation or rollback is
+// a checkpoint/restart cycle, and candidate profiling runs off the training
+// path. The charge is reported even alongside an error, so callers can
+// account partial work.
+func (s *Session) refreshStrategy(latest time.Duration) (bool, time.Duration, error) {
 	cand, err := s.compute()
 	if errors.Is(err, core.ErrNoFeasiblePlacement) {
-		return false, nil // keep the running strategy
+		return false, 0, nil // keep the running strategy
 	}
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	if err := validate.Strategy(cand, s.cluster, validate.Options{SkipMemory: true}); err != nil {
-		return false, err
+		return false, 0, err
 	}
 	if cand.Predicted >= latest {
 		s.curMeasured = latest
-		return false, nil
+		return false, 0, nil
 	}
 	next := s.candidateActive(cand)
 	if err := s.activate(); err != nil {
-		return false, err
+		return false, 0, err
 	}
+	charged := s.restartCost()
+	s.advanceTimeline(charged)
 	m, oom, err := s.profile(next)
 	if err != nil {
-		return false, err
+		return false, charged, err
 	}
+	charged += m * time.Duration(s.cfg.ProfileIters)
 	if oom != nil || m > latest {
 		if err := s.rollback(); err != nil {
-			return false, err
+			return false, charged, err
 		}
-		return false, nil
+		charged += s.restartCost()
+		s.advanceTimeline(s.restartCost())
+		return false, charged, nil
 	}
 	s.cur = next
 	s.curMeasured = m
-	return true, nil
+	return true, charged, nil
+}
+
+// advanceTimeline charges off-iteration simulated time (restart cycles,
+// backoff) to the executor's training-timeline clock, when the backend keeps
+// one.
+func (s *Session) advanceTimeline(d time.Duration) {
+	if deg, ok := s.exec.(runtime.DegradableExecutor); ok {
+		deg.Advance(d)
+	}
 }
 
 // candidateActive packages a computed strategy as the would-be active

@@ -7,6 +7,7 @@ import (
 
 	"fastt/internal/graph"
 	"fastt/internal/kernels"
+	"fastt/internal/runtime"
 )
 
 // eventKind discriminates heap events.
@@ -185,6 +186,16 @@ type runState struct {
 	memcpyNS   []int64
 	rng        *rand.Rand
 	priorities []int
+
+	// Fault injection (see Config.Faults). Times are iteration-relative
+	// nanoseconds: fault AtNs minus the epoch.
+	epoch      int64       // Config.FaultEpoch in ns
+	hasFail    bool        // a device failure is scheduled
+	failRel    int64       // failure time relative to iteration start
+	failDev    int         // failing device
+	failAbs    int64       // failure time on the training timeline
+	stragglers []FaultSpec // straggler faults, plan order
+	linkFaults []FaultSpec // link-degrade faults, plan order
 }
 
 func newRunState(e *Engine, g *graph.Graph, placement []int, cfg Config) *runState {
@@ -212,7 +223,64 @@ func newRunState(e *Engine, g *graph.Graph, placement []int, cfg Config) *runSta
 	for i := range r.outRefs {
 		r.outRefs[i] = -1 // unset until the op finishes
 	}
+	r.prepareFaults()
 	return r
+}
+
+// prepareFaults indexes the configured fault plan for the event loop: the
+// earliest scheduled device failure (ties broken by lowest device ID, so
+// injection is deterministic) plus the straggler and link-degradation lists.
+func (r *runState) prepareFaults() {
+	if r.cfg.Faults == nil {
+		return
+	}
+	r.epoch = int64(r.cfg.FaultEpoch)
+	for _, f := range r.cfg.Faults.Faults {
+		switch f.runtimeKind() {
+		case runtime.FaultDeviceFailure:
+			if !r.hasFail || f.AtNs < r.failAbs ||
+				(f.AtNs == r.failAbs && f.Device < r.failDev) {
+				r.hasFail = true
+				r.failAbs = f.AtNs
+				r.failRel = f.AtNs - r.epoch
+				r.failDev = f.Device
+			}
+		case runtime.FaultStraggler:
+			r.stragglers = append(r.stragglers, f)
+		case runtime.FaultLinkDegrade:
+			r.linkFaults = append(r.linkFaults, f)
+		}
+	}
+}
+
+// stragglerFactor returns the combined slowdown of ops starting now on dev:
+// the product of every straggler fault active on the device at the absolute
+// start time.
+func (r *runState) stragglerFactor(dev int) float64 {
+	factor := 1.0
+	for _, f := range r.stragglers {
+		if f.Device == dev && f.AtNs <= r.epoch+r.now {
+			factor *= f.Factor
+		}
+	}
+	return factor
+}
+
+// linkFactor returns the combined slowdown of transfers starting now from
+// src to dest.
+func (r *runState) linkFactor(src, dest int) float64 {
+	factor := 1.0
+	for _, f := range r.linkFaults {
+		if f.From == src && f.To == dest && f.AtNs <= r.epoch+r.now {
+			factor *= f.Factor
+		}
+	}
+	return factor
+}
+
+// deviceLost builds the typed abort for the scheduled failure.
+func (r *runState) deviceLost() *runtime.DeviceLostError {
+	return &runtime.DeviceLostError{Device: r.failDev, At: time.Duration(r.failAbs)}
 }
 
 // jitter perturbs d by ±cfg.Jitter multiplicatively.
@@ -270,8 +338,19 @@ func (r *runState) execute() (*Result, error) {
 		}
 	}
 
+	// A failure scheduled at or before the iteration start kills the run
+	// before any work happens.
+	if r.hasFail && r.failRel <= 0 {
+		return nil, r.deviceLost()
+	}
+
 	for len(r.events) > 0 {
 		ev := r.events.pop()
+		if r.hasFail && ev.at >= r.failRel {
+			// The device dies before this event completes; the iteration's
+			// work is lost and the caller must recover from checkpoint.
+			return nil, r.deviceLost()
+		}
 		r.now = ev.at
 		var err error
 		switch ev.kind {
@@ -326,6 +405,9 @@ func (r *runState) kick(dev int) error {
 		return err
 	}
 	dur := r.jitter(r.e.oracle.Exec(op, r.e.cluster.Device(dev)))
+	if f := r.stragglerFactor(dev); f != 1 {
+		dur = int64(float64(dur) * f)
+	}
 	r.deviceBusy[dev] = true
 	r.spans = append(r.spans, Span{
 		Op:     n.op,
@@ -474,6 +556,9 @@ func (r *runState) pump(ch *channel) {
 	head.started = r.now
 	link := r.e.cluster.Link(head.src, head.dest)
 	dur := r.jitter(kernels.TransferTime(head.bytes, link))
+	if f := r.linkFactor(head.src, head.dest); f != 1 {
+		dur = int64(float64(dur) * f)
+	}
 	r.seq++
 	r.events.push(event{at: r.now + dur, seq: r.seq, kind: evXferDone, ch: ch})
 }
@@ -548,6 +633,22 @@ func (r *runState) buildResult() *Result {
 		}
 	}
 	res.Makespan = makespan
+	// Report the non-fatal faults that were active during this iteration's
+	// window, in schedule order. The executor filters them to once-only
+	// across iterations.
+	for _, f := range r.stragglers {
+		if f.AtNs < r.epoch+int64(makespan) {
+			res.Faults = append(res.Faults, f.Event())
+		}
+	}
+	for _, f := range r.linkFaults {
+		if f.AtNs < r.epoch+int64(makespan) {
+			res.Faults = append(res.Faults, f.Event())
+		}
+	}
+	sort.SliceStable(res.Faults, func(i, j int) bool {
+		return res.Faults[i].At < res.Faults[j].At
+	})
 	sort.Slice(res.Spans, func(i, j int) bool {
 		if res.Spans[i].Start != res.Spans[j].Start {
 			return res.Spans[i].Start < res.Spans[j].Start

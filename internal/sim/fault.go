@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"fastt/internal/runtime"
+)
+
+// Fault-plan errors.
+var (
+	// ErrBadFaultPlan is returned when a fault plan is malformed or does
+	// not fit the cluster it is applied to.
+	ErrBadFaultPlan = errors.New("bad fault plan")
+)
+
+// FaultSpec is one scheduled fault. AtNs is absolute time on the training
+// timeline — cumulative simulated nanoseconds across every iteration the
+// executor has run (pre-training profiling included) — not an offset within
+// a single iteration.
+type FaultSpec struct {
+	// Kind is one of "device-failure", "straggler", "link-degrade".
+	Kind string `json:"kind"`
+	// AtNs is when the fault takes effect, in training-timeline ns.
+	AtNs int64 `json:"atNs"`
+	// Device is the failing or straggling device (device-failure,
+	// straggler).
+	Device int `json:"device,omitempty"`
+	// From and To are the degraded link's endpoints (link-degrade).
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Factor multiplies execution time on a straggler or transfer time on
+	// a degraded link; it must be >= 1 and is ignored by device-failure.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Fault kind names used in the JSON surface.
+const (
+	kindDeviceFailure = "device-failure"
+	kindStraggler     = "straggler"
+	kindLinkDegrade   = "link-degrade"
+)
+
+// runtimeKind maps the JSON name to the typed kind.
+func (s FaultSpec) runtimeKind() runtime.FaultKind {
+	switch s.Kind {
+	case kindDeviceFailure:
+		return runtime.FaultDeviceFailure
+	case kindStraggler:
+		return runtime.FaultStraggler
+	case kindLinkDegrade:
+		return runtime.FaultLinkDegrade
+	default:
+		return 0
+	}
+}
+
+// Event renders the spec as the typed fault event surfaced in results.
+func (s FaultSpec) Event() runtime.FaultEvent {
+	ev := runtime.FaultEvent{
+		Kind:   s.runtimeKind(),
+		At:     time.Duration(s.AtNs),
+		Factor: s.Factor,
+	}
+	switch ev.Kind {
+	case runtime.FaultLinkDegrade:
+		ev.From, ev.To = s.From, s.To
+		ev.Factor = s.Factor
+	default:
+		ev.Device = s.Device
+		if ev.Kind == runtime.FaultDeviceFailure {
+			ev.Factor = 0
+		}
+	}
+	return ev
+}
+
+// FaultPlan is a deterministic fault schedule the simulator injects
+// mid-run: the same plan always produces the same fault event sequence and
+// the same device-loss points, regardless of strategy-calculator worker
+// counts. Seed records the generator seed when the plan was synthesized
+// (GeneratePlan); it is carried for provenance and does not perturb replay.
+type FaultPlan struct {
+	Seed   int64       `json:"seed,omitempty"`
+	Faults []FaultSpec `json:"faults"`
+}
+
+// Validate checks the plan against a cluster size: known kinds, in-range
+// devices, sane factors.
+func (p *FaultPlan) Validate(devices int) error {
+	for i, f := range p.Faults {
+		if f.runtimeKind() == 0 {
+			return fmt.Errorf("%w: fault %d has unknown kind %q", ErrBadFaultPlan, i, f.Kind)
+		}
+		if f.AtNs < 0 {
+			return fmt.Errorf("%w: fault %d at negative time %d", ErrBadFaultPlan, i, f.AtNs)
+		}
+		switch f.runtimeKind() {
+		case runtime.FaultDeviceFailure:
+			if f.Device < 0 || f.Device >= devices {
+				return fmt.Errorf("%w: fault %d fails device %d of %d", ErrBadFaultPlan, i, f.Device, devices)
+			}
+		case runtime.FaultStraggler:
+			if f.Device < 0 || f.Device >= devices {
+				return fmt.Errorf("%w: fault %d straggles device %d of %d", ErrBadFaultPlan, i, f.Device, devices)
+			}
+			if f.Factor < 1 {
+				return fmt.Errorf("%w: fault %d has straggler factor %v < 1", ErrBadFaultPlan, i, f.Factor)
+			}
+		case runtime.FaultLinkDegrade:
+			if f.From < 0 || f.From >= devices || f.To < 0 || f.To >= devices || f.From == f.To {
+				return fmt.Errorf("%w: fault %d degrades link %d->%d of %d devices",
+					ErrBadFaultPlan, i, f.From, f.To, devices)
+			}
+			if f.Factor < 1 {
+				return fmt.Errorf("%w: fault %d has link factor %v < 1", ErrBadFaultPlan, i, f.Factor)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the plan.
+func (p *FaultPlan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadPlan parses a fault plan, rejecting unknown fields.
+func ReadPlan(r io.Reader) (*FaultPlan, error) {
+	var p FaultPlan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("decode fault plan: %w", err)
+	}
+	return &p, nil
+}
+
+// ReadPlanFile loads a fault plan from path.
+func ReadPlanFile(path string) (*FaultPlan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPlan(f)
+}
+
+// GeneratePlan synthesizes a deterministic fault storm: Poisson-ish fault
+// arrivals at the given mean rate (faults per simulated second) over the
+// horizon, with kinds, targets and factors drawn from the seeded generator.
+// Equal seeds produce byte-identical plans. Offset shifts every fault time,
+// so a storm can be armed to start after pre-training.
+func GeneratePlan(seed int64, devices int, rate float64, horizon, offset time.Duration) *FaultPlan {
+	p := &FaultPlan{Seed: seed}
+	if rate <= 0 || horizon <= 0 || devices < 1 {
+		return p
+	}
+	rng := rand.New(rand.NewSource(seed))
+	at := float64(0)
+	for {
+		at += rng.ExpFloat64() / rate * float64(time.Second)
+		if at >= float64(horizon) {
+			break
+		}
+		f := FaultSpec{AtNs: int64(offset) + int64(at)}
+		kinds := 3
+		if devices < 2 {
+			kinds = 2 // no links to degrade on a single device
+		}
+		switch rng.Intn(kinds) {
+		case 0:
+			f.Kind = kindDeviceFailure
+			f.Device = rng.Intn(devices)
+		case 1:
+			f.Kind = kindStraggler
+			f.Device = rng.Intn(devices)
+			f.Factor = 1.5 + 2*rng.Float64()
+		default:
+			f.Kind = kindLinkDegrade
+			f.From = rng.Intn(devices)
+			f.To = (f.From + 1 + rng.Intn(devices-1)) % devices
+			f.Factor = 2 + 6*rng.Float64()
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	sort.SliceStable(p.Faults, func(i, j int) bool { return p.Faults[i].AtNs < p.Faults[j].AtNs })
+	return p
+}
+
+// shrink returns the plan rewritten for a cluster that lost `failed`:
+// faults targeting the dead device (or its links) are dropped and surviving
+// device IDs are renumbered through mapping (old -> new, -1 = removed). The
+// kept slice reports, for each retained fault, its index in the original
+// plan, so once-only reporting state can follow the rewrite.
+func (p *FaultPlan) shrink(mapping []int) (*FaultPlan, []int) {
+	next := &FaultPlan{Seed: p.Seed}
+	var kept []int
+	for i, f := range p.Faults {
+		switch f.runtimeKind() {
+		case runtime.FaultLinkDegrade:
+			if mapping[f.From] < 0 || mapping[f.To] < 0 {
+				continue
+			}
+			f.From, f.To = mapping[f.From], mapping[f.To]
+		default:
+			if mapping[f.Device] < 0 {
+				continue
+			}
+			f.Device = mapping[f.Device]
+		}
+		next.Faults = append(next.Faults, f)
+		kept = append(kept, i)
+	}
+	return next, kept
+}

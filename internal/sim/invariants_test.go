@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"fastt/internal/core"
 	"fastt/internal/device"
 	"fastt/internal/graph"
 	"fastt/internal/kernels"
+	"fastt/internal/models"
 )
 
 // randomPlacedGraph builds a random DAG with mixed op kinds and a random
@@ -203,6 +205,82 @@ func TestRunMemoryReturnsToStatic(t *testing.T) {
 	}
 	if res.PeakMemory[0] > 2*act {
 		t.Errorf("chain peak %d, want <= %d (two live activations)", res.PeakMemory[0], 2*act)
+	}
+}
+
+// TestRecomputeOnSurvivorsInvariants is the recovery property: for every
+// catalog model and cluster size in {2, 4, 8}, killing any single device and
+// recomputing the strategy on the survivors yields a placement that uses
+// only surviving devices and executes with all simulation invariants intact.
+// Short mode trims the sweep (fewer cluster sizes and kill positions) but
+// keeps every model.
+func TestRecomputeOnSurvivorsInvariants(t *testing.T) {
+	sizes := []int{2, 4, 8}
+	if testing.Short() {
+		sizes = []int{2, 4}
+	}
+	for _, spec := range models.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, gpus := range sizes {
+				perGPU := spec.GlobalBatch / gpus
+				if perGPU < 1 {
+					perGPU = 1
+				}
+				m, err := spec.Build(perGPU)
+				if err != nil {
+					t.Fatalf("%d GPUs: build: %v", gpus, err)
+				}
+				g, err := graph.BuildDataParallel(m, gpus)
+				if err != nil {
+					t.Fatalf("%d GPUs: replicate: %v", gpus, err)
+				}
+				cluster, err := device.SingleServer(gpus)
+				if err != nil {
+					t.Fatalf("SingleServer(%d): %v", gpus, err)
+				}
+				for failed := 0; failed < gpus; failed++ {
+					if testing.Short() && failed != 0 && failed != gpus-1 {
+						continue
+					}
+					shrunk, mapping, err := cluster.Without(failed)
+					if err != nil {
+						t.Fatalf("%d GPUs: Without(%d): %v", gpus, failed, err)
+					}
+					if want := gpus - 1; shrunk.NumDevices() != want {
+						t.Fatalf("%d survivors, want %d", shrunk.NumDevices(), want)
+					}
+					for old, nw := range mapping {
+						switch {
+						case old == failed && nw != -1:
+							t.Fatalf("failed device %d mapped to %d", failed, nw)
+						case old < failed && old != nw,
+							old > failed && nw != old-1:
+							t.Fatalf("mapping %v violates the renumber contract", mapping)
+						}
+					}
+					oracle := kernels.NewDefaultOracle(shrunk)
+					st, err := core.ComputeStrategy(g, shrunk, oracle, core.Options{
+						MaxSplitOps:   1,
+						MaxSyncGroups: 2,
+					})
+					if err != nil {
+						t.Fatalf("%d GPUs, kill %d: recompute: %v", gpus, failed, err)
+					}
+					for op, dev := range st.Placement {
+						if dev < 0 || dev >= shrunk.NumDevices() {
+							t.Fatalf("%d GPUs, kill %d: op %d placed on dead or unknown device %d",
+								gpus, failed, op, dev)
+						}
+					}
+					res, err := NewEngine(shrunk, oracle).Run(st.Graph, st.Placement, Config{})
+					if err != nil {
+						t.Fatalf("%d GPUs, kill %d: run on survivors: %v", gpus, failed, err)
+					}
+					checkResultInvariants(t, st.Graph, st.Placement, res)
+				}
+			}
+		})
 	}
 }
 

@@ -22,6 +22,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"fastt/internal/device"
 	"fastt/internal/graph"
@@ -100,6 +101,17 @@ type Config struct {
 	// had multiple rails, and the conservative default keeps the DP
 	// baseline strong); turn on for congested-network what-if analysis.
 	SharedNIC bool
+	// Faults injects deterministic mid-run faults: stragglers and link
+	// degradations slow the affected work from their activation time on;
+	// a device failure aborts the run with a runtime.DeviceLostError at
+	// the first event on or after its time. Fault times are absolute on
+	// the training timeline; FaultEpoch is this iteration's start on that
+	// timeline. Nil disables injection.
+	Faults *FaultPlan
+	// FaultEpoch is the training-timeline time at which this iteration
+	// starts (cumulative makespan of every earlier iteration plus any
+	// recovery time the caller charged).
+	FaultEpoch time.Duration
 }
 
 // Engine executes placed graphs on a cluster with ground-truth latencies

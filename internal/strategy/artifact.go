@@ -41,16 +41,50 @@ var (
 	ErrMaterialize = errors.New("artifact split list does not apply to graph")
 )
 
-// ClusterShape records the topology an artifact was computed for.
+// ClusterShape records the topology an artifact was computed for. Regular
+// clusters (every server hosting the same GPU count) use Servers ×
+// GPUsPerServer, the original schema-1 encoding. Irregular clusters — the
+// degraded shapes left behind after a device failure — set Devices to the
+// total device count and leave GPUsPerServer zero, so a strategy recomputed
+// on survivors still validates against the cluster it was computed for
+// without bumping the schema.
 type ClusterShape struct {
 	Servers       int `json:"servers"`
 	GPUsPerServer int `json:"gpusPerServer"`
+	// Devices is the total device count of an irregular cluster; zero for
+	// regular Servers × GPUsPerServer shapes.
+	Devices int `json:"devices,omitempty"`
+}
+
+// NumDevices returns the shape's total device count under either encoding.
+func (s ClusterShape) NumDevices() int {
+	if s.Devices > 0 {
+		return s.Devices
+	}
+	return s.Servers * s.GPUsPerServer
 }
 
 // ClusterShapeOf returns the shape of a cluster.
 func ClusterShapeOf(c *device.Cluster) ClusterShape {
-	servers := c.Servers()
-	return ClusterShape{Servers: servers, GPUsPerServer: c.NumDevices() / servers}
+	perServer := make(map[int]int)
+	for _, d := range c.Devices() {
+		perServer[d.Server]++
+	}
+	servers := len(perServer)
+	regular := true
+	var gps int
+	for _, n := range perServer {
+		if gps == 0 {
+			gps = n
+		} else if n != gps {
+			regular = false
+			break
+		}
+	}
+	if regular {
+		return ClusterShape{Servers: servers, GPUsPerServer: gps}
+	}
+	return ClusterShape{Servers: servers, Devices: c.NumDevices()}
 }
 
 // Provenance records where an artifact came from, so a deployment can audit

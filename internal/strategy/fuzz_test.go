@@ -1,0 +1,44 @@
+package strategy_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fastt/internal/strategy"
+)
+
+// FuzzReadJSON asserts the artifact decoder's contract on arbitrary bytes:
+// it never panics, and anything it accepts serializes to a canonical form —
+// re-reading the written bytes succeeds and writes back identically.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"schemaVersion":1,"graphFingerprint":"abc","placement":[0,1],` +
+		`"provenance":{"cluster":{"servers":1,"gpusPerServer":2}}}`))
+	f.Add([]byte(`{"schemaVersion":1,"graphFingerprint":"","placement":[],` +
+		`"order":[1,0],"splits":[{"opName":"conv1","dim":"batch","n":2}],` +
+		`"predictedNs":1500,"provenance":{"model":"LeNet","origin":"fastt",` +
+		`"cluster":{"servers":2,"devices":3}}}`))
+	f.Add([]byte(`{"schemaVersion":2,"placement":[0]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := strategy.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := a.WriteJSON(&first); err != nil {
+			t.Fatalf("accepted artifact does not serialize: %v", err)
+		}
+		b, err := strategy.ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := b.WriteJSON(&second); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round-trip is not canonical:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

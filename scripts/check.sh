@@ -9,10 +9,15 @@
 #   smoke:  CLI strategy-artifact round trip — `fastt compute` writes an
 #           artifact, `fastt -strategy` reloads and executes it, and the two
 #           canonical artifact-exec lines must match byte for byte
+#   fuzz:   10s fuzz smoke per decoder (strategy/graph/cost JSON) on top of
+#           replaying the committed corpora under testdata/fuzz/
+#   cover:  coverage gate — total statement coverage of ./internal/... must
+#           not drop below scripts/coverage_baseline.txt
 #   bench:  opt-in perf gate — scripts/bench.sh, fails on >10% regression of
 #           the OS-DPOS headline benchmark vs scripts/bench_baseline.json
 #
-# Usage: scripts/check.sh [1|2|smoke|bench]   (no argument = 1, 2 and smoke)
+# Usage: scripts/check.sh [1|2|smoke|fuzz|cover|bench]
+#        (no argument = 1, 2, smoke, fuzz and cover)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -50,6 +55,27 @@ if [ "$tier" = "smoke" ] || [ "$tier" = "all" ]; then
 	if ! cmp -s "$tmp/compute.line" "$tmp/deploy.line"; then
 		echo "strategy artifact did not replay identically:" >&2
 		cat "$tmp/compute.line" "$tmp/deploy.line" >&2
+		exit 1
+	fi
+fi
+
+if [ "$tier" = "fuzz" ] || [ "$tier" = "all" ]; then
+	echo "== fuzz: 10s smoke per JSON decoder"
+	go test ./internal/strategy/ -fuzz '^FuzzReadJSON$' -fuzztime 10s
+	go test ./internal/graph/ -fuzz '^FuzzReadJSON$' -fuzztime 10s
+	go test ./internal/cost/ -fuzz '^FuzzModelReadJSON$' -fuzztime 10s
+fi
+
+if [ "$tier" = "cover" ] || [ "$tier" = "all" ]; then
+	echo "== cover: total ./internal/... coverage vs scripts/coverage_baseline.txt"
+	covtmp="$(mktemp -d)"
+	go test -coverprofile="$covtmp/cover.out" ./internal/... > /dev/null
+	total="$(go tool cover -func="$covtmp/cover.out" | awk 'END { sub(/%/, "", $NF); print $NF }')"
+	baseline="$(cat scripts/coverage_baseline.txt)"
+	rm -rf "$covtmp"
+	echo "total coverage: ${total}% (baseline ${baseline}%)"
+	if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t < b) }'; then
+		echo "coverage dropped below baseline" >&2
 		exit 1
 	fi
 fi
