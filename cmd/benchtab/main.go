@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults] [-iters N] [-seed N]
+//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults|scaling] [-iters N] [-seed N]
+//
+// "scaling" prints the worker-sweep table (1/2/4/8 workers × catalog) of
+// strategy-computation wall times; it is not part of "all" because it
+// measures this machine's thread scaling, not the paper's testbed.
 package main
 
 import (
@@ -212,6 +216,16 @@ func run(what string, iters int, seed int64) error {
 			}
 			fmt.Fprintln(w)
 		}
+	}
+	if want["scaling"] {
+		rows, err := experiments.WorkerScalingSweep(cfg, allModels(), 8, 3)
+		if err != nil {
+			return fmt.Errorf("scaling: %w", err)
+		}
+		if err := experiments.WriteWorkerScaling(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
 	}
 	if all || want["faults"] {
 		rows, err := experiments.FaultRecoveryTable(cfg, allModels(), 8, 30,

@@ -81,6 +81,14 @@ type Options struct {
 	// proves it cannot beat the incumbent makespan. Pruning never changes
 	// the accepted split list; disabling it only costs time.
 	DisablePruning bool
+	// DisableSpeculation turns off speculative round pipelining in OS-DPOS:
+	// with Workers > 1 the search normally starts evaluating round k+1's
+	// candidates against the predicted round-k winner while round k is
+	// still reducing, discarding and re-evaluating on a mispredict.
+	// Speculation never changes the committed strategy (the deterministic
+	// in-order reduce is the commit point); disabling it only serializes
+	// the rounds again. No effect at Workers <= 1.
+	DisableSpeculation bool
 	// DisableLattice makes every scheduling pass resolve costs through
 	// direct per-entry cost.Estimator calls instead of the cached dense
 	// cost lattice (no comm-class dedup, no cross-call reuse, no O(Δ)

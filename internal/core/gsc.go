@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"fastt/internal/cost"
 	"fastt/internal/device"
@@ -119,14 +122,22 @@ func GradientSyncGroups(g *graph.Graph) []SyncGroup {
 //
 // It returns the accepted pins (possibly empty) and the schedule under
 // them.
-// Unlike the OS-DPOS candidate search, the per-group probes cannot fan out:
-// each trial pins the group at sched.Placement[grp.Variable] of the
-// previously accepted schedule, and the pass ends at the first
-// non-improving probe — so the first probe of any speculative batch always
-// decides before the rest could matter. Instead the pass reuses one
-// scheduling context and one rank computation across the initial DPOS and
-// every probe (pins alter placement, never ranks, which depend only on the
-// graph and the estimator).
+//
+// Each group's candidate devices are probed concurrently on the shared
+// work-stealing pool (Workers > 1): every probe pins the whole group at one
+// device and runs a bounded DPOS trial against the incumbent makespan, with
+// the live shared bound letting one improving probe abort its siblings
+// mid-run. The probe order is deterministic — the variable's current device
+// first (the old single-probe heuristic and the preferred tiebreak), then
+// the remaining devices ascending — and a first-minimum reduce over
+// position-indexed results, with the same live-bound tie re-resolution as
+// the OS-DPOS rounds, restores the sequential answer at any worker count.
+// A group is accepted at the best strictly-improving device; the pass ends
+// at the first group no device improves (pruned probes prove
+// non-improvement without finishing), and moves on only past groups whose
+// every probe is infeasible under the accumulated pins. All probes reuse
+// one scheduling context and one rank computation (pins alter placement,
+// never ranks, which depend only on the graph and the estimator).
 func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 	opts Options) (map[string]int, *Schedule, error) {
 	est = cost.ReadSnapshot(est)
@@ -142,9 +153,12 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		return nil, nil, fmt.Errorf("colocate sync: %w", err)
 	}
 	groups := GradientSyncGroups(g)
-	if len(groups) == 0 || cluster.NumDevices() < 2 {
+	numDev := cluster.NumDevices()
+	if len(groups) == 0 || numDev < 2 {
 		return nil, sched, nil
 	}
+	pool := newWorkPool(opts.workers())
+	defer pool.close()
 	best := sched.Makespan
 	pins := make(map[string]int)
 	examined := 0
@@ -160,30 +174,109 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		}
 		examined++
 
-		// Pin the group where the scheduler put the variable.
-		target := sched.Placement[grp.Variable]
-		trial := make(map[string]int, len(pins)+8)
+		names := make([]string, 0, 8)
+		for _, id := range grp.ops() {
+			names = append(names, g.Op(id).Name)
+		}
+		// Probe order: the device the scheduler gave the variable first,
+		// then the rest ascending. First-minimum over this order decides.
+		order := make([]int, 0, numDev)
+		order = append(order, sched.Placement[grp.Variable])
+		for d := 0; d < numDev; d++ {
+			if d != order[0] {
+				order = append(order, d)
+			}
+		}
+		bound := best
+		var live *atomic.Int64
+		if opts.DisablePruning {
+			bound = 0
+		} else if pool != nil {
+			live = new(atomic.Int64)
+			live.Store(int64(best))
+		}
+		probe := func(i int, b time.Duration, lv *atomic.Int64) candOutcome {
+			trial := make(map[string]int, len(pins)+len(names))
+			for k, v := range pins {
+				trial[k] = v
+			}
+			for _, nm := range names {
+				trial[nm] = order[i]
+			}
+			trialOpts := opts
+			trialOpts.Pinned = mergePins(opts.Pinned, trial)
+			cand, err := dposCtx(ctx, cluster, lat, trialOpts, ranks, b, lv)
+			if err != nil {
+				var pe *prunedError
+				if errors.As(err, &pe) {
+					return candOutcome{pruned: true, bound: pe.bound}
+				}
+				return candOutcome{} // infeasible under pins
+			}
+			if lv != nil {
+				publishIncumbent(lv, cand.Makespan)
+			}
+			return candOutcome{makespan: cand.Makespan, sched: cand, ok: true}
+		}
+		results := make([]candOutcome, len(order))
+		pool.run(len(order), func(i int) { results[i] = probe(i, bound, live) })
+
+		bestIdx, pruned := -1, 0
+		var bestFT time.Duration
+		for i, r := range results {
+			if r.pruned {
+				pruned++
+				continue
+			}
+			if !r.ok {
+				continue
+			}
+			if bestIdx < 0 || r.makespan < bestFT {
+				bestIdx, bestFT = i, r.makespan
+			}
+		}
+		// Live-bound tie re-resolution, as in the OS-DPOS reduce: only
+		// probes aborted exactly at bound == bestFT could have tied the
+		// minimum, and the sequential pass prefers the earliest.
+		if live != nil && bestIdx > 0 {
+			for i := 0; i < bestIdx; i++ {
+				if !results[i].pruned || results[i].bound != bestFT {
+					continue
+				}
+				if full := probe(i, bestFT+1, nil); full.ok {
+					results[i] = full
+					bestIdx = i
+					break
+				}
+			}
+		}
+		if bestIdx < 0 {
+			if pruned > 0 {
+				break // every completing probe would be non-improving
+			}
+			continue // all infeasible under pins: try the next group
+		}
+		if bestFT >= best {
+			// Reachable only with DisablePruning (a bounded completion
+			// beats the bound by construction): first non-improving
+			// group ends the pass.
+			releaseOutcomes(results)
+			break
+		}
+		wsched := results[bestIdx].sched
+		results[bestIdx].sched = nil
+		releaseOutcomes(results)
+		trial := make(map[string]int, len(pins)+len(names))
 		for k, v := range pins {
 			trial[k] = v
 		}
-		for _, id := range grp.ops() {
-			trial[g.Op(id).Name] = target
+		for _, nm := range names {
+			trial[nm] = order[bestIdx]
 		}
-		trialOpts := opts
-		trialOpts.Pinned = mergePins(opts.Pinned, trial)
-		cand, err := dposCtx(ctx, cluster, lat, trialOpts, ranks, 0, nil)
-		if err != nil {
-			continue // infeasible under pins; try the next group
-		}
-		if cand.Makespan < best {
-			best = cand.Makespan
-			pins = trial
-			releaseSchedule(sched)
-			sched = cand
-		} else {
-			releaseSchedule(cand)
-			break // first non-improving group ends the pass
-		}
+		best = wsched.Makespan
+		pins = trial
+		releaseSchedule(sched)
+		sched = wsched
 	}
 	return pins, sched, nil
 }

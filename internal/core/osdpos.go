@@ -32,6 +32,16 @@ type SplitResult struct {
 	// bound on their makespan proved they could not beat the incumbent
 	// (Table 4). Always 0 with Options.DisablePruning.
 	Pruned int
+	// Speculated counts candidate evaluations enqueued ahead of their
+	// round's commit point — work started against a predicted (not yet
+	// committed) winner of the previous round. Like Evaluated/Pruned at
+	// Workers > 1, the count is timing-dependent (the committed strategy
+	// never is). Always 0 at Workers <= 1 or with DisableSpeculation.
+	Speculated int
+	// Mispredicted counts speculative evaluations discarded because the
+	// predicted winner they were evaluated against lost the deterministic
+	// reduce; the affected round re-runs against the actual winner.
+	Mispredicted int
 }
 
 // splitCand is one (dimension, split count) candidate for a CP op.
@@ -128,6 +138,327 @@ func publishIncumbent(live *atomic.Int64, m time.Duration) {
 	}
 }
 
+// roundPlan is one statically planned round of the OS-DPOS walk: the
+// critical-path operation (by name — names survive graph rewrites, IDs do
+// not) and its full candidate grid in the canonical (dimension order,
+// ascending split count) enumeration order the deterministic reduce
+// depends on.
+type roundPlan struct {
+	opName string
+	cands  []splitCand
+}
+
+// buildPlan enumerates the whole (critical-path op × dimension × split
+// count) candidate grid up front. The plan is valid for every future round
+// regardless of which splits get accepted: op names are unique and the
+// sub-ops a split introduces take "/partN_of_M"-style suffixed names, so a
+// planned target can never collide with or be removed by an earlier
+// round's rewrite, and SplittableDims depends only on the op's own fields,
+// which rewrites copy verbatim. This is what lets the concurrent search
+// queue later rounds' candidates before earlier rounds commit.
+//
+// Eligibility and the MaxSplitOps cap mirror the sequential walk exactly:
+// ops with no splittable dimension are skipped without consuming budget.
+func buildPlan(g *graph.Graph, cp []int, numDev, maxSplitOps int) []roundPlan {
+	var plan []roundPlan
+	if numDev < 2 {
+		return nil
+	}
+	for _, cpID := range cp {
+		op := g.Op(cpID)
+		dims := op.SplittableDims()
+		if len(dims) == 0 {
+			continue
+		}
+		if maxSplitOps > 0 && len(plan) >= maxSplitOps {
+			break
+		}
+		cands := make([]splitCand, 0, len(dims)*(numDev-1))
+		for _, dim := range dims {
+			for n := 2; n <= numDev; n++ {
+				cands = append(cands, splitCand{dim: dim, n: n})
+			}
+		}
+		plan = append(plan, roundPlan{opName: op.Name, cands: cands})
+	}
+	return plan
+}
+
+// roundBase is the immutable-during-fan-out state one round's candidates
+// are evaluated against: the current graph, its cached scheduling context,
+// dense cost lattice and ranks, the split target resolved in that graph,
+// and the incumbent makespan the round must strictly beat.
+type roundBase struct {
+	g     *graph.Graph
+	ctx   *scheduleContext
+	lat   *costLattice
+	ranks *Ranks
+	anc   []bool // ancestors of curID (incremental path only)
+	curID int    // split target op ID in g; -1 when unresolved
+	ftOld time.Duration
+}
+
+// osdposRun carries one OSDPOS call's invariants across its rounds.
+type osdposRun struct {
+	cluster *device.Cluster
+	devs    []*device.Device
+	est     cost.Estimator
+	opts    Options
+	pool    *workPool
+	plan    []roundPlan
+	specOn  bool
+	res     *SplitResult
+}
+
+// retarget resolves plan[planIdx]'s operation in b.g and refreshes the
+// ancestor mask. The lookup cannot fail (see buildPlan); the -1 guard only
+// makes a violated invariant fail closed as an all-infeasible round.
+func (o *osdposRun) retarget(b *roundBase, planIdx int) {
+	b.curID, b.anc = -1, nil
+	if planIdx >= len(o.plan) {
+		return
+	}
+	if cur, ok := b.g.OpByName(o.plan[planIdx].opName); ok {
+		b.curID = cur.ID
+		if !o.opts.DisableIncremental {
+			b.anc = ancestorsOf(b.ctx, b.curID)
+		}
+	}
+}
+
+// makeBase materializes graph g into the evaluation base for round planIdx
+// with incumbent ftOld. The returned base's ranks come from the pool; the
+// committer (or cancelChain) releases them.
+func (o *osdposRun) makeBase(g *graph.Graph, planIdx int, ftOld time.Duration) (*roundBase, error) {
+	ctx, err := contextFor(g)
+	if err != nil {
+		return nil, err
+	}
+	lat := latticeFor(ctx, o.cluster, o.est, o.opts)
+	b := &roundBase{g: g, ctx: ctx, lat: lat, ranks: computeRanksCtx(ctx, lat), ftOld: ftOld}
+	o.retarget(b, planIdx)
+	return b, nil
+}
+
+// evalCand runs one candidate against base b under the static bound and
+// (optionally) a live shared incumbent. All base state is read-only during
+// a fan-out, so any number of evalCand calls — across workers AND across
+// concurrently speculating rounds — may run at once.
+func (o *osdposRun) evalCand(b *roundBase, c splitCand, bound time.Duration, live *atomic.Int64) candOutcome {
+	var s *Schedule
+	var err error
+	if o.opts.DisableIncremental {
+		var candidate *graph.Graph
+		candidate, err = graph.SplitOperation(b.g, b.curID, c.dim, c.n)
+		if err != nil {
+			return candOutcome{} // extent too small for this n, etc.
+		}
+		s, err = dposFresh(candidate, o.cluster, o.est, o.opts, bound, live)
+	} else {
+		var ov *graph.SplitOverlay
+		ov, err = graph.NewSplitOverlay(b.g, b.curID, c.dim, c.n)
+		if err != nil {
+			return candOutcome{}
+		}
+		octx := overlayContext(b.ctx, ov)
+		var clat *costLattice
+		if o.opts.DisableLattice {
+			clat = buildLattice(octx, o.devs, o.est, false)
+		} else {
+			clat = extendLattice(b.lat, octx, o.devs, o.est)
+		}
+		ranks := deltaRanksOverlay(b.ctx, b.ranks, octx, b.anc, clat)
+		s, err = dposCtx(octx, o.cluster, clat, o.opts, ranks, bound, live)
+		releaseRanks(ranks)
+		if !o.opts.DisableLattice {
+			releaseLattice(clat)
+		}
+		releaseOverlayContext(octx)
+	}
+	if err != nil {
+		var pe *prunedError
+		if errors.As(err, &pe) {
+			return candOutcome{pruned: true, bound: pe.bound}
+		}
+		return candOutcome{} // infeasible under memory constraints
+	}
+	if live != nil {
+		publishIncumbent(live, s.Makespan)
+	}
+	return candOutcome{makespan: s.Makespan, sched: s, ok: true}
+}
+
+// reduceRound is the deterministic commit point shared by the sequential
+// reference and every concurrent mode: reduce position-indexed results in
+// enumeration order with a strictly-less comparison, resolve live-bound
+// ties back to the sequential first-minimum winner, and decide the round's
+// fate. Returns the winning index (-1 when no candidate completed) and
+// whether the exploration stops after this round (Alg. 2's first
+// non-improving operation). When bestIdx < 0, no outcome retains a
+// schedule on return.
+func (o *osdposRun) reduceRound(b *roundBase, cands []splitCand, results []candOutcome, liveUsed bool) (bestIdx int, stop bool) {
+	bestIdx = -1
+	var bestFT time.Duration
+	evaluated, pruned := 0, 0
+	for i, r := range results {
+		if r.pruned {
+			pruned++
+			continue
+		}
+		if !r.ok {
+			continue
+		}
+		evaluated++
+		if bestIdx < 0 || r.makespan < bestFT {
+			bestIdx = i
+			bestFT = r.makespan
+		}
+	}
+
+	// Deterministic tie resolution for the live bound: a pruned
+	// candidate's makespan is >= its abort bound, and abort bounds
+	// never drop below the round's final minimum (only completed
+	// makespans are published), so exactly the candidates aborted at
+	// bound == bestFT could have tied it. The sequential reference
+	// prefers the earliest tie, so re-run those before the provisional
+	// winner under bestFT+1: completion proves makespan == bestFT.
+	if liveUsed && bestIdx > 0 {
+		for i := 0; i < bestIdx; i++ {
+			if !results[i].pruned || results[i].bound != bestFT {
+				continue
+			}
+			full := o.evalCand(b, cands[i], bestFT+1, nil)
+			if full.ok {
+				results[i] = full
+				evaluated++
+				pruned--
+				bestIdx = i
+				break
+			}
+		}
+	}
+
+	if bestIdx < 0 && pruned > 0 {
+		// Every candidate was pruned or infeasible. Whether Alg. 2
+		// continues to the next CP op (all infeasible) or stops (some
+		// candidate completes, necessarily at >= ftOld) depends on
+		// information pruning discarded, so re-evaluate the pruned
+		// candidates without a bound, in canonical order, until one
+		// completes. This path is rare — it needs every completing
+		// candidate of an op to be non-improving AND pruning to fire
+		// before each one finishes. (No candidate completed, so the
+		// live incumbent never moved off ftOld and the pruned set
+		// matches the sequential pass's exactly.)
+		completed := false
+		for i, r := range results {
+			if !r.pruned {
+				continue
+			}
+			full := o.evalCand(b, cands[i], 0, nil)
+			pruned--
+			if full.ok {
+				releaseSchedule(full.sched)
+				evaluated++
+				completed = true
+				break
+			}
+			// Pruned earlier but infeasible when run to completion:
+			// the clone path would have counted it nowhere either.
+		}
+		o.res.Evaluated += evaluated
+		o.res.Pruned += pruned
+		return -1, completed
+	}
+	o.res.Evaluated += evaluated
+	o.res.Pruned += pruned
+	if bestIdx < 0 {
+		return -1, false // every candidate infeasible: try the next CP op
+	}
+	if bestFT >= b.ftOld {
+		// First non-improving operation ends the exploration (Alg. 2
+		// lines 11-13). Unreachable with pruning active: a completed
+		// candidate beat the bound by construction.
+		releaseOutcomes(results)
+		return -1, true
+	}
+	return bestIdx, false
+}
+
+// commitWinner materializes the accepted winner of round planIdx as a real
+// graph, adopts the schedule its evaluation already produced (a completed
+// bounded run is exact, and overlay and clone candidate schedules are
+// byte-identical to a fresh pass over the materialized clone, so
+// rescheduling would recompute the same bytes), records the split, and
+// returns the base for round planIdx+1.
+func (o *osdposRun) commitWinner(b *roundBase, cands []splitCand, results []candOutcome,
+	bestIdx, planIdx int) (*roundBase, error) {
+	wsched := results[bestIdx].sched
+	results[bestIdx].sched = nil
+	releaseOutcomes(results)
+	if !o.opts.DisableIncremental {
+		// Overlay schedules live in the overlay's ID space; the clone
+		// reference path already produces the compact layout.
+		wsched = compactWinner(wsched, b.curID)
+	}
+	winner, err := graph.SplitOperation(b.g, b.curID, cands[bestIdx].dim, cands[bestIdx].n)
+	if err != nil {
+		releaseSchedule(wsched)
+		return nil, fmt.Errorf("materialize split: %w", err)
+	}
+	nb, err := o.makeBase(winner, planIdx+1, wsched.Makespan)
+	if err != nil {
+		releaseSchedule(wsched)
+		return nil, fmt.Errorf("materialize split: %w", err)
+	}
+	o.adopt(b, nb, wsched, cands[bestIdx], planIdx)
+	return nb, nil
+}
+
+// adopt installs a committed winner: the new graph and schedule become the
+// result, the split is recorded, and the previous base's pooled ranks are
+// released.
+func (o *osdposRun) adopt(old, nb *roundBase, wsched *Schedule, c splitCand, planIdx int) {
+	releaseSchedule(o.res.Schedule)
+	o.res.Graph = nb.g
+	o.res.Schedule = wsched
+	o.res.Splits = append(o.res.Splits, graph.SplitDecision{
+		OpName: o.plan[planIdx].opName, Dim: c.dim, N: c.n,
+	})
+	releaseRanks(old.ranks)
+}
+
+// runSequential is the literal sequential reference (Workers <= 1): rounds
+// run one after another on the calling goroutine, candidates in
+// enumeration order under the static incumbent bound only. Every
+// concurrent mode must reproduce its committed strategy byte for byte.
+func (o *osdposRun) runSequential(base *roundBase) (*roundBase, error) {
+	for k := 0; k < len(o.plan); k++ {
+		cands := o.plan[k].cands
+		bound := base.ftOld
+		if o.opts.DisablePruning {
+			bound = 0
+		}
+		results := make([]candOutcome, len(cands))
+		for i := range cands {
+			results[i] = o.evalCand(base, cands[i], bound, nil)
+		}
+		bestIdx, stop := o.reduceRound(base, cands, results, false)
+		if stop {
+			break
+		}
+		if bestIdx < 0 {
+			o.retarget(base, k+1)
+			continue
+		}
+		nb, err := o.commitWinner(base, cands, results, bestIdx, k)
+		if err != nil {
+			return base, err
+		}
+		base = nb
+	}
+	return base, nil
+}
+
 // OSDPOS implements Alg. 2 (Operation Splitting DPOS): run DPOS, compute
 // the placement-aware critical path, then walk its operations in descending
 // computation time, trying every parallelizable dimension and split count;
@@ -135,38 +466,37 @@ func publishIncumbent(live *atomic.Int64, m time.Duration) {
 // operation, and the walk stops at the first operation whose best split
 // does not improve it.
 //
-// The candidate (dimension, split count) evaluations for one operation are
-// independent, so they fan out over a worker pool created once per call
-// and fed every round. Each candidate is evaluated incrementally: a
+// The walk's rounds are planned statically up front (buildPlan) as a flat
+// (critical-path op × dimension × split count) candidate grid. With
+// Workers > 1 the grid drains through a work-stealing pool of per-worker
+// deques, and rounds pipeline speculatively (see spec.go): as soon as some
+// round-k candidate completes below the incumbent, round k+1's candidates
+// are enqueued against that predicted winner, so workers never idle on a
+// small round's barrier. Each candidate is evaluated incrementally: a
 // copy-on-write graph.SplitOverlay records the rewrite as a delta,
 // overlayContext patches the cached edge indexes in O(Δ), extendLattice
 // patches the dense cost lattice in O(Δ), deltaRanksOverlay reuses the
 // base ranks everywhere outside the rewritten region and the target's
 // ancestors, and dposCtx runs under the incumbent-makespan bound so
 // hopeless candidates abort early. With workers > 1 the bound is *live*:
-// every completed candidate publishes its makespan to a shared atomic and
-// in-flight candidates prune against the tightest value, so one cheap
-// improving candidate aborts its round-mates mid-run.
+// every completed candidate publishes its makespan to a shared per-round
+// atomic and in-flight candidates prune against the tightest value, so one
+// cheap improving candidate aborts its round-mates mid-run.
 //
-// Only the accepted winner of a round is materialized into a real graph,
-// and the schedule its evaluation already produced is adopted as the
-// round's new incumbent. The winner is reduced from the position-indexed
-// results in enumeration order with a strictly-less comparison; because
-// the live bound can abort an earlier-position candidate whose makespan
-// *ties* the round minimum (the sequential pass would have completed and
-// preferred it), any pruned candidate before the provisional winner whose
-// abort bound equals the minimum is re-evaluated under bound minimum+1 —
-// it completes iff its makespan equals the minimum, restoring the
-// sequential first-minimum choice. Any worker count, with overlays or
-// clones, pruning on or off, lattice or direct estimator, returns
-// byte-identical strategies.
+// Rounds commit strictly in plan order through the deterministic reduce
+// (reduceRound): position-indexed results in enumeration order, a
+// strictly-less comparison, live-bound ties resolved back to the
+// first-minimum winner, and a speculative round's results are only ever
+// adopted when its predicted base equals the committed winner — otherwise
+// they are discarded and re-evaluated. Any worker count, with speculation
+// on or off, overlays or clones, pruning on or off, lattice or direct
+// estimator, returns byte-identical strategies.
 func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*SplitResult, error) {
 	est = cost.ReadSnapshot(est)
 	baseCtx, err := contextFor(g)
 	if err != nil {
 		return nil, fmt.Errorf("initial DPOS: %w", err)
 	}
-	devs := cluster.Devices()
 	baseLat := latticeFor(baseCtx, cluster, est, opts)
 	baseRanks := computeRanksCtx(baseCtx, baseLat)
 	sched, err := dposCtx(baseCtx, cluster, baseLat, opts, baseRanks, 0, nil)
@@ -174,9 +504,7 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 		releaseRanks(baseRanks)
 		return nil, fmt.Errorf("initial DPOS: %w", err)
 	}
-	defer func() { releaseRanks(baseRanks) }()
 	res := &SplitResult{Graph: g, Schedule: sched}
-	ftOld := sched.Makespan
 
 	// Critical path based on S_new and G (Alg. 2 line 4): ranks evaluated
 	// at the placed devices rather than worst-case maxima.
@@ -188,226 +516,32 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 	})
 	releaseRanks(placedRanks)
 
-	numDev := cluster.NumDevices()
-	// One pool serves every round of this call; rounds with fewer
-	// candidates than workers leave the surplus workers parked instead of
-	// respawning goroutines per round.
-	pool := newEvalPool(opts.workers())
+	pool := newWorkPool(opts.workers())
 	defer pool.close()
-	attempted := 0
-	for _, cpID := range cp {
-		opName := g.Op(cpID).Name // names survive rewrites; IDs do not
-		cur, ok := res.Graph.OpByName(opName)
-		if !ok {
-			continue // replaced by an earlier accepted split
-		}
-		dims := cur.SplittableDims()
-		if len(dims) == 0 || numDev < 2 {
-			continue
-		}
-		if opts.MaxSplitOps > 0 && attempted >= opts.MaxSplitOps {
-			break
-		}
-		attempted++
+	o := &osdposRun{
+		cluster: cluster,
+		devs:    cluster.Devices(),
+		est:     est,
+		opts:    opts,
+		pool:    pool,
+		plan:    buildPlan(g, cp, cluster.NumDevices(), opts.MaxSplitOps),
+		specOn:  pool != nil && !opts.DisableSpeculation,
+		res:     res,
+	}
+	base := &roundBase{g: g, ctx: baseCtx, lat: baseLat, ranks: baseRanks, ftOld: sched.Makespan}
+	o.retarget(base, 0)
 
-		// Enumerate candidates in the canonical (dim order, ascending n)
-		// order the reduce below depends on.
-		cands := make([]splitCand, 0, len(dims)*(numDev-1))
-		for _, dim := range dims {
-			for n := 2; n <= numDev; n++ {
-				cands = append(cands, splitCand{dim: dim, n: n})
-			}
-		}
-		base, curID := res.Graph, cur.ID
-		// The pruning bound is the incumbent makespan: only candidates
-		// strictly below it can ever be accepted. The concurrent path
-		// additionally shares a live incumbent seeded with it.
-		bound := ftOld
-		var live *atomic.Int64
-		if opts.DisablePruning {
-			bound = 0
-		} else if pool != nil {
-			live = new(atomic.Int64)
-			live.Store(int64(ftOld))
-		}
-		var anc []bool
-		if !opts.DisableIncremental {
-			anc = ancestorsOf(baseCtx, curID)
-		}
-		// eval runs one candidate; shared state (baseCtx, baseRanks,
-		// baseLat, anc, the estimator snapshot) is read-only during the
-		// fan-out.
-		eval := func(c splitCand, bound time.Duration, live *atomic.Int64) candOutcome {
-			var s *Schedule
-			var err error
-			if opts.DisableIncremental {
-				var candidate *graph.Graph
-				candidate, err = graph.SplitOperation(base, curID, c.dim, c.n)
-				if err != nil {
-					return candOutcome{} // extent too small for this n, etc.
-				}
-				s, err = dposFresh(candidate, cluster, est, opts, bound, live)
-			} else {
-				var ov *graph.SplitOverlay
-				ov, err = graph.NewSplitOverlay(base, curID, c.dim, c.n)
-				if err != nil {
-					return candOutcome{}
-				}
-				octx := overlayContext(baseCtx, ov)
-				var clat *costLattice
-				if opts.DisableLattice {
-					clat = buildLattice(octx, devs, est, false)
-				} else {
-					clat = extendLattice(baseLat, octx, devs, est)
-				}
-				ranks := deltaRanksOverlay(baseCtx, baseRanks, octx, anc, clat)
-				s, err = dposCtx(octx, cluster, clat, opts, ranks, bound, live)
-				releaseRanks(ranks)
-				if !opts.DisableLattice {
-					releaseLattice(clat)
-				}
-				releaseOverlayContext(octx)
-			}
-			if err != nil {
-				var pe *prunedError
-				if errors.As(err, &pe) {
-					return candOutcome{pruned: true, bound: pe.bound}
-				}
-				return candOutcome{} // infeasible under memory constraints
-			}
-			if live != nil {
-				publishIncumbent(live, s.Makespan)
-			}
-			return candOutcome{makespan: s.Makespan, sched: s, ok: true}
-		}
-
-		results := make([]candOutcome, len(cands))
-		pool.run(len(cands), func(i int) {
-			results[i] = eval(cands[i], bound, live)
-		})
-
-		bestIdx := -1
-		var bestFT time.Duration
-		evaluated, pruned := 0, 0
-		for i, r := range results {
-			if r.pruned {
-				pruned++
-				continue
-			}
-			if !r.ok {
-				continue
-			}
-			evaluated++
-			if bestIdx < 0 || r.makespan < bestFT {
-				bestIdx = i
-				bestFT = r.makespan
-			}
-		}
-
-		// Deterministic tie resolution for the live bound: a pruned
-		// candidate's makespan is >= its abort bound, and abort bounds
-		// never drop below the round's final minimum (only completed
-		// makespans are published), so exactly the candidates aborted at
-		// bound == bestFT could have tied it. The sequential reference
-		// prefers the earliest tie, so re-run those before the provisional
-		// winner under bestFT+1: completion proves makespan == bestFT.
-		if live != nil && bestIdx > 0 {
-			for i := 0; i < bestIdx; i++ {
-				if !results[i].pruned || results[i].bound != bestFT {
-					continue
-				}
-				full := eval(cands[i], bestFT+1, nil)
-				if full.ok {
-					results[i] = full
-					evaluated++
-					pruned--
-					bestIdx = i
-					break
-				}
-			}
-		}
-
-		if bestIdx < 0 && pruned > 0 {
-			// Every candidate was pruned or infeasible. Whether Alg. 2
-			// continues to the next CP op (all infeasible) or stops (some
-			// candidate completes, necessarily at >= ftOld) depends on
-			// information pruning discarded, so re-evaluate the pruned
-			// candidates without a bound, in canonical order, until one
-			// completes. This path is rare — it needs every completing
-			// candidate of an op to be non-improving AND pruning to fire
-			// before each one finishes. (No candidate completed, so the
-			// live incumbent never moved off ftOld and the pruned set
-			// matches the sequential pass's exactly.)
-			completed := false
-			for i, r := range results {
-				if !r.pruned {
-					continue
-				}
-				full := eval(cands[i], 0, nil)
-				pruned--
-				if full.ok {
-					releaseSchedule(full.sched)
-					evaluated++
-					completed = true
-					break
-				}
-				// Pruned earlier but infeasible when run to completion:
-				// the clone path would have counted it nowhere either.
-			}
-			res.Evaluated += evaluated
-			res.Pruned += pruned
-			if completed {
-				break // first non-improving operation ends the exploration
-			}
-			continue
-		}
-		res.Evaluated += evaluated
-		res.Pruned += pruned
-		if bestIdx < 0 {
-			continue // every candidate infeasible: try the next CP op
-		}
-		if bestFT >= ftOld {
-			// First non-improving operation ends the exploration (Alg. 2
-			// lines 11-13). Unreachable with pruning active: a completed
-			// candidate beat the bound by construction.
-			releaseOutcomes(results)
-			break
-		}
-
-		// Materialize the single accepted winner as a real graph and adopt
-		// the schedule its evaluation already produced: a completed bounded
-		// run is exact, and overlay and clone candidate schedules are
-		// byte-identical to a fresh pass over the materialized clone, so
-		// rescheduling it would recompute the same bytes.
-		wsched := results[bestIdx].sched
-		results[bestIdx].sched = nil
-		releaseOutcomes(results)
-		if !opts.DisableIncremental {
-			// Overlay schedules live in the overlay's ID space; the clone
-			// reference path already produces the compact layout.
-			wsched = compactWinner(wsched, curID)
-		}
-		winner, err := graph.SplitOperation(base, curID, cands[bestIdx].dim, cands[bestIdx].n)
-		if err != nil {
-			releaseSchedule(wsched)
-			return nil, fmt.Errorf("materialize split: %w", err)
-		}
-		wctx, err := contextFor(winner)
-		if err != nil {
-			releaseSchedule(wsched)
-			return nil, fmt.Errorf("materialize split: %w", err)
-		}
-		wlat := latticeFor(wctx, cluster, est, opts)
-		wranks := computeRanksCtx(wctx, wlat)
-		ftOld = wsched.Makespan
-		releaseSchedule(res.Schedule)
-		res.Graph = winner
-		res.Schedule = wsched
-		res.Splits = append(res.Splits, graph.SplitDecision{
-			OpName: opName, Dim: cands[bestIdx].dim, N: cands[bestIdx].n,
-		})
-		releaseRanks(baseRanks)
-		baseCtx, baseRanks, baseLat = wctx, wranks, wlat
+	var final *roundBase
+	if pool == nil {
+		final, err = o.runSequential(base)
+	} else {
+		final, err = o.runPooled(base)
+	}
+	if final != nil {
+		releaseRanks(final.ranks)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

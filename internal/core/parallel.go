@@ -2,111 +2,168 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 )
 
-// runParallel invokes fn(0..n-1) across at most `workers` goroutines and
-// returns when all calls have finished. Indices are handed out by an atomic
-// counter, so call order is unspecified — callers that need deterministic
-// results write into an index-addressed slice and reduce in order
-// afterwards. workers <= 1 (or n <= 1) degenerates to a plain sequential
-// loop on the calling goroutine.
-func runParallel(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+// workPool is the fan-out engine of the candidate search: a fixed set of
+// worker goroutines draining per-worker deques of submitted tasks with
+// work-stealing. It replaces the two earlier overlapping mechanisms (an
+// atomic-counter runParallel and a channel-fed round pool), and adds the
+// one capability neither had: tasks can be submitted without a barrier, so
+// speculative round-(k+1) evaluations queue up behind round k instead of
+// waiting for its reduce.
+//
+// Discipline: tasks carry a monotone submission sequence number and are
+// distributed round-robin across the deques. A worker pops the FRONT
+// (oldest) task of its own deque first; an idle worker steals the front
+// HALF of the victim whose front task is oldest. Oldest-first is
+// deliberately inverted from the classic newest-first stealing of
+// fork/join schedulers: here the oldest tasks belong to the round closest
+// to its commit point, which is exactly the work the coordinator is
+// blocked on, while the newest tasks are the most speculative and the
+// cheapest to discard on a mispredict. Steal-half keeps thieves from
+// ping-ponging single tasks.
+//
+// Tasks are millisecond-scale DPOS evaluations, so a single mutex over the
+// deques costs nothing measurable; the deque structure exists for drain
+// order, not for lock avoidance. Tasks must never block on other tasks
+// (the OS-DPOS coordinator waits on rounds, but it is not a pool worker),
+// which keeps the pool trivially deadlock-free.
+type workPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]poolTask
+	seq    uint64
+	rr     int // round-robin submit cursor
+	closed bool
+	wg     sync.WaitGroup
 }
 
-// evalRound is one batch of indexed jobs dispatched to an evalPool.
-type evalRound struct {
-	n    int
-	fn   func(int)
-	next atomic.Int64
-	wg   sync.WaitGroup
+type poolTask struct {
+	seq uint64
+	fn  func()
 }
 
-// evalPool is a fixed set of worker goroutines reused across the candidate
-// rounds of one OS-DPOS call. Unlike runParallel it spawns its goroutines
-// once: a round with fewer candidates than workers wakes only as many
-// workers as it has candidates, and the rest stay parked on the channel
-// instead of being respawned and immediately retired every round.
-type evalPool struct {
-	workers int
-	rounds  chan *evalRound
-}
-
-// newEvalPool starts a pool of `workers` goroutines, or returns nil (a
-// valid, sequential pool) when workers <= 1. Callers must close a non-nil
-// pool to release the goroutines.
-func newEvalPool(workers int) *evalPool {
+// newWorkPool starts a pool of `workers` goroutines, or returns nil (a
+// valid, sequential pool) when workers <= 1 — the nil pool is the literal
+// sequential reference path: run() executes indices in order on the
+// caller. Callers must close a non-nil pool to release the goroutines.
+func newWorkPool(workers int) *workPool {
 	if workers <= 1 {
 		return nil
 	}
-	p := &evalPool{workers: workers, rounds: make(chan *evalRound, workers)}
+	p := &workPool{deques: make([][]poolTask, workers)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
-			for r := range p.rounds {
-				for {
-					i := int(r.next.Add(1)) - 1
-					if i >= r.n {
-						break
-					}
-					r.fn(i)
-				}
-				r.wg.Done()
-			}
-		}()
+		go p.worker(w)
 	}
 	return p
 }
 
-// run invokes fn(0..n-1) on the pool's workers and returns when all calls
-// have finished; indices are handed out by an atomic counter, so order is
-// unspecified. A nil pool (or n <= 1) runs sequentially on the caller.
-func (p *evalPool) run(n int, fn func(int)) {
+func (p *workPool) worker(id int) {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if t, ok := p.takeLocked(id); ok {
+			p.mu.Unlock()
+			t.fn()
+			p.mu.Lock()
+			continue
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		p.cond.Wait()
+	}
+}
+
+// takeLocked pops the front of the worker's own deque, or steals the front
+// half of the victim whose front task is oldest. Called with p.mu held.
+func (p *workPool) takeLocked(id int) (poolTask, bool) {
+	if q := p.deques[id]; len(q) > 0 {
+		t := q[0]
+		q[0].fn = nil
+		p.deques[id] = q[1:]
+		return t, true
+	}
+	victim := -1
+	for i, q := range p.deques {
+		if i == id || len(q) == 0 {
+			continue
+		}
+		if victim < 0 || q[0].seq < p.deques[victim][0].seq {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return poolTask{}, false
+	}
+	q := p.deques[victim]
+	take := (len(q) + 1) / 2
+	t := q[0]
+	if take > 1 {
+		p.deques[id] = append(p.deques[id], q[1:take]...)
+	}
+	for i := 0; i < take; i++ {
+		q[i].fn = nil
+	}
+	p.deques[victim] = q[take:]
+	return t, true
+}
+
+// submit enqueues one task; it runs as soon as a worker is free. Must not
+// be called on a closed pool.
+func (p *workPool) submit(fn func()) {
+	p.mu.Lock()
+	p.pushLocked(fn)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *workPool) pushLocked(fn func()) {
+	p.deques[p.rr] = append(p.deques[p.rr], poolTask{seq: p.seq, fn: fn})
+	p.seq++
+	p.rr = (p.rr + 1) % len(p.deques)
+}
+
+// run invokes fn(0..n-1) on the pool and returns when all calls have
+// finished; execution order is unspecified, so callers needing
+// deterministic results write into an index-addressed slice and reduce in
+// order afterwards. A nil pool (or n <= 1) runs sequentially on the
+// caller, in index order — the Workers <= 1 reference semantics.
+func (p *workPool) run(n int, fn func(int)) {
 	if p == nil || n <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	w := p.workers
-	if w > n {
-		w = n
+	var wg sync.WaitGroup
+	wg.Add(n)
+	p.mu.Lock()
+	for i := 0; i < n; i++ {
+		i := i
+		p.pushLocked(func() {
+			fn(i)
+			wg.Done()
+		})
 	}
-	r := &evalRound{n: n, fn: fn}
-	r.wg.Add(w)
-	for i := 0; i < w; i++ {
-		p.rounds <- r
-	}
-	r.wg.Wait()
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	wg.Wait()
 }
 
-// close retires the pool's goroutines. No run may be in flight or follow.
-func (p *evalPool) close() {
-	if p != nil {
-		close(p.rounds)
+// close retires the pool's goroutines after the deques drain. Every
+// submitted task must be complete or self-cancelling; no submit or run may
+// follow.
+func (p *workPool) close() {
+	if p == nil {
+		return
 	}
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -10,17 +12,61 @@ import (
 	"fastt/internal/models"
 )
 
-func TestRunParallelCoversAllIndices(t *testing.T) {
+func TestWorkPoolRunCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 7, 64} {
+		pool := newWorkPool(workers)
 		hits := make([]int32, 100)
-		runParallel(len(hits), workers, func(i int) { hits[i]++ })
+		pool.run(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
 			}
 		}
+		pool.run(0, func(int) { t.Error("fn called for n=0") })
+		pool.close()
 	}
-	runParallel(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+// TestWorkPoolSubmitDrains exercises the barrier-free path the speculation
+// pipeline relies on: tasks submitted from other tasks (the launch pattern)
+// all run exactly once, across enough tasks that stealing must kick in, and
+// close() only returns after the deques drain.
+func TestWorkPoolSubmitDrains(t *testing.T) {
+	pool := newWorkPool(4)
+	const fanout = 64
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(fanout * 2)
+	for i := 0; i < fanout; i++ {
+		pool.submit(func() {
+			ran.Add(1)
+			pool.submit(func() { // task-submitted task, as launchTask does
+				ran.Add(1)
+				wg.Done()
+			})
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	pool.close()
+	if got := ran.Load(); got != fanout*2 {
+		t.Fatalf("ran %d tasks, want %d", got, fanout*2)
+	}
+}
+
+// TestWorkPoolSequentialReference pins down that a nil pool (Workers <= 1)
+// runs run() bodies on the caller, in index order — the sequential
+// reference semantics every concurrent mode is measured against.
+func TestWorkPoolSequentialReference(t *testing.T) {
+	var pool *workPool
+	var order []int
+	pool.run(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	pool.close() // must be a no-op, not a panic
 }
 
 // TestOSDPOSWorkerDeterminism is the determinism property of the parallel
@@ -88,9 +134,9 @@ func TestOSDPOSWorkerDeterminism(t *testing.T) {
 	}
 }
 
-// TestColocateSyncWorkerIndependence pins down that the colocation pass —
-// which reuses one rank computation across probes instead of fanning out —
-// is unaffected by the worker setting.
+// TestColocateSyncWorkerIndependence pins down that the colocation pass
+// returns identical pins and schedule at any worker setting, now that the
+// per-group device probes fan out concurrently under the live bound.
 func TestColocateSyncWorkerIndependence(t *testing.T) {
 	cluster, err := device.SingleServer(4)
 	if err != nil {

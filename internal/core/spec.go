@@ -1,0 +1,256 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"fastt/internal/graph"
+)
+
+// specPredictHook, when non-nil, overrides which candidate index a round
+// predicts as its winner when launching the next round speculatively. Test
+// hook only: it forces mispredictions to exercise the discard/re-evaluate
+// path deterministically. The commit protocol stays safe under arbitrary
+// hook behavior because confirmation also requires the launch seed to match
+// the committed winner's makespan.
+var specPredictHook func(opName string, cands []splitCand, improvingIdx int) int
+
+// specRound is one in-flight round of the pipelined OS-DPOS search: a
+// planned (op × dim × n) candidate set fanning out on the work pool against
+// an immutable base, plus the speculation state linking it to the round it
+// launched. The coordinator (runPooled) owns rounds; workers only write
+// their own results slot and the launch fields guarded by the predIdx CAS.
+//
+// Field synchronization: results[i] is written by candTask i and read by
+// the coordinator only after <-done (close(done) happens after every
+// outstanding decrement). launchSeed is written by the single CAS-winning
+// candTask before its decrement, so it is visible after <-done too. next
+// and launchOK are written by launchTask before close(nextReady) and read
+// only after <-nextReady.
+type specRound struct {
+	planIdx int
+	base    *roundBase
+	cands   []splitCand
+	results []candOutcome
+
+	// live is the shared incumbent-makespan bound (nil with pruning
+	// disabled), seeded with base.ftOld; completed candidates publish
+	// into it so round-mates abort against the tightest value.
+	live *atomic.Int64
+
+	outstanding atomic.Int64
+	done        chan struct{}
+	cancelled   atomic.Bool
+
+	// Speculation: the first improving completion CASes predIdx from -1
+	// and submits a launchTask that materializes the predicted winner and
+	// starts the next round against it.
+	predIdx    atomic.Int64
+	launched   atomic.Bool
+	launchSeed time.Duration
+	nextReady  chan struct{}
+	next       *specRound
+	launchOK   bool
+
+	// speculative marks rounds whose candidates were enqueued before
+	// their base was committed — they count into Speculated (and into
+	// Mispredicted when discarded).
+	speculative bool
+}
+
+func (o *osdposRun) newSpecRound(base *roundBase, planIdx int, speculative bool) *specRound {
+	r := &specRound{
+		planIdx:     planIdx,
+		base:        base,
+		cands:       o.plan[planIdx].cands,
+		done:        make(chan struct{}),
+		nextReady:   make(chan struct{}),
+		speculative: speculative,
+	}
+	r.results = make([]candOutcome, len(r.cands))
+	r.predIdx.Store(-1)
+	r.outstanding.Store(int64(len(r.cands)))
+	if !o.opts.DisablePruning {
+		r.live = new(atomic.Int64)
+		r.live.Store(int64(base.ftOld))
+	}
+	if len(r.cands) == 0 {
+		close(r.done) // buildPlan never emits empty rounds; fail closed
+	}
+	return r
+}
+
+// startRound enqueues the round's candidate evaluations on the pool.
+func (o *osdposRun) startRound(r *specRound) {
+	for i := range r.cands {
+		i := i
+		o.pool.submit(func() { o.candTask(r, i) })
+	}
+}
+
+// candTask evaluates candidate i of round r. The last task to finish
+// closes r.done; the first improving completion may launch the next round
+// speculatively.
+func (o *osdposRun) candTask(r *specRound, i int) {
+	defer func() {
+		if r.outstanding.Add(-1) == 0 {
+			close(r.done)
+		}
+	}()
+	if r.cancelled.Load() {
+		return // round is doomed; leave the zero (infeasible) outcome
+	}
+	bound := r.base.ftOld
+	if o.opts.DisablePruning {
+		bound = 0
+	}
+	out := o.evalCand(r.base, r.cands[i], bound, r.live)
+	r.results[i] = out
+	if !o.specOn || !out.ok || out.makespan >= r.base.ftOld ||
+		r.planIdx+1 >= len(o.plan) || r.cancelled.Load() {
+		return
+	}
+	pred := i
+	if specPredictHook != nil {
+		pred = specPredictHook(o.plan[r.planIdx].opName, r.cands, i)
+		if pred < 0 || pred >= len(r.cands) {
+			return
+		}
+	}
+	if r.predIdx.CompareAndSwap(-1, int64(pred)) {
+		r.launchSeed = out.makespan
+		r.launched.Store(true)
+		c := r.cands[pred]
+		o.pool.submit(func() { o.launchTask(r, c, out.makespan) })
+	}
+}
+
+// launchTask materializes round r's predicted winner as a real graph and
+// starts the next planned round against it, seeded with the triggering
+// completion's makespan. When the prediction is confirmed (predIdx wins the
+// reduce AND the seed equals the winner's makespan — always true without
+// the test hook, since the launcher is the improving completion itself),
+// the child round's base and bound are byte-identical to what the
+// sequential pass would have built, so its results commit as-is.
+func (o *osdposRun) launchTask(r *specRound, pred splitCand, seed time.Duration) {
+	defer close(r.nextReady)
+	if r.cancelled.Load() {
+		return
+	}
+	ng, err := graph.SplitOperation(r.base.g, r.base.curID, pred.dim, pred.n)
+	if err != nil {
+		return // hook-forced infeasible prediction; nothing launched
+	}
+	nb, err := o.makeBase(ng, r.planIdx+1, seed)
+	if err != nil {
+		return
+	}
+	child := o.newSpecRound(nb, r.planIdx+1, true)
+	o.startRound(child)
+	r.next = child
+	r.launchOK = true
+}
+
+// takeNext returns the round r launched, waiting for the launch task to
+// settle; nil when nothing was launched (or the launch failed).
+func (o *osdposRun) takeNext(r *specRound) *specRound {
+	if !r.launched.Load() {
+		return nil
+	}
+	<-r.nextReady
+	if !r.launchOK {
+		return nil
+	}
+	return r.next
+}
+
+// cancelChain discards a chain of speculative rounds starting at r: marks
+// each cancelled (unstarted tasks return immediately), slams the live bound
+// to 1ns so in-flight evaluations abort at their next prune check, waits
+// for the fan-out to drain, and releases every pooled resource the chain
+// holds. Each discarded round's candidates count as Speculated and
+// Mispredicted. Synchronous by design: the coordinator blocks briefly, and
+// in exchange no task ever outlives its round's resources.
+func (o *osdposRun) cancelChain(r *specRound) {
+	for r != nil {
+		r.cancelled.Store(true)
+		if r.live != nil {
+			publishIncumbent(r.live, 1)
+		}
+		<-r.done
+		next := o.takeNext(r)
+		releaseOutcomes(r.results)
+		releaseRanks(r.base.ranks)
+		o.res.Speculated += len(r.cands)
+		o.res.Mispredicted += len(r.cands)
+		r = next
+	}
+}
+
+// runPooled drives the search at Workers > 1: rounds fan out on the
+// work-stealing pool under the live shared bound, and (unless
+// DisableSpeculation) pipeline ahead of the commit point. The deterministic
+// reduce remains the sole commit authority — a speculative round's results
+// are adopted only when its predicted base is exactly the committed winner;
+// otherwise the chain is discarded and the round re-runs non-speculatively.
+func (o *osdposRun) runPooled(base *roundBase) (*roundBase, error) {
+	if len(o.plan) == 0 {
+		return base, nil
+	}
+	cur := o.newSpecRound(base, 0, false)
+	o.startRound(cur)
+	for {
+		<-cur.done
+		bestIdx, stop := o.reduceRound(cur.base, cur.cands, cur.results, cur.live != nil)
+		if cur.speculative {
+			o.res.Speculated += len(cur.cands)
+		}
+		nr := o.takeNext(cur)
+		if stop {
+			o.cancelChain(nr)
+			return cur.base, nil
+		}
+		if bestIdx < 0 {
+			// Every candidate infeasible: same graph, next planned op.
+			// Anything launched predicted a split that did not happen.
+			o.cancelChain(nr)
+			if cur.planIdx+1 >= len(o.plan) {
+				return cur.base, nil
+			}
+			b := cur.base
+			o.retarget(b, cur.planIdx+1)
+			nxt := o.newSpecRound(b, cur.planIdx+1, false)
+			o.startRound(nxt)
+			cur = nxt
+			continue
+		}
+		if nr != nil && cur.predIdx.Load() == int64(bestIdx) &&
+			cur.launchSeed == cur.results[bestIdx].makespan {
+			// Confirmed speculation: the next round is already running
+			// against exactly the base commitWinner would build. Adopt
+			// the winner's schedule and step into the running round.
+			wsched := cur.results[bestIdx].sched
+			cur.results[bestIdx].sched = nil
+			releaseOutcomes(cur.results)
+			if !o.opts.DisableIncremental {
+				wsched = compactWinner(wsched, cur.base.curID)
+			}
+			o.adopt(cur.base, nr.base, wsched, cur.cands[bestIdx], cur.planIdx)
+			cur = nr
+			continue
+		}
+		// Mispredicted (or nothing launched): discard the chain and
+		// commit synchronously, exactly as the sequential pass would.
+		o.cancelChain(nr)
+		nb, err := o.commitWinner(cur.base, cur.cands, cur.results, bestIdx, cur.planIdx)
+		if err != nil {
+			return cur.base, err
+		}
+		if cur.planIdx+1 >= len(o.plan) {
+			return nb, nil
+		}
+		nxt := o.newSpecRound(nb, cur.planIdx+1, false)
+		o.startRound(nxt)
+		cur = nxt
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+)
+
+// assertSameStrategy fails unless the two OS-DPOS results carry identical
+// committed strategies: split list, makespan, placement, order, priorities.
+func assertSameStrategy(t *testing.T, label string, ref, got *SplitResult) {
+	t.Helper()
+	if len(ref.Splits) != len(got.Splits) {
+		t.Fatalf("%s: split lists differ: %v vs %v", label, ref.Splits, got.Splits)
+	}
+	for i := range ref.Splits {
+		if ref.Splits[i] != got.Splits[i] {
+			t.Fatalf("%s: split %d differs: %v vs %v", label, i, ref.Splits[i], got.Splits[i])
+		}
+	}
+	if ref.Schedule.Makespan != got.Schedule.Makespan {
+		t.Errorf("%s: makespan %v, want %v", label, got.Schedule.Makespan, ref.Schedule.Makespan)
+	}
+	if !equalInts(ref.Schedule.Placement, got.Schedule.Placement) {
+		t.Errorf("%s: placements differ", label)
+	}
+	if !equalInts(ref.Schedule.Order, got.Schedule.Order) {
+		t.Errorf("%s: orders differ", label)
+	}
+	if !equalInts(ref.Schedule.Priorities, got.Schedule.Priorities) {
+		t.Errorf("%s: priorities differ", label)
+	}
+}
+
+// TestOSDPOSDeterminismMatrix is the catalog-wide determinism property of
+// the restructured search: byte-identical committed strategies across
+// Workers ∈ {1, 2, 4, 8} × speculation {on, off} × pruning {on, off}. The
+// Workers=1 pruning-on configuration is the sequential reference; every
+// other cell must reproduce it exactly (pruning changes which candidates
+// finish, never which one wins — TestOSDPOSIncrementalEquivalence pins the
+// pruning-off reference itself to the unpruned clone path).
+func TestOSDPOSDeterminismMatrix(t *testing.T) {
+	const gpus = 4
+	cluster, err := device.SingleServer(gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	catalog := models.Catalog()
+	workerSet := []int{1, 2, 4, 8}
+	if testing.Short() {
+		catalog = catalog[:3]
+		workerSet = []int{1, 8}
+	}
+	for _, spec := range catalog {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m, err := spec.Build(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.BuildDataParallel(m, gpus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Options{MaxSplitOps: 2}
+			ref, err := OSDPOS(g, cluster, oracle, base)
+			if err != nil {
+				t.Fatalf("reference OSDPOS: %v", err)
+			}
+			for _, w := range workerSet {
+				for _, spec := range []bool{false, true} {
+					for _, prune := range []bool{false, true} {
+						opts := base
+						opts.Workers = w
+						opts.DisableSpeculation = !spec
+						opts.DisablePruning = !prune
+						got, err := OSDPOS(g, cluster, oracle, opts)
+						if err != nil {
+							t.Fatalf("w=%d spec=%v prune=%v: %v", w, spec, prune, err)
+						}
+						label := ""
+						switch {
+						case spec && prune:
+							label = "spec+prune"
+						case spec:
+							label = "spec"
+						case prune:
+							label = "prune"
+						default:
+							label = "plain"
+						}
+						assertSameStrategy(t, label, ref, got)
+						if w <= 1 && got.Speculated != 0 {
+							t.Errorf("w=%d: Speculated = %d, want 0", w, got.Speculated)
+						}
+						if !spec && got.Speculated != 0 {
+							t.Errorf("spec off: Speculated = %d, want 0", got.Speculated)
+						}
+						if got.Mispredicted > got.Speculated {
+							t.Errorf("Mispredicted %d > Speculated %d", got.Mispredicted, got.Speculated)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOSDPOSMispredictRecovery forces wrong predicted winners through the
+// test hook and asserts (a) the discard/re-evaluate path reproduces the
+// sequential strategy exactly and (b) the Mispredicted counter observes at
+// least one discarded speculative round somewhere across the catalog.
+func TestOSDPOSMispredictRecovery(t *testing.T) {
+	const gpus = 4
+	cluster, err := device.SingleServer(gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	// Predict a candidate other than the one that completed: whenever the
+	// completion would have been the true winner, the prediction is wrong
+	// and the launched round must be discarded.
+	specPredictHook = func(_ string, cands []splitCand, improvingIdx int) int {
+		return (improvingIdx + 1) % len(cands)
+	}
+	defer func() { specPredictHook = nil }()
+
+	catalog := models.Catalog()
+	if testing.Short() {
+		catalog = catalog[:3]
+	}
+	mispredicted := 0
+	for _, spec := range catalog {
+		m, err := spec.Build(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.BuildDataParallel(m, gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{MaxSplitOps: 4, Workers: 1}
+		ref, err := OSDPOS(g, cluster, oracle, opts)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", spec.Name, err)
+		}
+		opts.Workers = 8
+		got, err := OSDPOS(g, cluster, oracle, opts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", spec.Name, err)
+		}
+		assertSameStrategy(t, spec.Name, ref, got)
+		mispredicted += got.Mispredicted
+	}
+	if mispredicted == 0 {
+		t.Error("forced-wrong predictions produced no Mispredicted count anywhere in the catalog")
+	}
+}
+
+// TestComputeStrategyWorkerDeterminism covers the whole pipeline — the
+// concurrent ColocateSync pass plus the pipelined OS-DPOS search — at the
+// artifact level: the serialized strategy must be byte-identical across
+// worker counts, with and without speculation.
+func TestComputeStrategyWorkerDeterminism(t *testing.T) {
+	const gpus = 4
+	cluster, err := device.SingleServer(gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := kernels.NewDefaultOracle(cluster)
+	catalog := models.Catalog()
+	if testing.Short() {
+		catalog = catalog[:2]
+	}
+	for _, spec := range catalog {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m, err := spec.Build(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.BuildDataParallel(m, gpus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Options{MaxSplitOps: 2, MaxSyncGroups: 2, Workers: 1}
+			ref, err := ComputeStrategy(g, cluster, oracle, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := ref.Artifact.WriteJSON(&want); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 8} {
+				for _, specOff := range []bool{false, true} {
+					opts := base
+					opts.Workers = w
+					opts.DisableSpeculation = specOff
+					got, err := ComputeStrategy(g, cluster, oracle, opts)
+					if err != nil {
+						t.Fatalf("w=%d specOff=%v: %v", w, specOff, err)
+					}
+					var buf bytes.Buffer
+					if err := got.Artifact.WriteJSON(&buf); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(want.Bytes(), buf.Bytes()) {
+						t.Errorf("w=%d specOff=%v: artifact bytes differ from sequential", w, specOff)
+					}
+				}
+			}
+		})
+	}
+}

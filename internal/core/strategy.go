@@ -31,6 +31,13 @@ type Strategy struct {
 	// work/avoided-work pair behind Table 4's strategy-computation times.
 	Evaluated int
 	Pruned    int
+	// Speculated and Mispredicted count the candidate evaluations the
+	// pipelined search enqueued ahead of a round's commit point and the
+	// subset discarded when the predicted winner lost the deterministic
+	// reduce (see SplitResult). Both are 0 at Workers <= 1 or with
+	// DisableSpeculation.
+	Speculated   int
+	Mispredicted int
 }
 
 // ComputeStrategy runs the full FastT pipeline — DPOS placement, the
@@ -60,10 +67,12 @@ func ComputeStrategy(g *graph.Graph, cluster *device.Cluster, est cost.Estimator
 			Splits:        res.Splits,
 			Predicted:     res.Schedule.Makespan,
 		},
-		Graph:      res.Graph,
-		Priorities: res.Schedule.Priorities,
-		Evaluated:  res.Evaluated,
-		Pruned:     res.Pruned,
+		Graph:        res.Graph,
+		Priorities:   res.Schedule.Priorities,
+		Evaluated:    res.Evaluated,
+		Pruned:       res.Pruned,
+		Speculated:   res.Speculated,
+		Mispredicted: res.Mispredicted,
 	}, nil
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -211,12 +212,28 @@ type Table4Row struct {
 	// parallel candidate search over the sequential calculator (Workers: 1)
 	// at the largest GPU count; 0 when not measured.
 	ParSpeedup float64
+	// ParWorkers is the worker count behind ParSpeedup; ParSpeedup /
+	// ParWorkers is the parallel efficiency column.
+	ParWorkers int
 	// Evaluated/Pruned count the OS-DPOS candidate evaluations completed
 	// and aborted by bound-based pruning at the largest GPU count, across
 	// all pre-training rounds — the work the incremental calculator did and
 	// the work it proved unnecessary.
 	Evaluated int
 	Pruned    int
+	// Speculated/Mispredicted count the pipelined search's ahead-of-commit
+	// evaluations and the discarded subset at the largest GPU count.
+	Speculated   int
+	Mispredicted int
+}
+
+// Efficiency is ParSpeedup normalized by the worker count (1.0 = perfect
+// linear scaling of the candidate search), 0 when not measured.
+func (r Table4Row) Efficiency() float64 {
+	if r.ParWorkers <= 0 {
+		return 0
+	}
+	return r.ParSpeedup / float64(r.ParWorkers)
 }
 
 // Table4GPUs are the GPU counts of Table 4.
@@ -245,6 +262,8 @@ func Table4(r *Runner, modelNames []string) ([]Table4Row, error) {
 			if gpus == gpusMax {
 				row.Evaluated = cell.Evaluated
 				row.Pruned = cell.Pruned
+				row.Speculated = cell.Speculated
+				row.Mispredicted = cell.Mispredicted
 			}
 		}
 		sp, err := parSpeedup(r.cfg, spec, gpusMax)
@@ -252,6 +271,10 @@ func Table4(r *Runner, modelNames []string) ([]Table4Row, error) {
 			return nil, fmt.Errorf("%s parallel speedup: %w", name, err)
 		}
 		row.ParSpeedup = sp
+		row.ParWorkers = r.cfg.Workers
+		if row.ParWorkers <= 0 {
+			row.ParWorkers = runtime.GOMAXPROCS(0) // core.Options default
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -305,19 +328,133 @@ func WriteTable4(w io.Writer, rows []Table4Row) error {
 	for _, g := range Table4GPUs() {
 		fmt.Fprintf(w, " %10dGPUs", g)
 	}
-	fmt.Fprintf(w, " %14s %12s\n", "Par speedup", "Eval/Pruned")
+	fmt.Fprintf(w, " %14s %10s %12s %12s\n", "Par speedup", "Eff", "Eval/Pruned", "Spec/Mispred")
 	for _, row := range rows {
 		fmt.Fprintf(w, "%-24s", fmt.Sprintf("%s(%d)", row.Model, row.Batch))
 		for _, d := range row.CalcWall {
 			fmt.Fprintf(w, " %14.3f", d.Seconds())
 		}
 		if row.ParSpeedup > 0 {
-			fmt.Fprintf(w, " %13.2fx", row.ParSpeedup)
+			fmt.Fprintf(w, " %13.2fx %10.3f", row.ParSpeedup, row.Efficiency())
 		} else {
-			fmt.Fprintf(w, " %14s", "-")
+			fmt.Fprintf(w, " %14s %10s", "-", "-")
 		}
-		fmt.Fprintf(w, " %12s", fmt.Sprintf("%d/%d", row.Evaluated, row.Pruned))
+		fmt.Fprintf(w, " %12s %12s",
+			fmt.Sprintf("%d/%d", row.Evaluated, row.Pruned),
+			fmt.Sprintf("%d/%d", row.Speculated, row.Mispredicted))
 		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WorkerScalingRow reports one model's strategy-computation wall time
+// across worker counts at a fixed GPU count (the `benchtab -what scaling`
+// sweep): the worker-scaling picture Table 4's single Par-speedup column
+// summarizes.
+type WorkerScalingRow struct {
+	Model string
+	GPUs  int
+	// Walls are the best-observed wall times, aligned with
+	// WorkerScalingWorkers.
+	Walls []time.Duration
+	// Speculated/Mispredicted are the speculation counters of the run at
+	// the highest worker count.
+	Speculated   int
+	Mispredicted int
+}
+
+// Efficiency is the parallel efficiency at the highest worker count:
+// (sequential wall / parallel wall) / workers.
+func (r WorkerScalingRow) Efficiency() float64 {
+	n := len(r.Walls)
+	if n < 2 || r.Walls[n-1] <= 0 {
+		return 0
+	}
+	w := WorkerScalingWorkers()
+	return (r.Walls[0].Seconds() / r.Walls[n-1].Seconds()) / float64(w[n-1])
+}
+
+// WorkerScalingWorkers are the worker counts of the scaling sweep.
+func WorkerScalingWorkers() []int { return []int{1, 2, 4, 8} }
+
+// WorkerScalingSweep times one full strategy computation per (model,
+// workers) cell, best of `reps` runs (wall-clock minima are the
+// least-noise estimator; scripts/bench.sh uses the same discipline). All
+// cells of a row compute byte-identical strategies — only the clock and
+// the speculation counters vary.
+func WorkerScalingSweep(cfg Config, modelNames []string, gpus, reps int) ([]WorkerScalingRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	cfg = cfg.withDefaults()
+	rows := make([]WorkerScalingRow, 0, len(modelNames))
+	for _, name := range modelNames {
+		spec, err := models.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cluster, err := device.SingleServer(gpus)
+		if err != nil {
+			return nil, err
+		}
+		perGPU := spec.GlobalBatch / gpus
+		if perGPU < 1 {
+			perGPU = 1
+		}
+		m, err := spec.Build(perGPU)
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.BuildDataParallel(m, gpus)
+		if err != nil {
+			return nil, err
+		}
+		oracle := kernels.NewDefaultOracle(cluster)
+		opts := core.Options{
+			MaxSplitOps:   cfg.MaxSplitOps,
+			MaxSyncGroups: cfg.MaxSyncGroups,
+		}
+		row := WorkerScalingRow{Model: name, GPUs: gpus}
+		for _, workers := range WorkerScalingWorkers() {
+			opts.Workers = workers
+			best := time.Duration(0)
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				s, err := core.ComputeStrategy(g, cluster, oracle, opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s workers=%d: %w", name, workers, err)
+				}
+				if wall := time.Since(start); best == 0 || wall < best {
+					best = wall
+				}
+				row.Speculated = s.Speculated
+				row.Mispredicted = s.Mispredicted
+			}
+			row.Walls = append(row.Walls, best)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteWorkerScaling prints the worker-sweep table.
+func WriteWorkerScaling(w io.Writer, rows []WorkerScalingRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "Worker scaling: strategy computation wall time (ms), %d GPUs\n", rows[0].GPUs)
+	fmt.Fprintf(w, "%-24s", "Model")
+	for _, workers := range WorkerScalingWorkers() {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("w=%d", workers))
+	}
+	fmt.Fprintf(w, " %9s %12s\n", "eff", "Spec/Mispred")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-24s", row.Model)
+		for _, d := range row.Walls {
+			fmt.Fprintf(w, " %9.2f", float64(d.Microseconds())/1000)
+		}
+		fmt.Fprintf(w, " %9.3f %12s\n", row.Efficiency(),
+			fmt.Sprintf("%d/%d", row.Speculated, row.Mispredicted))
 	}
 	return nil
 }

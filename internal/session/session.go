@@ -148,6 +148,11 @@ type Round struct {
 	// aborted, respectively.
 	Evaluated int
 	Pruned    int
+	// Speculated and Mispredicted count the candidate evaluations the
+	// pipelined search enqueued ahead of a commit point and the subset it
+	// discarded on a wrong predicted winner (0 at Workers <= 1).
+	Speculated   int
+	Mispredicted int
 }
 
 // Report summarizes the pre-training stage.
@@ -168,6 +173,10 @@ type Report struct {
 	// evaluation and pruning counts (Table 4's "Eval/Pruned" column).
 	EvaluatedTotal int
 	PrunedTotal    int
+	// SpeculatedTotal and MispredictedTotal accumulate the per-round
+	// speculation counters (Table 4's "Spec/Mispred" column).
+	SpeculatedTotal   int
+	MispredictedTotal int
 	// SimulatedOverhead is the training-timeline cost of pre-training:
 	// profiled iterations plus checkpoint/restart cycles.
 	SimulatedOverhead time.Duration
@@ -352,8 +361,12 @@ func (s *Session) Bootstrap() (*Report, error) {
 		r.Splits = len(cand.Splits)
 		r.Evaluated = cand.Evaluated
 		r.Pruned = cand.Pruned
+		r.Speculated = cand.Speculated
+		r.Mispredicted = cand.Mispredicted
 		rep.EvaluatedTotal += cand.Evaluated
 		rep.PrunedTotal += cand.Pruned
+		rep.SpeculatedTotal += cand.Speculated
+		rep.MispredictedTotal += cand.Mispredicted
 
 		// Guard against calculator bugs before touching the executor; the
 		// runtime memory check (with rollback) covers capacity, so only
