@@ -22,12 +22,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	goruntime "runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"fastt/internal/core"
@@ -46,9 +49,12 @@ import (
 
 func main() {
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "compute" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "compute":
 		err = runCompute(os.Args[2:])
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "serve":
+		err = runServe(os.Args[2:])
+	default:
 		err = run()
 	}
 	if err != nil {
@@ -515,7 +521,11 @@ func runCompute(argv []string) (retErr error) {
 			return err
 		}
 	}
-	rep, err := s.Bootstrap()
+	// Ctrl-C cancels the running strategy search (plumbed through the core
+	// candidate loops) instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := s.BootstrapCtx(ctx)
 	if err != nil {
 		return fmt.Errorf("bootstrap: %w", err)
 	}

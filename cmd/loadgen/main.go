@@ -1,0 +1,444 @@
+// Command loadgen load-tests a running `fastt serve` daemon and verifies
+// its caching behaviour end to end.
+//
+//	loadgen -addr http://127.0.0.1:8080 -mode smoke
+//	loadgen -addr http://127.0.0.1:8080 -mode bench -duration 3s -concurrency 32 -out BENCH_serve.json
+//
+// Smoke mode drives the correctness path: liveness, a cold compute, a warm
+// byte-identical cache hit, and a 64-way thundering herd that must coalesce
+// onto exactly one search (asserted via /v1/stats counters). The herd
+// assertion needs the daemon started with `-search-delay 50ms` (or more):
+// real searches on small graphs finish in single-digit milliseconds, faster
+// than 64 client connections can arrive, so without injected latency the
+// joiners land as ordinary cache hits after the flight has retired.
+//
+// Bench mode replays a catalog-drawn request mixture against a warmed
+// cache: N distinct provenance keys, a configurable fraction of traffic
+// concentrated on the hottest key, fingerprint-only requests on the warm
+// path. It reports req/s, p50/p95/p99 latency and the cache hit rate, and
+// writes them as JSON for scripts/bench.sh to gate on.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fastt/internal/graph"
+	"fastt/internal/models"
+	"fastt/internal/serve"
+	"fastt/internal/strategy"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "serve daemon base URL")
+		mode        = flag.String("mode", "bench", "bench or smoke")
+		duration    = flag.Duration("duration", 3*time.Second, "bench duration")
+		concurrency = flag.Int("concurrency", 8*runtime.NumCPU(), "concurrent bench workers")
+		warmup      = flag.Duration("warmup", 500*time.Millisecond, "unmeasured bench warmup")
+		numKeys     = flag.Int("keys", 4, "distinct warm cache keys in the bench mixture")
+		hot         = flag.Float64("hot", 0.5, "fraction of bench traffic on the hottest key")
+		out         = flag.String("out", "", "write the bench report as JSON to this file")
+	)
+	flag.Parse()
+	base := strings.TrimRight(*addr, "/")
+	var err error
+	switch *mode {
+	case "smoke":
+		err = smoke(base)
+	case "bench":
+		err = bench(base, *duration, *warmup, *concurrency, *numKeys, *hot, *out)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want bench or smoke)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// client is tuned for a loopback benchmark: enough idle connections that
+// every worker keeps one alive.
+func client(concurrency int) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        concurrency + 8,
+		MaxIdleConnsPerHost: concurrency + 8,
+	}}
+}
+
+// benchModel is one warm cache key: a catalog-drawn graph on a cluster
+// shape, plus the prebuilt request bodies.
+type benchModel struct {
+	name     string
+	coldBody []byte // full-graph request, populates the cache
+	warmBody []byte // fingerprint-only request, the measured fast path
+}
+
+// catalogMixture builds n distinct provenance keys from the model catalog:
+// small batches keep the graphs quick to search and the artifacts compact,
+// and varying (model, batch, shape) varies the fingerprint coordinate.
+func catalogMixture(n int) ([]benchModel, error) {
+	specs := append(models.Catalog(), models.Extras()...)
+	type variant struct {
+		model string
+		batch int
+		gpus  int
+	}
+	var variants []variant
+	for _, batch := range []int{8, 16} {
+		for _, s := range specs {
+			variants = append(variants, variant{s.Name, batch, 2})
+		}
+	}
+	if n > len(variants) {
+		return nil, fmt.Errorf("at most %d distinct keys available, asked for %d", len(variants), n)
+	}
+	// Prefer the small models first so warming stays fast.
+	order := []string{"MLP", "LeNet", "AlexNet", "VGG-19"}
+	rank := func(name string) int {
+		for i, p := range order {
+			if p == name {
+				return i
+			}
+		}
+		return len(order)
+	}
+	sort.SliceStable(variants, func(a, b int) bool { return rank(variants[a].model) < rank(variants[b].model) })
+
+	var out []benchModel
+	for _, v := range variants[:n] {
+		spec, err := models.ByName(v.model)
+		if err != nil {
+			return nil, err
+		}
+		m, err := spec.Build(v.batch)
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.BuildDataParallel(m, v.gpus)
+		if err != nil {
+			return nil, err
+		}
+		var gbuf bytes.Buffer
+		if err := g.WriteJSON(&gbuf); err != nil {
+			return nil, err
+		}
+		shape := fmt.Sprintf(`{"servers":1,"gpusPerServer":%d}`, v.gpus)
+		cold := fmt.Sprintf(`{"model":%q,"cluster":%s,"graph":%s}`, v.model, shape, gbuf.String())
+		warm := fmt.Sprintf(`{"cluster":%s,"graphFingerprint":%q}`, shape, strategy.Fingerprint(g))
+		out = append(out, benchModel{name: v.model, coldBody: []byte(cold), warmBody: []byte(warm)})
+	}
+	return out, nil
+}
+
+// herdModel builds the thundering-herd request: a deep catalog model whose
+// cold search runs long enough that all herd requests arrive while the
+// flight is still in progress.
+func herdModel() ([]byte, error) {
+	spec, err := models.ByName("VGG-19")
+	if err != nil {
+		return nil, err
+	}
+	m, err := spec.Build(16)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.BuildDataParallel(m, 2)
+	if err != nil {
+		return nil, err
+	}
+	var gbuf bytes.Buffer
+	if err := g.WriteJSON(&gbuf); err != nil {
+		return nil, err
+	}
+	body := fmt.Sprintf(`{"model":"VGG-19","cluster":{"servers":1,"gpusPerServer":2},"graph":%s}`, gbuf.String())
+	return []byte(body), nil
+}
+
+func post(c *http.Client, base string, body []byte) (*http.Response, []byte, error) {
+	resp, err := c.Post(base+"/v1/compute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+func stats(c *http.Client, base string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := c.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// report is the BENCH_serve.json schema scripts/bench.sh gates on.
+type report struct {
+	ReqPerSec   float64 `json:"req_per_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P95Ns       int64   `json:"p95_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	HitRate     float64 `json:"hit_rate"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Concurrency int     `json:"concurrency"`
+	DurationMs  int64   `json:"duration_ms"`
+	Keys        int     `json:"keys"`
+	NCPU        int     `json:"ncpu"`
+}
+
+func bench(base string, duration, warmup time.Duration, concurrency, numKeys int, hot float64, out string) error {
+	c := client(concurrency)
+	mix, err := catalogMixture(numKeys)
+	if err != nil {
+		return err
+	}
+	// Warm every key; the bench measures the cache, not the search.
+	for _, m := range mix {
+		resp, body, err := post(c, base, m.coldBody)
+		if err != nil {
+			return fmt.Errorf("warm %s: %w", m.name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("warm %s: status %d: %s", m.name, resp.StatusCode, body)
+		}
+	}
+	before, err := stats(c, base)
+	if err != nil {
+		return err
+	}
+
+	// pick returns the request mixture: `hot` of the traffic on key 0, the
+	// rest spread evenly.
+	pick := func(r *rand.Rand) []byte {
+		if len(mix) == 1 || r.Float64() < hot {
+			return mix[0].warmBody
+		}
+		return mix[1+r.Intn(len(mix)-1)].warmBody
+	}
+
+	type workerOut struct {
+		lat      []int64
+		requests int64
+		errors   int64
+	}
+	// The first warmup's worth of requests is driven but not recorded:
+	// connection establishment and scheduler ramp-up would otherwise fold
+	// cold-start noise into the tail percentiles.
+	outs := make([]workerOut, concurrency)
+	warmEnd := time.Now().Add(warmup)
+	deadline := warmEnd.Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w) + 1))
+			o := &outs[w]
+			o.lat = make([]int64, 0, 1<<16)
+			for time.Now().Before(deadline) {
+				body := pick(r)
+				t0 := time.Now()
+				resp, _, err := post(c, base, body)
+				el := time.Since(t0)
+				if t0.Before(warmEnd) {
+					continue
+				}
+				o.requests++
+				if err != nil || resp.StatusCode != http.StatusOK {
+					o.errors++
+					continue
+				}
+				o.lat = append(o.lat, int64(el))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := duration
+
+	after, err := stats(c, base)
+	if err != nil {
+		return err
+	}
+	var all []int64
+	var requests, errors int64
+	for _, o := range outs {
+		all = append(all, o.lat...)
+		requests += o.requests
+		errors += o.errors
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no successful requests (of %d sent, %d errors)", requests, errors)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	dHits := after.Cache.Hits - before.Cache.Hits
+	dMiss := after.Cache.Misses - before.Cache.Misses
+	hitRate := 1.0
+	if dHits+dMiss > 0 {
+		hitRate = float64(dHits) / float64(dHits+dMiss)
+	}
+	rep := report{
+		ReqPerSec:   float64(len(all)) / elapsed.Seconds(),
+		P50Ns:       pct(0.50),
+		P95Ns:       pct(0.95),
+		P99Ns:       pct(0.99),
+		HitRate:     hitRate,
+		Requests:    requests,
+		Errors:      errors,
+		Concurrency: concurrency,
+		DurationMs:  elapsed.Milliseconds(),
+		Keys:        numKeys,
+		NCPU:        runtime.NumCPU(),
+	}
+	fmt.Printf("%.0f req/s  p50 %v  p95 %v  p99 %v  hit rate %.4f  (%d requests, %d errors, %d workers, ncpu %d)\n",
+		rep.ReqPerSec, time.Duration(rep.P50Ns), time.Duration(rep.P95Ns), time.Duration(rep.P99Ns),
+		rep.HitRate, rep.Requests, rep.Errors, rep.Concurrency, rep.NCPU)
+	if out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
+}
+
+// smoke drives the correctness path against a live daemon.
+func smoke(base string) error {
+	c := client(80)
+	resp, err := c.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	mix, err := catalogMixture(2)
+	if err != nil {
+		return err
+	}
+	type envelope struct {
+		Cached   bool            `json:"cached"`
+		Key      string          `json:"key"`
+		Artifact json.RawMessage `json:"artifact"`
+	}
+
+	// Cold compute then warm hit, byte-identical.
+	resp, body, err := post(c, base, mix[0].coldBody)
+	if err != nil {
+		return fmt.Errorf("cold compute: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cold compute status %d: %s", resp.StatusCode, body)
+	}
+	var cold envelope
+	if err := json.Unmarshal(body, &cold); err != nil {
+		return fmt.Errorf("cold response: %w", err)
+	}
+	if cold.Cached {
+		return fmt.Errorf("cold response claims cached=true (stale daemon? restart it)")
+	}
+	resp, body, err = post(c, base, mix[0].coldBody)
+	if err != nil {
+		return fmt.Errorf("warm compute: %w", err)
+	}
+	var warm envelope
+	if err := json.Unmarshal(body, &warm); err != nil {
+		return fmt.Errorf("warm response: %w", err)
+	}
+	if !warm.Cached || resp.Header.Get(serve.CacheHeader) != "hit" {
+		return fmt.Errorf("warm response not a cache hit (cached=%v, %s=%q)",
+			warm.Cached, serve.CacheHeader, resp.Header.Get(serve.CacheHeader))
+	}
+	if !bytes.Equal(cold.Artifact, warm.Artifact) {
+		return fmt.Errorf("warm artifact differs from cold artifact")
+	}
+	fmt.Println("smoke: cold compute + warm byte-identical hit ok")
+
+	// Thundering herd on a second, uncached model: 64 concurrent identical
+	// cold requests must coalesce onto exactly one search. The herd uses a
+	// deep model so the search outlasts client arrival; a start barrier
+	// releases all requests at once.
+	herdBody, err := herdModel()
+	if err != nil {
+		return err
+	}
+	before, err := stats(c, base)
+	if err != nil {
+		return err
+	}
+	const herd = 64
+	errs := make([]error, herd)
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			resp, body, err := post(c, base, herdBody)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("herd request %d: %w", i, err)
+		}
+	}
+	after, err := stats(c, base)
+	if err != nil {
+		return err
+	}
+	// Conservation, not timing: exactly one search ran, and every other
+	// request was answered either by joining the flight (coalesced) or by
+	// the cache the flight populated (hit). How the 63 split between the
+	// two depends on arrival spread vs search duration, so only the sum is
+	// asserted exactly; the -search-delay requirement above guarantees at
+	// least some observable overlap.
+	dSearches := after.Searches - before.Searches
+	dCoalesced := after.Coalesced - before.Coalesced
+	dHits := after.Cache.Hits - before.Cache.Hits
+	if dSearches != 1 {
+		return fmt.Errorf("herd of %d performed %d searches, want exactly 1", herd, dSearches)
+	}
+	if dCoalesced+dHits != herd-1 {
+		return fmt.Errorf("herd of %d: coalesced %d + hits %d != %d", herd, dCoalesced, dHits, herd-1)
+	}
+	if dCoalesced == 0 {
+		return fmt.Errorf("herd observed no coalescing; start the daemon with -search-delay 100ms or more")
+	}
+	fmt.Printf("smoke: %d-way herd coalesced to 1 search (%d joined in flight, %d hit the cache) ok\n",
+		herd, dCoalesced, dHits)
+	return nil
+}

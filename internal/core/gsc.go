@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -140,15 +141,29 @@ func GradientSyncGroups(g *graph.Graph) []SyncGroup {
 // never ranks, which depend only on the graph and the estimator).
 func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 	opts Options) (map[string]int, *Schedule, error) {
+	return ColocateSyncCtx(context.Background(), g, cluster, est, opts)
+}
+
+// ColocateSyncCtx is ColocateSync under a context: cancelling ctx ends the
+// pass at the next group or probe boundary and returns ctx.Err(). A nil ctx
+// means context.Background().
+func ColocateSyncCtx(ctx context.Context, g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
+	opts Options) (map[string]int, *Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	est = cost.ReadSnapshot(est)
-	ctx, err := contextFor(g)
+	sctx, err := contextFor(g)
 	if err != nil {
 		return nil, nil, fmt.Errorf("colocate sync: %w", err)
 	}
-	lat := latticeFor(ctx, cluster, est, opts)
-	ranks := computeRanksCtx(ctx, lat)
+	lat := latticeFor(sctx, cluster, est, opts)
+	ranks := computeRanksCtx(sctx, lat)
 	defer releaseRanks(ranks)
-	sched, err := dposCtx(ctx, cluster, lat, opts, ranks, 0, nil)
+	sched, err := dposCtx(sctx, cluster, lat, opts, ranks, 0, nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("colocate sync: %w", err)
 	}
@@ -163,6 +178,10 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 	pins := make(map[string]int)
 	examined := 0
 	for _, grp := range groups {
+		if err := ctx.Err(); err != nil {
+			releaseSchedule(sched)
+			return nil, nil, err
+		}
 		if len(grp.Grads) < 2 {
 			continue // single replica: nothing to co-locate
 		}
@@ -196,6 +215,9 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 			live.Store(int64(best))
 		}
 		probe := func(i int, b time.Duration, lv *atomic.Int64) candOutcome {
+			if ctx.Err() != nil {
+				return candOutcome{} // cancelled: drop the probe
+			}
 			trial := make(map[string]int, len(pins)+len(names))
 			for k, v := range pins {
 				trial[k] = v
@@ -205,7 +227,7 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 			}
 			trialOpts := opts
 			trialOpts.Pinned = mergePins(opts.Pinned, trial)
-			cand, err := dposCtx(ctx, cluster, lat, trialOpts, ranks, b, lv)
+			cand, err := dposCtx(sctx, cluster, lat, trialOpts, ranks, b, lv)
 			if err != nil {
 				var pe *prunedError
 				if errors.As(err, &pe) {
@@ -220,6 +242,11 @@ func ColocateSync(g *graph.Graph, cluster *device.Cluster, est cost.Estimator,
 		}
 		results := make([]candOutcome, len(order))
 		pool.run(len(order), func(i int) { results[i] = probe(i, bound, live) })
+		if err := ctx.Err(); err != nil {
+			releaseOutcomes(results)
+			releaseSchedule(sched)
+			return nil, nil, err
+		}
 
 		bestIdx, pruned := -1, 0
 		var bestFT time.Duration

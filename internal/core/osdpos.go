@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -200,6 +201,7 @@ type roundBase struct {
 
 // osdposRun carries one OSDPOS call's invariants across its rounds.
 type osdposRun struct {
+	ctx     context.Context
 	cluster *device.Cluster
 	devs    []*device.Device
 	est     cost.Estimator
@@ -208,6 +210,17 @@ type osdposRun struct {
 	plan    []roundPlan
 	specOn  bool
 	res     *SplitResult
+}
+
+// ctxErr reports the run's cancellation state. It is checked between
+// candidate evaluations and at every round boundary, so cancellation latency
+// is bounded by one DPOS candidate pass (milliseconds), never a whole
+// search.
+func (o *osdposRun) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Err()
 }
 
 // retarget resolves plan[planIdx]'s operation in b.g and refreshes the
@@ -440,7 +453,14 @@ func (o *osdposRun) runSequential(base *roundBase) (*roundBase, error) {
 		}
 		results := make([]candOutcome, len(cands))
 		for i := range cands {
+			if o.ctxErr() != nil {
+				break
+			}
 			results[i] = o.evalCand(base, cands[i], bound, nil)
+		}
+		if err := o.ctxErr(); err != nil {
+			releaseOutcomes(results)
+			return base, err
 		}
 		bestIdx, stop := o.reduceRound(base, cands, results, false)
 		if stop {
@@ -492,6 +512,20 @@ func (o *osdposRun) runSequential(base *roundBase) (*roundBase, error) {
 // on or off, overlays or clones, pruning on or off, lattice or direct
 // estimator, returns byte-identical strategies.
 func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*SplitResult, error) {
+	return OSDPOSCtx(context.Background(), g, cluster, est, opts)
+}
+
+// OSDPOSCtx is OSDPOS under a context: cancelling ctx aborts the candidate
+// search at the next candidate or round boundary and returns ctx.Err(). The
+// per-request timeouts of the strategy service and Ctrl-C on `fastt compute`
+// both arrive here. A nil ctx means context.Background().
+func OSDPOSCtx(ctx context.Context, g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*SplitResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	est = cost.ReadSnapshot(est)
 	baseCtx, err := contextFor(g)
 	if err != nil {
@@ -519,6 +553,7 @@ func OSDPOS(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Op
 	pool := newWorkPool(opts.workers())
 	defer pool.close()
 	o := &osdposRun{
+		ctx:     ctx,
 		cluster: cluster,
 		devs:    cluster.Devices(),
 		est:     est,

@@ -97,8 +97,8 @@ func (o *osdposRun) candTask(r *specRound, i int) {
 			close(r.done)
 		}
 	}()
-	if r.cancelled.Load() {
-		return // round is doomed; leave the zero (infeasible) outcome
+	if r.cancelled.Load() || o.ctxErr() != nil {
+		return // round doomed or search cancelled; leave the zero outcome
 	}
 	bound := r.base.ftOld
 	if o.opts.DisablePruning {
@@ -201,6 +201,14 @@ func (o *osdposRun) runPooled(base *roundBase) (*roundBase, error) {
 	o.startRound(cur)
 	for {
 		<-cur.done
+		if err := o.ctxErr(); err != nil {
+			// Cancelled: unwind any speculative chain (its queued tasks
+			// return immediately under the same ctx check) and surface the
+			// context error; the committed result is abandoned.
+			o.cancelChain(o.takeNext(cur))
+			releaseOutcomes(cur.results)
+			return cur.base, err
+		}
 		bestIdx, stop := o.reduceRound(cur.base, cur.cands, cur.results, cur.live != nil)
 		if cur.speculative {
 			o.res.Speculated += len(cur.cands)

@@ -1,11 +1,21 @@
 package core
 
 import (
+	"context"
+
 	"fastt/internal/cost"
 	"fastt/internal/device"
 	"fastt/internal/graph"
 	"fastt/internal/strategy"
 )
+
+// Strategist computes a deployment strategy for a graph on a cluster under a
+// cost estimator — the seam through which a session (or any other client)
+// reaches the calculator. ComputeStrategyCtx is the direct, in-process
+// implementation; the strategy service (internal/serve) provides a cached,
+// request-coalescing one, making the session just one client of the service
+// path.
+type Strategist func(ctx context.Context, g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error)
 
 // Strategy is the full output FastT activates on the executor (Sec. 3):
 // the (possibly rewritten) graph, the operation split list, the device
@@ -44,17 +54,28 @@ type Strategy struct {
 // gradient-sync colocation pass, then OS-DPOS operation splitting — and
 // packages the result as an activatable strategy.
 func ComputeStrategy(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error) {
+	return ComputeStrategyCtx(context.Background(), g, cluster, est, opts)
+}
+
+// ComputeStrategyCtx is ComputeStrategy under a context: cancelling ctx (a
+// serve request timeout, a Ctrl-C) aborts the search between candidate
+// evaluations — within a few milliseconds on any graph — and returns
+// ctx.Err(). A nil ctx means context.Background().
+func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// One immutable estimator snapshot serves the whole calculation: both
 	// passes and every concurrent candidate worker read a consistent,
 	// lock-free view even while the profiler keeps observing.
 	est = cost.ReadSnapshot(est)
-	pins, colSched, err := ColocateSync(g, cluster, est, opts)
+	pins, colSched, err := ColocateSyncCtx(ctx, g, cluster, est, opts)
 	if err != nil {
 		return nil, err
 	}
 	releaseSchedule(colSched)
 	opts.Pinned = mergePins(opts.Pinned, pins)
-	res, err := OSDPOS(g, cluster, est, opts)
+	res, err := OSDPOSCtx(ctx, g, cluster, est, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -80,8 +101,17 @@ func ComputeStrategy(g *graph.Graph, cluster *device.Cluster, est cost.Estimator
 // no operation splitting, for the ablation benchmarks (Table 6 compares
 // split on/off).
 func ComputePlacementOnly(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error) {
+	return ComputePlacementOnlyCtx(context.Background(), g, cluster, est, opts)
+}
+
+// ComputePlacementOnlyCtx is ComputePlacementOnly under a context; see
+// ComputeStrategyCtx for the cancellation contract.
+func ComputePlacementOnlyCtx(ctx context.Context, g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*Strategy, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	est = cost.ReadSnapshot(est)
-	_, s, err := ColocateSync(g, cluster, est, opts)
+	_, s, err := ColocateSyncCtx(ctx, g, cluster, est, opts)
 	if err != nil {
 		return nil, err
 	}

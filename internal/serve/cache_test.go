@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"fastt/internal/strategy"
+)
+
+func testKey(i int) strategy.CacheKey {
+	return strategy.CacheKey{
+		Fingerprint: fmt.Sprintf("fp-%04d", i),
+		Cluster:     strategy.ClusterShape{Servers: 1, GPUsPerServer: 2},
+		CostHash:    "h",
+	}
+}
+
+func TestCacheDistinctKeysNeverCollide(t *testing.T) {
+	var m metrics
+	c := newCache(1<<20, 4, &m)
+	const n = 200
+	for i := 0; i < n; i++ {
+		c.put(testKey(i), []byte(fmt.Sprintf("artifact-%d", i)), 32)
+	}
+	for i := 0; i < n; i++ {
+		got := c.get(testKey(i))
+		if want := fmt.Sprintf("artifact-%d", i); string(got) != want {
+			t.Fatalf("key %d returned %q, want %q", i, got, want)
+		}
+	}
+	if ev := m.evictions.Load(); ev != 0 {
+		t.Errorf("evictions = %d under an ample budget, want 0", ev)
+	}
+}
+
+func TestCacheLRUEvictionRespectsByteBudget(t *testing.T) {
+	var m metrics
+	c := newCache(1000, 1, &m) // one shard: budget exactly 1000 bytes
+	for i := 0; i < 20; i++ {
+		c.put(testKey(i), []byte("x"), 100) // accounted size 100 each
+	}
+	_, bytes := c.usage()
+	if bytes > 1000 {
+		t.Fatalf("cache holds %d bytes, budget 1000", bytes)
+	}
+	if ev := m.evictions.Load(); ev != 10 {
+		t.Errorf("evictions = %d, want 10", ev)
+	}
+	// The cold half is gone, the warm half retained in LRU order.
+	for i := 0; i < 10; i++ {
+		if c.get(testKey(i)) != nil {
+			t.Errorf("key %d survived eviction, want evicted", i)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if c.get(testKey(i)) == nil {
+			t.Errorf("key %d evicted, want retained", i)
+		}
+	}
+}
+
+func TestCacheGetPromotes(t *testing.T) {
+	var m metrics
+	c := newCache(300, 1, &m)
+	c.put(testKey(0), []byte("a"), 100)
+	c.put(testKey(1), []byte("b"), 100)
+	c.put(testKey(2), []byte("c"), 100)
+	c.get(testKey(0)) // 0 becomes most recently used; 1 is now coldest
+	c.put(testKey(3), []byte("d"), 100)
+	if c.get(testKey(1)) != nil {
+		t.Error("coldest key 1 survived, want evicted")
+	}
+	if c.get(testKey(0)) == nil {
+		t.Error("promoted key 0 evicted, want retained")
+	}
+}
+
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	var m metrics
+	c := newCache(100, 1, &m)
+	c.put(testKey(0), []byte("small"), 50)
+	c.put(testKey(1), []byte("huge"), 500) // over the whole shard budget
+	if c.get(testKey(1)) != nil {
+		t.Error("oversized entry was cached")
+	}
+	if c.get(testKey(0)) == nil {
+		t.Error("existing entry evicted by an entry that was never admitted")
+	}
+}
+
+func TestCacheReplaceAdjustsAccounting(t *testing.T) {
+	var m metrics
+	c := newCache(1000, 1, &m)
+	c.put(testKey(0), []byte("v1"), 100)
+	c.put(testKey(0), []byte("v2"), 300)
+	entries, bytes := c.usage()
+	if entries != 1 || bytes != 300 {
+		t.Errorf("usage = (%d entries, %d bytes), want (1, 300)", entries, bytes)
+	}
+	if got := c.get(testKey(0)); string(got) != "v2" {
+		t.Errorf("get = %q, want v2", got)
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"testing"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/models"
+	"fastt/internal/session"
+	"fastt/internal/sim"
+)
+
+// TestSessionAsServiceClient wires two identically-seeded sessions through
+// one shared service via the Strategist seam. The second session's training
+// trajectory replays the first's exactly — same profiles, same cost-model
+// snapshots, same provenance keys — so every one of its strategy
+// computations must be answered from the cache: zero new searches.
+func TestSessionAsServiceClient(t *testing.T) {
+	spec, err := models.ByName("MLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gpus = 2
+	m, err := spec.Build(spec.GlobalBatch / gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := graph.BuildDataParallel(m, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.Options{MaxSplitOps: 8, MaxSyncGroups: 8, Workers: 1}
+	svc := New(Config{Sched: sched})
+
+	bootstrap := func() *session.Session {
+		t.Helper()
+		cluster, err := device.SingleServer(gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := session.New(cluster, sim.DefaultExecutor(cluster), train, session.Config{
+			Seed:       1,
+			Sched:      sched,
+			Strategist: svc.Strategist(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Bootstrap(); err != nil {
+			t.Fatalf("bootstrap: %v", err)
+		}
+		return s
+	}
+
+	s1 := bootstrap()
+	st := svc.Stats()
+	if st.Searches == 0 {
+		t.Fatal("first session never reached the service")
+	}
+	searchesAfterFirst, hitsAfterFirst := st.Searches, st.Cache.Hits
+
+	s2 := bootstrap()
+	st = svc.Stats()
+	if st.Searches != searchesAfterFirst {
+		t.Errorf("second session triggered %d new searches, want 0 (all cache hits)",
+			st.Searches-searchesAfterFirst)
+	}
+	if st.Cache.Hits <= hitsAfterFirst {
+		t.Errorf("second session produced no cache hits (hits %d -> %d)",
+			hitsAfterFirst, st.Cache.Hits)
+	}
+
+	// Served from the same cache entries, both sessions converge on the
+	// same deployment.
+	a1, a2 := s1.ActiveArtifact(), s2.ActiveArtifact()
+	if a1 == nil || a2 == nil {
+		t.Fatal("missing active artifact")
+	}
+	if a1.Fingerprint != a2.Fingerprint || len(a1.Placement) != len(a2.Placement) {
+		t.Fatal("sessions diverged on artifact shape")
+	}
+	for i := range a1.Placement {
+		if a1.Placement[i] != a2.Placement[i] {
+			t.Fatalf("placement diverges at op %d", i)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"fastt/internal/strategy"
+)
+
+// flight is one in-progress search shared by every concurrent request for
+// its key. The leader writes bytes/err and closes done exactly once; refs
+// counts the waiting requests so the search is cancelled only when ALL of
+// them have abandoned it — one impatient client must not kill a search
+// others are still waiting on.
+type flight struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	refs   int // guarded by flightGroup.mu
+
+	// Written by the leader before close(done); read after <-done.
+	bytes []byte
+	err   error
+}
+
+// flightGroup is the singleflight table: at most one flight per cache key.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[strategy.CacheKey]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[strategy.CacheKey]*flight)}
+}
+
+// join attaches the caller to the key's flight. Three outcomes: join a
+// running flight (leader=false), start a new one (leader=true), or — the
+// race the locked cache re-probe closes — return the bytes a just-retired
+// flight committed between the caller's lock-free cache miss and this call.
+// The commit ordering (cache put BEFORE retire) makes the re-probe
+// sufficient: if no flight covers the key, a completed search's bytes are
+// already visible in the cache.
+func (g *flightGroup) join(key strategy.CacheKey, c *cache) (f *flight, leader bool, cached []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f := g.flights[key]; f != nil {
+		f.refs++
+		return f, false, nil
+	}
+	if b := c.get(key); b != nil {
+		return nil, false, b
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f = &flight{ctx: ctx, cancel: cancel, done: make(chan struct{}), refs: 1}
+	g.flights[key] = f
+	return f, true, nil
+}
+
+// abandon detaches one waiter; the last one out cancels the search.
+func (g *flightGroup) abandon(f *flight) {
+	g.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	g.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// retire publishes the flight's outcome: remove it from the table (new
+// requests for the key now see the cache, which the leader populated before
+// calling retire) and wake the waiters.
+func (g *flightGroup) retire(key strategy.CacheKey, f *flight) {
+	g.mu.Lock()
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/strategy"
+)
+
+// CacheHeader reports how a /v1/compute response was obtained: "hit",
+// "miss" (this request led the search) or "coalesced" (it joined one).
+const CacheHeader = "X-Fastt-Cache"
+
+// computeRequest is the wire form of a strategy question.
+type computeRequest struct {
+	// Model optionally names the catalog model (provenance only).
+	Model string `json:"model,omitempty"`
+	// Graph is the base graph in graph.WriteJSON form. Optional when
+	// GraphFingerprint identifies an artifact the service already has.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// GraphFingerprint is strategy.Fingerprint of the base graph — the warm
+	// fast path: a cached answer skips graph parsing entirely.
+	GraphFingerprint string `json:"graphFingerprint,omitempty"`
+	// Cluster is the target topology. The HTTP API accepts regular
+	// Servers × GPUsPerServer shapes only.
+	Cluster strategy.ClusterShape `json:"cluster"`
+	// Costs is an optional learned cost-model snapshot (cost.Model JSON).
+	// Absent, the service prices ops with its deterministic kernel oracle.
+	Costs json.RawMessage `json:"costs,omitempty"`
+	// CostHash overrides the cost-model hash in the cache key; computed
+	// from Costs when empty. Clients that already hashed their model (the
+	// session does) pass it so both sides agree on the key exactly.
+	CostHash string `json:"costHash,omitempty"`
+	// TimeoutMs optionally caps this request's wall time.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/compute  strategy question -> artifact answer
+//	GET  /v1/stats    counters snapshot (see Stats)
+//	GET  /healthz     liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compute", s.handleCompute)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Service) handleCompute(w http.ResponseWriter, r *http.Request) {
+	var wire computeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	req, err := s.buildRequest(&wire)
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	ctx := r.Context()
+	if wire.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(wire.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.Compute(ctx, req)
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(CacheHeader, string(res.Source))
+	// The envelope is assembled by hand so the artifact bytes — shared with
+	// the cache entry — reach every client verbatim: a warm response is
+	// byte-identical to the cold one that populated it.
+	w.Write([]byte(`{"cached":`))
+	if res.Source == SourceHit {
+		w.Write([]byte(`true`))
+	} else {
+		w.Write([]byte(`false`))
+	}
+	w.Write([]byte(`,"key":`))
+	keyJSON, _ := json.Marshal(res.Key.String())
+	w.Write(keyJSON)
+	w.Write([]byte(`,"artifact":`))
+	w.Write(res.ArtifactJSON)
+	w.Write([]byte("}\n"))
+}
+
+// buildRequest converts the wire form into a service request, parsing the
+// graph and costs only when present — a fingerprint-carrying warm request
+// allocates next to nothing before the cache answers it.
+func (s *Service) buildRequest(wire *computeRequest) (*Request, error) {
+	shape := wire.Cluster
+	if shape.Devices > 0 {
+		return nil, badRequest("irregular cluster shapes are not accepted over HTTP")
+	}
+	if shape.Servers < 1 || shape.GPUsPerServer < 1 {
+		return nil, badRequest("cluster must give servers >= 1 and gpusPerServer >= 1, got %+v", shape)
+	}
+	req := &Request{
+		Model:       wire.Model,
+		Fingerprint: wire.GraphFingerprint,
+		Shape:       shape,
+		CostHash:    wire.CostHash,
+	}
+	if len(wire.Graph) > 0 {
+		g, err := graph.ReadJSON(bytes.NewReader(wire.Graph))
+		if err != nil {
+			return nil, badRequest("parse graph: %v", err)
+		}
+		if g.HasCycles() {
+			return nil, badRequest("graph has cycles; unroll it first")
+		}
+		req.Graph = g
+	}
+	if len(wire.Costs) > 0 {
+		cluster, err := device.NewCluster(shape.Servers, shape.GPUsPerServer)
+		if err != nil {
+			return nil, badRequest("cluster shape %+v: %v", shape, err)
+		}
+		model := cost.NewModel(cluster)
+		if err := model.ReadJSON(bytes.NewReader(wire.Costs)); err != nil {
+			return nil, badRequest("parse costs: %v", err)
+		}
+		req.Cluster = cluster
+		req.Est = model
+	}
+	return req, nil
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+// writeComputeError maps service errors onto HTTP statuses: malformed
+// requests 400, unknown fingerprints 404, a full admission queue 429, an
+// abandoned or timed-out search 504, anything else 500.
+func writeComputeError(w http.ResponseWriter, err error) {
+	var br *BadRequestError
+	switch {
+	case errors.As(err, &br):
+		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrNotCached):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(body)
+	w.Write([]byte("\n"))
+}

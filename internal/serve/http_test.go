@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fastt/internal/graph"
+	"fastt/internal/strategy"
+)
+
+// computeResponse mirrors the hand-built envelope for decoding in tests.
+type computeResponse struct {
+	Cached   bool            `json:"cached"`
+	Key      string          `json:"key"`
+	Artifact json.RawMessage `json:"artifact"`
+}
+
+func postCompute(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/compute", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/compute: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+func graphJSON(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.String()
+}
+
+func TestHTTPColdWarmByteIdentical(t *testing.T) {
+	svc := New(Config{Strategist: stubStrategist(nil)})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	g := tinyGraph(t)
+	body := `{"cluster":{"servers":1,"gpusPerServer":2},"graph":` + graphJSON(t, g) + `}`
+
+	resp, cold := postCompute(t, srv.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold status = %d, body %s", resp.StatusCode, cold)
+	}
+	if got := resp.Header.Get(CacheHeader); got != "miss" {
+		t.Errorf("cold %s = %q, want miss", CacheHeader, got)
+	}
+	var cr computeResponse
+	if err := json.Unmarshal(cold, &cr); err != nil {
+		t.Fatalf("decode cold response: %v", err)
+	}
+	if cr.Cached {
+		t.Error("cold response claims cached=true")
+	}
+
+	resp, warm := postCompute(t, srv.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(CacheHeader); got != "hit" {
+		t.Errorf("warm %s = %q, want hit", CacheHeader, got)
+	}
+	var wr computeResponse
+	if err := json.Unmarshal(warm, &wr); err != nil {
+		t.Fatalf("decode warm response: %v", err)
+	}
+	if !wr.Cached {
+		t.Error("warm response claims cached=false")
+	}
+	if !bytes.Equal(cr.Artifact, wr.Artifact) {
+		t.Fatal("warm artifact bytes differ from cold")
+	}
+
+	// Fingerprint-only warm request takes the fast path to the same bytes.
+	fp := strategy.Fingerprint(g)
+	resp, fast := postCompute(t, srv.URL,
+		`{"cluster":{"servers":1,"gpusPerServer":2},"graphFingerprint":"`+fp+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fingerprint status = %d, body %s", resp.StatusCode, fast)
+	}
+	var fr computeResponse
+	if err := json.Unmarshal(fast, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fr.Artifact, cr.Artifact) {
+		t.Fatal("fingerprint-path artifact differs")
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	svc := New(Config{Strategist: stubStrategist(nil)})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v (status %v)", err, resp)
+	}
+	resp.Body.Close()
+
+	body := `{"cluster":{"servers":1,"gpusPerServer":2},"graph":` + graphJSON(t, tinyGraph(t)) + `}`
+	postCompute(t, srv.URL, body)
+	postCompute(t, srv.URL, body)
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Searches != 1 {
+		t.Errorf("stats = hits %d misses %d searches %d, want 1/1/1",
+			st.Cache.Hits, st.Cache.Misses, st.Searches)
+	}
+	if len(st.LatencyCounts) != len(st.LatencyBoundsNs)+1 {
+		t.Errorf("latency histogram shape: %d counts for %d bounds",
+			len(st.LatencyCounts), len(st.LatencyBoundsNs))
+	}
+	var total int64
+	for _, c := range st.LatencyCounts {
+		total += c
+	}
+	if total != st.Searches {
+		t.Errorf("latency histogram total = %d, want %d", total, st.Searches)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	svc := New(Config{Strategist: stubStrategist(nil)})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"malformed json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"clutser":{}}`, http.StatusBadRequest},
+		{"no cluster", `{"graphFingerprint":"ab"}`, http.StatusBadRequest},
+		{"irregular shape", `{"cluster":{"servers":1,"gpusPerServer":1,"devices":3},"graphFingerprint":"ab"}`, http.StatusBadRequest},
+		{"uncached fingerprint", `{"cluster":{"servers":1,"gpusPerServer":2},"graphFingerprint":"ffff"}`, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postCompute(t, srv.URL, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Errorf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+				t.Errorf("error body not of the form {\"error\": ...}: %s", body)
+			}
+		})
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/compute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/compute status = %d, want 405", resp.StatusCode)
+	}
+}

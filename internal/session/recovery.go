@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -29,12 +30,12 @@ const (
 // strategy on the survivors and resume. A further failure during recovery
 // re-enters the loop on the freshly lost device; the loop is bounded because
 // every pass removes one device and shrinking the last one fails.
-func (s *Session) recoverFromDeviceLoss(lost *runtime.DeviceLostError, stats *RunStats) error {
+func (s *Session) recoverFromDeviceLoss(ctx context.Context, lost *runtime.DeviceLostError, stats *RunStats) error {
 	if _, ok := s.exec.(runtime.DegradableExecutor); !ok {
 		return lost // backend cannot shrink: surface the failure
 	}
 	for {
-		err := s.recoverOnce(lost, stats)
+		err := s.recoverOnce(ctx, lost, stats)
 		if err == nil {
 			return nil
 		}
@@ -50,7 +51,7 @@ func (s *Session) recoverFromDeviceLoss(lost *runtime.DeviceLostError, stats *Ru
 // recoverOnce handles exactly one device loss. It returns a bare
 // *runtime.DeviceLostError when another device dies while re-profiling the
 // recovered strategy, so the caller can recover again.
-func (s *Session) recoverOnce(lost *runtime.DeviceLostError, stats *RunStats) error {
+func (s *Session) recoverOnce(ctx context.Context, lost *runtime.DeviceLostError, stats *RunStats) error {
 	deg, ok := s.exec.(runtime.DegradableExecutor)
 	if !ok {
 		return lost
@@ -108,7 +109,7 @@ func (s *Session) recoverOnce(lost *runtime.DeviceLostError, stats *RunStats) er
 	// memory-feasible placement, degrade to the bootstrap fallbacks.
 	if attempt <= s.cfg.MaxFaultRetries {
 		t0 := time.Now()
-		cand, err := s.compute()
+		cand, err := s.compute(ctx)
 		stats.RecomputeWall += time.Since(t0)
 		switch {
 		case errors.Is(err, core.ErrNoFeasiblePlacement):

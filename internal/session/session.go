@@ -8,6 +8,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -47,6 +48,14 @@ type Config struct {
 	Memory graph.MemoryModel
 	// Sched passes through scheduling options (e.g. MaxSplitOps).
 	Sched core.Options
+	// Strategist, when set, replaces the in-process strategy calculator:
+	// every recomputation (bootstrap rounds, drift refresh, device-loss
+	// recovery) goes through it instead of core.ComputeStrategyCtx. The
+	// strategy service's Strategist() makes the session one more client of
+	// the cached, request-coalescing service path. Ignored under
+	// DisableSplitting, which is an explicit request for the placement-only
+	// in-process path.
+	Strategist core.Strategist
 	// DisableSplitting restricts the strategy calculator to DPOS
 	// (placement + order, no operation splitting) — the "No split" arm of
 	// Table 6.
@@ -319,6 +328,17 @@ func (s *Session) ActivePriorities() []int {
 // Bootstrap runs the pre-training stage and returns its report. It must be
 // called before Run.
 func (s *Session) Bootstrap() (*Report, error) {
+	return s.BootstrapCtx(context.Background())
+}
+
+// BootstrapCtx is Bootstrap under a context: cancelling ctx aborts the
+// running strategy search (within milliseconds) and stops the stage between
+// rounds, returning ctx.Err(). `fastt compute` passes its signal context
+// here so Ctrl-C exits cleanly mid-search.
+func (s *Session) BootstrapCtx(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start, err := s.startStrategy()
 	if err != nil {
 		return nil, err
@@ -335,9 +355,12 @@ func (s *Session) Bootstrap() (*Report, error) {
 	rep.SimulatedOverhead += measured * time.Duration(s.cfg.ProfileIters)
 
 	for round := 1; round <= s.cfg.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := Round{Index: round}
 		t0 := time.Now()
-		cand, err := s.compute()
+		cand, err := s.compute(ctx)
 		r.CalcWall = time.Since(t0)
 		rep.CalcWallTotal += r.CalcWall
 		if errors.Is(err, core.ErrNoFeasiblePlacement) {
@@ -438,6 +461,16 @@ func (s *Session) Bootstrap() (*Report, error) {
 // Run executes `iters` normal-training iterations under the active
 // strategy. Bootstrap must have been called.
 func (s *Session) Run(iters int) (*RunStats, error) {
+	return s.RunCtx(context.Background(), iters)
+}
+
+// RunCtx is Run under a context: cancellation is honored between iterations
+// and inside any strategy recomputation (drift refresh, device-loss
+// recovery).
+func (s *Session) RunCtx(ctx context.Context, iters int) (*RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.cur.graph == nil {
 		return nil, errors.New("session not bootstrapped")
 	}
@@ -453,10 +486,13 @@ func (s *Session) Run(iters int) (*RunStats, error) {
 	var last *runtime.Result
 	stats := &RunStats{Iterations: iters}
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res, err := s.runOnce(s.cur)
 		if err != nil {
 			if lost := asDeviceLost(err); lost != nil {
-				if rerr := s.recoverFromDeviceLoss(lost, stats); rerr != nil {
+				if rerr := s.recoverFromDeviceLoss(ctx, lost, stats); rerr != nil {
 					return nil, fmt.Errorf("iteration %d: %w", i, rerr)
 				}
 				i-- // redo the aborted iteration under the recovered strategy
@@ -480,11 +516,11 @@ func (s *Session) Run(iters int) (*RunStats, error) {
 				// Execution times changed significantly: refresh the cost
 				// models and recompute the strategy (Sec. 4).
 				s.observe(s.cur.graph, res)
-				recomputed, charged, err := s.refreshStrategy(res.Makespan)
+				recomputed, charged, err := s.refreshStrategy(ctx, res.Makespan)
 				if err != nil {
 					if lost := asDeviceLost(err); lost != nil {
 						stats.RecoveryTime += charged
-						if rerr := s.recoverFromDeviceLoss(lost, stats); rerr != nil {
+						if rerr := s.recoverFromDeviceLoss(ctx, lost, stats); rerr != nil {
 							return nil, fmt.Errorf("iteration %d: %w", i, rerr)
 						}
 						continue
@@ -535,8 +571,8 @@ func (s *Session) drifted(res *runtime.Result) bool {
 // a checkpoint/restart cycle, and candidate profiling runs off the training
 // path. The charge is reported even alongside an error, so callers can
 // account partial work.
-func (s *Session) refreshStrategy(latest time.Duration) (bool, time.Duration, error) {
-	cand, err := s.compute()
+func (s *Session) refreshStrategy(ctx context.Context, latest time.Duration) (bool, time.Duration, error) {
+	cand, err := s.compute(ctx)
 	if errors.Is(err, core.ErrNoFeasiblePlacement) {
 		return false, 0, nil // keep the running strategy
 	}
@@ -605,13 +641,17 @@ func (s *Session) provenance(origin string) strategy.Provenance {
 	return prov
 }
 
-// compute invokes the strategy calculator on the base graph with the
+// compute invokes the strategy calculator — the configured Strategist (the
+// service client path) or the in-process core — on the base graph with the
 // learned cost models.
-func (s *Session) compute() (*core.Strategy, error) {
+func (s *Session) compute(ctx context.Context) (*core.Strategy, error) {
 	if s.cfg.DisableSplitting {
-		return core.ComputePlacementOnly(s.base, s.cluster, s.costs, s.cfg.Sched)
+		return core.ComputePlacementOnlyCtx(ctx, s.base, s.cluster, s.costs, s.cfg.Sched)
 	}
-	return core.ComputeStrategy(s.base, s.cluster, s.costs, s.cfg.Sched)
+	if s.cfg.Strategist != nil {
+		return s.cfg.Strategist(ctx, s.base, s.cluster, s.costs, s.cfg.Sched)
+	}
+	return core.ComputeStrategyCtx(ctx, s.base, s.cluster, s.costs, s.cfg.Sched)
 }
 
 // startStrategy picks data parallelism when it executes without OOM, and

@@ -1,12 +1,14 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
 	"fastt/internal/core"
+	"fastt/internal/cost"
 	"fastt/internal/device"
 	"fastt/internal/graph"
 	"fastt/internal/kernels"
@@ -331,5 +333,44 @@ func TestRollbackRestoresFullArtifact(t *testing.T) {
 	}
 	if got, want := strategy.Fingerprint(s.cur.graph), strategy.Fingerprint(savedGraph); got != want {
 		t.Errorf("re-materialized graph fingerprint = %s, want %s", got, want)
+	}
+}
+
+func TestBootstrapCtxCancelled(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, simExec(c), g, Config{Seed: 1, MaxRounds: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.BootstrapCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BootstrapCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionStrategistSeam injects a counting strategist and checks every
+// bootstrap recomputation goes through it instead of the in-process core.
+func TestSessionStrategistSeam(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	calls := 0
+	cfg := Config{Seed: 1, MaxRounds: 2}
+	cfg.Strategist = func(ctx context.Context, bg *graph.Graph, cluster *device.Cluster,
+		est cost.Estimator, opts core.Options) (*core.Strategy, error) {
+		calls++
+		return core.ComputeStrategyCtx(ctx, bg, cluster, est, opts)
+	}
+	s, err := New(c, simExec(c), g, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if calls != len(rep.Rounds) {
+		t.Errorf("strategist called %d times for %d rounds", calls, len(rep.Rounds))
 	}
 }

@@ -1,0 +1,87 @@
+package strategy
+
+import "fmt"
+
+// CacheKey is the provenance triple identifying one strategy computation:
+// the base-graph fingerprint, the cluster shape, and the cost-model hash.
+// Two requests with equal keys are the same search — same input graph, same
+// topology, same learned costs — so a cached artifact for one answers the
+// other. ClusterShape and the hashes are plain comparable values, making the
+// struct usable directly as a map key.
+type CacheKey struct {
+	Fingerprint string
+	Cluster     ClusterShape
+	CostHash    string
+}
+
+// CacheKey extracts the artifact's own provenance triple.
+func (a *Artifact) CacheKey() CacheKey {
+	return CacheKey{
+		Fingerprint: a.Fingerprint,
+		Cluster:     a.Provenance.Cluster,
+		CostHash:    a.Provenance.CostHash,
+	}
+}
+
+// String renders the key for logs and diagnostics.
+func (k CacheKey) String() string {
+	cost := k.CostHash
+	if cost == "" {
+		cost = "-"
+	}
+	if k.Cluster.Devices > 0 {
+		return fmt.Sprintf("%s@%dsrv/%ddev/%s", k.Fingerprint, k.Cluster.Servers, k.Cluster.Devices, cost)
+	}
+	return fmt.Sprintf("%s@%dx%d/%s", k.Fingerprint, k.Cluster.Servers, k.Cluster.GPUsPerServer, cost)
+}
+
+// Hash64 digests the key with FNV-1a, the shard selector of the serve
+// cache. Every field participates, so keys differing in any coordinate of
+// the triple spread independently across shards.
+func (k CacheKey) Hash64() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator: ("ab","c") and ("a","bc") must differ
+		h *= prime64
+	}
+	mixInt := func(v int) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(v) >> (8 * i) & 0xff
+			h *= prime64
+		}
+	}
+	mix(k.Fingerprint)
+	mixInt(k.Cluster.Servers)
+	mixInt(k.Cluster.GPUsPerServer)
+	mixInt(k.Cluster.Devices)
+	mix(k.CostHash)
+	return h
+}
+
+// SizeBytes approximates the artifact's in-memory footprint for the cache's
+// byte budget: string headers and payloads, 8 bytes per placement/order
+// slot, the split list, and a fixed struct overhead. It intentionally
+// over-counts slightly rather than under-counting — eviction triggered a
+// little early is safe, a budget overrun is not.
+func (a *Artifact) SizeBytes() int64 {
+	const (
+		structOverhead = 256 // Artifact + Provenance structs, slice headers
+		perSplit       = 64  // SplitDecision struct + name header
+	)
+	n := int64(structOverhead)
+	n += int64(len(a.Fingerprint))
+	n += int64(len(a.Provenance.Model) + len(a.Provenance.Origin) + len(a.Provenance.CostHash))
+	n += int64(8 * (len(a.Placement) + len(a.Order)))
+	for _, sp := range a.Splits {
+		n += perSplit + int64(len(sp.OpName))
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheKeyDistinctCoordinates(t *testing.T) {
+	base := CacheKey{
+		Fingerprint: "aaaa",
+		Cluster:     ClusterShape{Servers: 2, GPUsPerServer: 4},
+		CostHash:    "cccc",
+	}
+	variants := []CacheKey{
+		{Fingerprint: "bbbb", Cluster: base.Cluster, CostHash: base.CostHash},
+		{Fingerprint: base.Fingerprint, Cluster: ClusterShape{Servers: 4, GPUsPerServer: 2}, CostHash: base.CostHash},
+		{Fingerprint: base.Fingerprint, Cluster: ClusterShape{Servers: 2, Devices: 8}, CostHash: base.CostHash},
+		{Fingerprint: base.Fingerprint, Cluster: base.Cluster, CostHash: "dddd"},
+		{Fingerprint: base.Fingerprint, Cluster: base.Cluster, CostHash: ""},
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d compares equal to base", i)
+		}
+		if v.String() == base.String() {
+			t.Errorf("variant %d String() collides with base: %s", i, v.String())
+		}
+	}
+	// Field boundaries must matter: content shifted across the separator
+	// still hashes differently.
+	a := CacheKey{Fingerprint: "ab", CostHash: "c"}
+	b := CacheKey{Fingerprint: "a", CostHash: "bc"}
+	if a.Hash64() == b.Hash64() {
+		t.Error("field-boundary shift produced a hash collision")
+	}
+	if base.Hash64() == 0 {
+		t.Error("Hash64 returned zero")
+	}
+}
+
+func TestArtifactCacheKeyRoundTrip(t *testing.T) {
+	a := &Artifact{
+		SchemaVersion: SchemaVersion,
+		Fingerprint:   "feedface",
+		Provenance: Provenance{
+			Model:    "mlp",
+			Origin:   "fastt-serve",
+			Cluster:  ClusterShape{Servers: 1, GPUsPerServer: 4},
+			CostHash: "deadbeef",
+		},
+	}
+	k := a.CacheKey()
+	if k.Fingerprint != a.Fingerprint || k.Cluster != a.Provenance.Cluster || k.CostHash != a.Provenance.CostHash {
+		t.Errorf("CacheKey() = %+v, want the artifact's provenance triple", k)
+	}
+	if !strings.Contains(k.String(), "feedface") || !strings.Contains(k.String(), "1x4") {
+		t.Errorf("String() = %q, want fingerprint and shape rendered", k.String())
+	}
+}
+
+func TestArtifactSizeBytes(t *testing.T) {
+	small := &Artifact{SchemaVersion: SchemaVersion, Fingerprint: "aa"}
+	if small.SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0", small.SizeBytes())
+	}
+	big := &Artifact{
+		SchemaVersion: SchemaVersion,
+		Fingerprint:   "aa",
+		Placement:     make([]int, 1000),
+		Order:         make([]int, 1000),
+	}
+	// 2000 extra 8-byte slots must be visible in the accounting.
+	if got, want := big.SizeBytes()-small.SizeBytes(), int64(16000); got != want {
+		t.Errorf("placement+order delta = %d, want %d", got, want)
+	}
+}

@@ -32,8 +32,24 @@
 #      recorded efficiency is always read against the hardware that
 #      produced it.
 #
-# Usage: scripts/bench.sh            run, write BENCH_osdpos.json, gate
-#        scripts/bench.sh --update   also rewrite the baseline file
+# The script also load-tests the strategy service (see DESIGN.md,
+# "Strategy service"): it starts `fastt serve` on an ephemeral port, runs
+# cmd/loadgen against a warmed cache for ~3s, and writes req/s and latency
+# percentiles to BENCH_serve.json. Gates:
+#
+#   5. the warm-cache service must sustain >= 10,000 req/s with p99 < 5ms
+#      (the ISSUE 7 acceptance floor, absolute — it holds even on a
+#      1-core container because warm requests never search);
+#   6. when scripts/bench_serve_baseline.json exists and was recorded on a
+#      host with the same core count, req/s must not drop more than 33%
+#      below it and p99 must not rise more than 2x above it (loose bands:
+#      single short windows are noisy; gate 5 is the binding floor). When
+#      the baseline is missing the run records BENCH_serve.json and notes
+#      record-only mode instead of failing, so the gate bootstraps cleanly.
+#
+# Usage: scripts/bench.sh            run, write BENCH_osdpos.json +
+#                                    BENCH_serve.json, gate
+#        scripts/bench.sh --update   also rewrite both baseline files
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -42,9 +58,19 @@ KEY8="BenchmarkOSDPOSParallel/Transformer/workers=8"
 KEYTP="BenchmarkDPOSThroughput"
 BASELINE="scripts/bench_baseline.json"
 OUT="BENCH_osdpos.json"
+SERVE_BASELINE="scripts/bench_serve_baseline.json"
+SERVE_OUT="BENCH_serve.json"
 NCPU=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+STMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+	if [ -n "$SERVE_PID" ]; then
+		kill "$SERVE_PID" 2>/dev/null || true
+	fi
+	rm -rf "$RAW" "$STMP"
+}
+trap cleanup EXIT
 
 echo "== bench: go test -bench 'OSDPOSParallel|DPOSThroughput' -count=5 -benchmem"
 go test -run '^$' -bench 'BenchmarkOSDPOSParallel|BenchmarkDPOSThroughput' \
@@ -99,12 +125,38 @@ if [ -z "$cur" ]; then
 	exit 1
 fi
 
+# Serve throughput: warmed cache, fingerprint-only requests (see header
+# gates 5 and 6). 8 workers per core keeps queueing delay — not service
+# capacity — from dominating the tail on small machines.
+echo "== bench: fastt serve warm-cache throughput (loadgen, 3s)"
+go build -o "$STMP/fastt" ./cmd/fastt
+go build -o "$STMP/loadgen" ./cmd/loadgen
+"$STMP/fastt" serve -addr 127.0.0.1:0 >"$STMP/serve.log" 2>&1 &
+SERVE_PID=$!
+saddr=""
+for _ in $(seq 1 50); do
+	saddr="$(sed -n 's/^fastt serve: listening on //p' "$STMP/serve.log")"
+	[ -n "$saddr" ] && break
+	sleep 0.1
+done
+if [ -z "$saddr" ]; then
+	echo "bench.sh: fastt serve failed to start:" >&2
+	cat "$STMP/serve.log" >&2
+	exit 1
+fi
+"$STMP/loadgen" -addr "http://$saddr" -mode bench -duration 3s -out "$SERVE_OUT"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "== wrote $SERVE_OUT"
+
 if [ "${1:-}" = "--update" ]; then
 	# Keep alloc entries only for the deterministic sequential paths (see
 	# header note on gate 2).
 	awk '!(/workers=[0-9]+/ && /(B\/op|allocs\/op)/) || /workers=1[^0-9]/' \
 		"$OUT" >"$BASELINE"
-	echo "== baseline updated: $KEY = $cur ns/op"
+	cp "$SERVE_OUT" "$SERVE_BASELINE"
+	echo "== baseline updated: $KEY = $cur ns/op; serve baseline refreshed"
 	exit 0
 fi
 
@@ -182,6 +234,53 @@ else
 		fi
 	elif [ -n "$beff" ]; then
 		echo "note: baseline efficiency $beff was recorded on ${bncpu:-?} cores, this host has $NCPU; skipping the regression check"
+	fi
+fi
+
+# Gate 5: absolute serve floor — >= 10,000 req/s, p99 < 5ms (see header).
+# Values are floats, so comparisons go through awk.
+rps=$(jget "$SERVE_OUT" "req_per_sec")
+p99=$(jget "$SERVE_OUT" "p99_ns")
+srverr=$(jget "$SERVE_OUT" "errors")
+if [ -z "$rps" ] || [ -z "$p99" ]; then
+	echo "FAIL: req_per_sec/p99_ns missing from $SERVE_OUT" >&2
+	fail=1
+else
+	if awk -v r="$rps" -v p="$p99" -v e="${srverr:-0}" \
+		'BEGIN { exit !(r + 0 >= 10000 && p + 0 < 5000000 && e + 0 == 0) }'; then
+		echo "OK: serve sustained $rps req/s, p99 ${p99}ns, errors ${srverr:-0}"
+	else
+		echo "FAIL: serve floor not met: $rps req/s (need >= 10000), p99 ${p99}ns (need < 5000000), errors ${srverr:-0} (need 0)" >&2
+		fail=1
+	fi
+fi
+
+# Gate 6: serve regression vs the recorded baseline, same-core-count hosts
+# only. A missing baseline is record-only mode, not a failure.
+if [ ! -f "$SERVE_BASELINE" ]; then
+	echo "note: $SERVE_BASELINE missing; recorded $SERVE_OUT only (run scripts/bench.sh --update to set the baseline)"
+else
+	brps=$(jget "$SERVE_BASELINE" "req_per_sec")
+	bp99=$(jget "$SERVE_BASELINE" "p99_ns")
+	bscpu=$(jget "$SERVE_BASELINE" "ncpu")
+	if [ "${bscpu:-$NCPU}" != "$NCPU" ]; then
+		echo "note: serve baseline was recorded on ${bscpu:-?} cores, this host has $NCPU; skipping the regression check"
+	elif [ -n "$rps" ] && [ -n "$brps" ] && [ -n "$bp99" ]; then
+		# Single 3s windows are noisy even after loadgen's warmup phase, so
+		# the baseline bands are deliberately loose (1/3 req/s, 2x p99);
+		# gate 5's absolute floor is the binding constraint.
+		if awk -v r="$rps" -v b="$brps" 'BEGIN { exit !(r + 0 >= 0.67 * b) }'; then
+			echo "OK: serve req/s within 33% of baseline $brps"
+		else
+			echo "FAIL: serve req/s $rps dropped >33% below baseline $brps" >&2
+			fail=1
+		fi
+		if awk -v p="$p99" -v b="$bp99" 'BEGIN { exit !(p + 0 <= 2 * b) }'; then
+			echo "OK: serve p99 within 2x of baseline ${bp99}ns"
+		else
+			echo "FAIL: serve p99 ${p99}ns rose >2x above baseline ${bp99}ns" >&2
+			fail=1
+		fi
 	fi
 fi
 

@@ -9,6 +9,11 @@
 #   smoke:  CLI strategy-artifact round trip — `fastt compute` writes an
 #           artifact, `fastt -strategy` reloads and executes it, and the two
 #           canonical artifact-exec lines must match byte for byte
+#   serve:  strategy-service round trip — start `fastt serve` on an
+#           ephemeral port, run the loadgen smoke (cold compute, warm
+#           byte-identical hit, 64-way coalesced herd) and a short loadgen
+#           bench sanity pass (no timing gate — the perf gate lives in
+#           scripts/bench.sh)
 #   fuzz:   10s fuzz smoke per decoder (strategy/graph/cost JSON) on top of
 #           replaying the committed corpora under testdata/fuzz/
 #   cover:  coverage gate — total statement coverage of ./internal/... must
@@ -16,12 +21,27 @@
 #   bench:  opt-in perf gate — scripts/bench.sh, fails on >10% regression of
 #           the OS-DPOS headline benchmark vs scripts/bench_baseline.json
 #
-# Usage: scripts/check.sh [1|2|smoke|fuzz|cover|bench]
-#        (no argument = 1, 2, smoke, fuzz and cover)
+# Usage: scripts/check.sh [1|2|smoke|serve|fuzz|cover|bench]
+#        (no argument = 1, 2, smoke, serve, fuzz and cover)
 set -eu
 cd "$(dirname "$0")/.."
 
 tier="${1:-all}"
+
+# One cleanup for every tier: temp dirs accumulate in CLEAN_DIRS, a live
+# serve daemon's pid in SERVE_PID.
+CLEAN_DIRS=""
+SERVE_PID=""
+cleanup() {
+	if [ -n "$SERVE_PID" ]; then
+		kill "$SERVE_PID" 2>/dev/null || true
+	fi
+	if [ -n "$CLEAN_DIRS" ]; then
+		# shellcheck disable=SC2086 # word splitting is the point
+		rm -rf $CLEAN_DIRS
+	fi
+}
+trap cleanup EXIT
 
 if [ "$tier" = "1" ] || [ "$tier" = "all" ]; then
 	echo "== tier 1: gofmt -l . && go build ./... && go test ./..."
@@ -46,7 +66,7 @@ fi
 if [ "$tier" = "smoke" ] || [ "$tier" = "all" ]; then
 	echo "== smoke: fastt compute -> fastt -strategy round trip"
 	tmp="$(mktemp -d)"
-	trap 'rm -rf "$tmp"' EXIT
+	CLEAN_DIRS="$CLEAN_DIRS $tmp"
 	go build -o "$tmp/fastt" ./cmd/fastt
 	"$tmp/fastt" compute -model MLP -gpus 2 -out "$tmp/s.json" -seed 7 -iters 2 | tee "$tmp/compute.out"
 	"$tmp/fastt" -model MLP -gpus 2 -strategy "$tmp/s.json" -seed 7 -iters 2 | tee "$tmp/deploy.out"
@@ -57,6 +77,35 @@ if [ "$tier" = "smoke" ] || [ "$tier" = "all" ]; then
 		cat "$tmp/compute.line" "$tmp/deploy.line" >&2
 		exit 1
 	fi
+fi
+
+if [ "$tier" = "serve" ] || [ "$tier" = "all" ]; then
+	echo "== serve: fastt serve + loadgen smoke and bench sanity"
+	stmp="$(mktemp -d)"
+	CLEAN_DIRS="$CLEAN_DIRS $stmp"
+	go build -o "$stmp/fastt" ./cmd/fastt
+	go build -o "$stmp/loadgen" ./cmd/loadgen
+	# -search-delay widens the coalescing window so the loadgen herd can
+	# observe in-flight joins from outside the process (see cmd/loadgen).
+	"$stmp/fastt" serve -addr 127.0.0.1:0 -search-delay 100ms \
+		>"$stmp/serve.log" 2>&1 &
+	SERVE_PID=$!
+	addr=""
+	for _ in $(seq 1 50); do
+		addr="$(sed -n 's/^fastt serve: listening on //p' "$stmp/serve.log")"
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "fastt serve failed to start:" >&2
+		cat "$stmp/serve.log" >&2
+		exit 1
+	fi
+	"$stmp/loadgen" -addr "http://$addr" -mode smoke
+	"$stmp/loadgen" -addr "http://$addr" -mode bench -duration 1s
+	kill "$SERVE_PID"
+	wait "$SERVE_PID" 2>/dev/null || true
+	SERVE_PID=""
 fi
 
 if [ "$tier" = "fuzz" ] || [ "$tier" = "all" ]; then
