@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults|scaling] [-iters N] [-seed N]
+//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults|hetero|scaling] [-iters N] [-seed N]
 //
 // "scaling" prints the worker-sweep table (1/2/4/8 workers × catalog) of
 // strategy-computation wall times; it is not part of "all" because it
@@ -235,6 +235,17 @@ func run(what string, iters int, seed int64) error {
 		}
 		fmt.Fprintln(w, "Fault recovery: cost vs fault rate (8 GPUs, 30 iterations, faults/iter)")
 		if err := experiments.WriteFaultTable(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["hetero"] {
+		rows, err := experiments.HeteroMixTable(cfg, allModels())
+		if err != nil {
+			return fmt.Errorf("hetero table: %w", err)
+		}
+		fmt.Fprintln(w, "Cluster mix: makespan vs device population (same 8-replica graph per model)")
+		if err := experiments.WriteHeteroTable(w, rows); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

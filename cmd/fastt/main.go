@@ -84,6 +84,7 @@ func run() error {
 		saveCost = flag.String("save-costs", "", "write the learned cost models to this file after training")
 		loadCost = flag.String("load-costs", "", "preload cost models saved by an earlier run before bootstrapping")
 		faultsIn = flag.String("faults", "", "inject deterministic faults from a JSON plan (times relative to training start); device failures trigger checkpoint recovery")
+		clustIn  = flag.String("cluster", "", "heterogeneous cluster spec JSON (overrides -gpus/-servers; see device.ReadSpec)")
 	)
 	flag.Parse()
 
@@ -95,7 +96,7 @@ func run() error {
 		return nil
 	}
 	if *graphIn != "" {
-		return runCustomGraph(*graphIn, *gpus, *servers, *iters, *workers, *seed, *timeline)
+		return runCustomGraph(*graphIn, *clustIn, *gpus, *servers, *iters, *workers, *seed, *timeline)
 	}
 	spec, err := models.ByName(*model)
 	if err != nil {
@@ -104,34 +105,21 @@ func run() error {
 	if *export != "" {
 		return exportModel(spec, *batch, *export)
 	}
-	if *gpus < 1 || *servers < 1 || *gpus%*servers != 0 {
-		return fmt.Errorf("bad topology: %d GPUs on %d servers", *gpus, *servers)
-	}
-	cluster, err := device.NewCluster(*servers, *gpus / *servers)
+	cluster, err := buildCluster(*clustIn, *gpus, *servers)
 	if err != nil {
 		return err
 	}
+	ngpus, nservers := cluster.NumDevices(), cluster.Servers()
 
-	global := spec.GlobalBatch
-	if *batch > 0 {
-		global = *batch
-	}
-	perGPU := global / *gpus
-	if *weak {
-		perGPU = spec.PerGPUBatch
-		global = perGPU * *gpus
-	}
-	if perGPU < 1 {
-		perGPU = 1
-	}
+	perGPU, global := resolveBatch(spec, ngpus, *batch, *weak)
 	fmt.Printf("%s on %d GPU(s) across %d server(s), global batch %d (%d per GPU)\n\n",
-		spec.Name, *gpus, *servers, global, perGPU)
+		spec.Name, ngpus, nservers, global, perGPU)
 
 	m, err := spec.Build(perGPU)
 	if err != nil {
 		return fmt.Errorf("build model: %w", err)
 	}
-	dp, err := graph.BuildDataParallel(m, *gpus)
+	dp, err := graph.BuildDataParallel(m, ngpus)
 	if err != nil {
 		return fmt.Errorf("replicate model: %w", err)
 	}
@@ -329,7 +317,7 @@ func measureDP(engine *sim.Engine, cluster *device.Cluster, g *graph.Graph, iter
 // runCustomGraph schedules a user-provided JSON graph with DPOS/OS-DPOS and
 // simulates the result — the library path for graphs that are not in the
 // model catalog.
-func runCustomGraph(path string, gpus, servers, iters, workers int, seed int64, timeline bool) error {
+func runCustomGraph(path, clusterSpec string, gpus, servers, iters, workers int, seed int64, timeline bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -342,7 +330,7 @@ func runCustomGraph(path string, gpus, servers, iters, workers int, seed int64, 
 	if g.HasCycles() {
 		return fmt.Errorf("graph has cycles; unroll it first (graph.Unroll)")
 	}
-	cluster, err := device.NewCluster(servers, gpus/servers)
+	cluster, err := buildCluster(clusterSpec, gpus, servers)
 	if err != nil {
 		return err
 	}
@@ -465,6 +453,7 @@ func runCompute(argv []string) (retErr error) {
 		saveCost  = fs.String("save-costs", "", "write the learned cost models to this file")
 		loadCost  = fs.String("load-costs", "", "preload cost models saved by an earlier run")
 		maxRounds = fs.Int("rounds", 0, "max pre-training strategy-search rounds (0 = default)")
+		clustIn   = fs.String("cluster", "", "heterogeneous cluster spec JSON (overrides -gpus/-servers; see device.ReadSpec)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the strategy computation to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
@@ -492,12 +481,13 @@ func runCompute(argv []string) (retErr error) {
 	if err != nil {
 		return err
 	}
-	cluster, err := newTopology(*gpus, *servers)
+	cluster, err := buildCluster(*clustIn, *gpus, *servers)
 	if err != nil {
 		return err
 	}
-	perGPU, global := resolveBatch(spec, *gpus, *batch, *weak)
-	train, fullBatch, err := trainGraphFor(spec, cluster, *gpus, perGPU, global)
+	ngpus := cluster.NumDevices()
+	perGPU, global := resolveBatch(spec, ngpus, *batch, *weak)
+	train, fullBatch, err := trainGraphFor(spec, cluster, ngpus, perGPU, global)
 	if err != nil {
 		return err
 	}
@@ -536,7 +526,7 @@ func runCompute(argv []string) (retErr error) {
 		return fmt.Errorf("write artifact: %w", err)
 	}
 	fmt.Printf("%s on %d GPU(s): strategy artifact written to %s (origin %s, %d split(s), calc %v)\n",
-		spec.Name, *gpus, *out, art.Provenance.Origin, len(art.Splits),
+		spec.Name, ngpus, *out, art.Provenance.Origin, len(art.Splits),
 		rep.CalcWallTotal.Round(time.Millisecond))
 	if *saveCost != "" {
 		if err := saveCostsFile(s, *saveCost); err != nil {
@@ -622,6 +612,20 @@ func newTopology(gpus, servers int) (*device.Cluster, error) {
 		return nil, fmt.Errorf("bad topology: %d GPUs on %d servers", gpus, servers)
 	}
 	return device.NewCluster(servers, gpus/servers)
+}
+
+// buildCluster resolves the deployment topology: the heterogeneous cluster
+// spec file when -cluster is given (JSON; see device.ReadSpec for the
+// format), the regular all-V100 -gpus/-servers grid otherwise.
+func buildCluster(specPath string, gpus, servers int) (*device.Cluster, error) {
+	if specPath == "" {
+		return newTopology(gpus, servers)
+	}
+	spec, err := device.ReadSpecFile(specPath)
+	if err != nil {
+		return nil, err
+	}
+	return device.NewHeterogeneous(spec)
 }
 
 // resolveBatch applies the strong/weak scaling batch policy.

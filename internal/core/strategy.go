@@ -69,6 +69,10 @@ func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Clu
 	// passes and every concurrent candidate worker read a consistent,
 	// lock-free view even while the profiler keeps observing.
 	est = cost.ReadSnapshot(est)
+	// Caller pins carry full-cluster device IDs, which a renumbered
+	// class-restricted subcluster cannot honor — so their presence disables
+	// the restriction candidates (see subcluster.go).
+	subOpts, tryRestrictions := opts, len(opts.Pinned) == 0
 	pins, colSched, err := ColocateSyncCtx(ctx, g, cluster, est, opts)
 	if err != nil {
 		return nil, err
@@ -79,7 +83,7 @@ func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Clu
 	if err != nil {
 		return nil, err
 	}
-	return &Strategy{
+	full := &Strategy{
 		Artifact: strategy.Artifact{
 			SchemaVersion: strategy.SchemaVersion,
 			Fingerprint:   strategy.Fingerprint(g),
@@ -94,7 +98,11 @@ func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Clu
 		Pruned:       res.Pruned,
 		Speculated:   res.Speculated,
 		Mispredicted: res.Mispredicted,
-	}, nil
+	}
+	if !tryRestrictions {
+		return full, nil
+	}
+	return refineWithClassSubclusters(ctx, g, cluster, est, subOpts, full)
 }
 
 // ComputePlacementOnly runs DPOS and the gradient-sync colocation pass but

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/strategy"
+)
+
+// mixedSubclusterSpec is a 2xV100 + 3xT4 two-server fleet — small enough for
+// unit tests, irregular enough to exercise the renumbering.
+func mixedSubclusterSpec() *device.Spec {
+	return &device.Spec{Servers: []device.SpecServer{
+		{Rack: 0, Interconnect: device.InterconnectNVLink, GPUs: []string{"V100", "V100"}},
+		{Rack: 1, Interconnect: device.InterconnectPCIe, GPUs: []string{"T4", "T4", "T4"}},
+	}}
+}
+
+// TestClassSubclustersPartition: a mixed cluster yields one single-class
+// restriction per class, in device order, each renumbered so subcluster ID j
+// is original device ids[j]; a homogeneous cluster yields none.
+func TestClassSubclustersPartition(t *testing.T) {
+	c, err := device.NewHeterogeneous(mixedSubclusterSpec())
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	subs := classSubclusters(c)
+	if len(subs) != 2 {
+		t.Fatalf("got %d restrictions, want 2", len(subs))
+	}
+	wantIDs := [][]int{{0, 1}, {2, 3, 4}} // V100s first: device order, not speed order
+	wantClass := []string{device.ClassV100, device.ClassT4}
+	for i, sub := range subs {
+		if got, want := len(sub.ids), len(wantIDs[i]); got != want {
+			t.Fatalf("restriction %d keeps %d devices, want %d", i, got, want)
+		}
+		for j, id := range sub.ids {
+			if id != wantIDs[i][j] {
+				t.Errorf("restriction %d ids[%d] = %d, want %d", i, j, id, wantIDs[i][j])
+			}
+			d := sub.cluster.Device(j)
+			od := c.Device(id)
+			if d.ClassName() != wantClass[i] {
+				t.Errorf("restriction %d device %d class = %s, want %s", i, j, d.ClassName(), wantClass[i])
+			}
+			if d.Name != od.Name {
+				t.Errorf("restriction %d device %d name = %q, want original %q", i, j, d.Name, od.Name)
+			}
+		}
+		// Links survive the renumbering: every surviving pair carries the
+		// original cluster's link for the corresponding original pair.
+		for a := range sub.ids {
+			for b := range sub.ids {
+				if a == b {
+					continue
+				}
+				if got, want := sub.cluster.Link(a, b), c.Link(sub.ids[a], sub.ids[b]); got != want {
+					t.Errorf("restriction %d link %d->%d = %+v, want %+v", i, a, b, got, want)
+				}
+			}
+		}
+	}
+
+	homog, err := device.SingleServer(4)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	if subs := classSubclusters(homog); subs != nil {
+		t.Errorf("homogeneous cluster produced %d restrictions, want none", len(subs))
+	}
+}
+
+// TestRemappedEstimatorFollowsDevices: cost queries against a renumbered
+// subcluster must be answered with the original devices, so per-device and
+// per-pair statistics are not misattributed after the renumbering.
+func TestRemappedEstimatorFollowsDevices(t *testing.T) {
+	c, err := device.NewHeterogeneous(mixedSubclusterSpec())
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	oracle := kernels.NewDefaultOracle(c)
+	sub := classSubclusters(c)[1] // the T4 triple, original IDs 2..4
+	re := &remappedEstimator{est: oracle, orig: originalDevices(c, sub.ids)}
+	op := &graph.Op{Name: "m", Kind: graph.KindMatMul, FLOPs: 1e9, OutputBytes: 1 << 20}
+	for j, id := range sub.ids {
+		if got, want := re.Exec(op, sub.cluster.Device(j)), oracle.Exec(op, c.Device(id)); got != want {
+			t.Errorf("Exec via subcluster device %d = %v, want original device %d's %v", j, got, id, want)
+		}
+	}
+	got := re.Comm(1<<20, sub.cluster.Device(0), sub.cluster.Device(1))
+	want := oracle.Comm(1<<20, c.Device(sub.ids[0]), c.Device(sub.ids[1]))
+	if got != want {
+		t.Errorf("Comm via subcluster = %v, want original pair's %v", got, want)
+	}
+}
+
+// TestRefineAdoptsBetterRestriction: when a restriction predicts faster than
+// the full-cluster strategy, refineWithClassSubclusters must adopt it with
+// its placement remapped to full-cluster device IDs and the evaluation
+// counters summed across every candidate population.
+func TestRefineAdoptsBetterRestriction(t *testing.T) {
+	c, err := device.NewHeterogeneous(mixedSubclusterSpec())
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	oracle := kernels.NewDefaultOracle(c)
+	g := graph.New()
+	a := g.MustAddOp(&graph.Op{Name: "a", Kind: graph.KindMatMul, FLOPs: 2e9, OutputBytes: 1 << 20})
+	b := g.MustAddOp(&graph.Op{Name: "b", Kind: graph.KindMatMul, FLOPs: 2e9, OutputBytes: 1 << 20})
+	if err := g.Connect(a, b, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately terrible incumbent: any feasible restriction beats it.
+	full := &Strategy{
+		Artifact:  strategy.Artifact{Predicted: time.Hour},
+		Evaluated: 7, Pruned: 3,
+	}
+	best, err := refineWithClassSubclusters(nil, g, c, oracle, Options{}, full)
+	if err != nil {
+		t.Fatalf("refineWithClassSubclusters: %v", err)
+	}
+	if best == full {
+		t.Fatal("kept the hour-long incumbent over a real restriction strategy")
+	}
+	if best.Predicted >= time.Hour {
+		t.Fatalf("Predicted = %v, want a real makespan", best.Predicted)
+	}
+	// The winner is the V100 restriction (first in device order, faster
+	// silicon); its placement must come back in full-cluster numbering.
+	for op, dev := range best.Placement {
+		if dev < 0 || dev >= c.NumDevices() {
+			t.Fatalf("op %d placed on device %d outside the full cluster", op, dev)
+		}
+		if class := c.Device(dev).ClassName(); class != device.ClassV100 {
+			t.Errorf("op %d landed on %s device %d, want the V100 restriction", op, class, dev)
+		}
+	}
+	if best.Evaluated < full.Evaluated || best.Pruned < full.Pruned {
+		t.Errorf("counters not summed: Evaluated=%d Pruned=%d, want at least the incumbent's %d/%d",
+			best.Evaluated, best.Pruned, full.Evaluated, full.Pruned)
+	}
+}
+
+// TestComputeStrategyMixedNeverWorseThanRestrictions: the end-to-end
+// property behind the cluster-mix table, at unit scale — on a mixed cluster
+// ComputeStrategy's prediction is never worse than the same search run on
+// either single-class restriction alone.
+func TestComputeStrategyMixedNeverWorseThanRestrictions(t *testing.T) {
+	c, err := device.NewHeterogeneous(mixedSubclusterSpec())
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	oracle := kernels.NewDefaultOracle(c)
+	g := graph.New()
+	prev := -1
+	for i := 0; i < 6; i++ {
+		id := g.MustAddOp(&graph.Op{Name: "op" + string(rune('a'+i)), Kind: graph.KindMatMul,
+			FLOPs: 5e8, OutputBytes: 1 << 18})
+		if prev >= 0 {
+			if err := g.Connect(prev, id, 1<<18); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	opts := Options{MaxSplitOps: 1}
+	mixed, err := ComputeStrategy(g, c, oracle, opts)
+	if err != nil {
+		t.Fatalf("ComputeStrategy(mixed): %v", err)
+	}
+	for _, sub := range classSubclusters(c) {
+		re := &remappedEstimator{est: oracle, orig: originalDevices(c, sub.ids)}
+		restricted, err := ComputeStrategy(g, sub.cluster, re, opts)
+		if err != nil {
+			t.Fatalf("ComputeStrategy(restriction): %v", err)
+		}
+		if mixed.Predicted > restricted.Predicted {
+			t.Errorf("mixed cluster predicts %v, worse than its %s restriction's %v",
+				mixed.Predicted, sub.cluster.Device(0).ClassName(), restricted.Predicted)
+		}
+	}
+}

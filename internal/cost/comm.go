@@ -89,17 +89,24 @@ func (a *olsAccumulator) fit() LinearModel {
 // into one group" and fits one linear model per group.
 type pairKey struct{ from, to int }
 
+// Link classes for the fallback tier, mirroring the cluster's link tiers.
+const (
+	linkClassIntraServer = 0 // same server (NVLink or PCIe)
+	linkClassSameRack    = 1 // cross server, same rack
+	linkClassCrossRack   = 2 // cross rack
+	numLinkClasses       = 3
+)
+
 // CommModel is the communication cost model: one online least-squares line
-// per ordered device pair, with a class-level (intra-server vs inter-server)
-// fallback for pairs that have not carried traffic yet. Unknown classes
-// read as zero so the scheduler explores them, per the paper. CommModel is
-// safe for concurrent use.
+// per ordered device pair, with a link-class (intra-server / same-rack /
+// cross-rack) fallback for pairs that have not carried traffic yet. Unknown
+// classes read as zero so the scheduler explores them, per the paper.
+// CommModel is safe for concurrent use.
 type CommModel struct {
 	mu      sync.RWMutex
 	cluster *device.Cluster
 	pairs   map[pairKey]*olsAccumulator
-	// class fallbacks: 0 = same server, 1 = cross server.
-	classes [2]*olsAccumulator
+	classes [numLinkClasses]*olsAccumulator
 }
 
 // NewCommModel returns an empty communication model for the cluster.
@@ -107,15 +114,24 @@ func NewCommModel(cluster *device.Cluster) *CommModel {
 	return &CommModel{
 		cluster: cluster,
 		pairs:   make(map[pairKey]*olsAccumulator),
-		classes: [2]*olsAccumulator{{}, {}},
+		classes: [numLinkClasses]*olsAccumulator{{}, {}, {}},
 	}
 }
 
 func (m *CommModel) classOf(from, to int) int {
-	if m.cluster.Device(from).Server == m.cluster.Device(to).Server {
-		return 0
+	return linkClassOf(m.cluster, from, to)
+}
+
+func linkClassOf(cluster *device.Cluster, from, to int) int {
+	a, b := cluster.Device(from), cluster.Device(to)
+	switch {
+	case a.Server == b.Server:
+		return linkClassIntraServer
+	case a.Rack == b.Rack:
+		return linkClassSameRack
+	default:
+		return linkClassCrossRack
 	}
-	return 1
 }
 
 // Observe records a transfer of `bytes` from one device to another taking
@@ -192,8 +208,8 @@ func (m *CommModel) commLocked(bytes int64, from, to int) time.Duration {
 type CommSnapshot struct {
 	cluster *device.Cluster
 	pairs   map[pairKey]LinearModel
-	classes [2]LinearModel
-	classN  [2]int64
+	classes [numLinkClasses]LinearModel
+	classN  [numLinkClasses]int64
 }
 
 // Snapshot fits and freezes the model's current state.
@@ -227,10 +243,7 @@ func (s *CommSnapshot) Comm(bytes int64, from, to *device.Device) time.Duration 
 	if l, ok := s.pairs[pairKey{from: from.ID, to: to.ID}]; ok {
 		return l.Predict(bytes)
 	}
-	cls := 0
-	if s.cluster.Device(from.ID).Server != s.cluster.Device(to.ID).Server {
-		cls = 1
-	}
+	cls := linkClassOf(s.cluster, from.ID, to.ID)
 	if s.classN[cls] > 0 {
 		return s.classes[cls].Predict(bytes)
 	}

@@ -2,6 +2,7 @@ package cost
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -16,17 +17,35 @@ type compKey struct {
 	dev  int
 }
 
+// classKey identifies a per-device-class aggregate: observations pooled
+// across all devices of one class, so a profile learned on one V100
+// transfers to every other V100 — including one that joins the cluster
+// later.
+type classKey struct {
+	name  string
+	class string
+}
+
 // CompModel is the computation cost model. It records observed execution
 // times per (operation name, device) and answers lookups for the scheduler.
 // Missing entries read as zero, which — per the paper — biases the
 // scheduler toward exploring unprofiled placements so the profiler can fill
 // them in on subsequent steps.
 //
-// Two estimation fallbacks keep the white-box heuristics effective before
+// Four estimation fallbacks keep the white-box heuristics effective before
 // full coverage:
 //
-//   - cross-device: with homogeneous GPUs, a time observed on any device
-//     approximates the time on all of them;
+//   - same-class: a time observed on any device of the same class
+//     approximates the time on all of them (a profile transfers across
+//     V100s but not from a V100 to a T4);
+//   - cross-class scaled: absent same-class data, a time observed on another
+//     class scaled by the peak-throughput ratio — a T4 runs a V100-profiled
+//     op roughly peakV100/peakT4 slower. This is what lets the scheduler
+//     exploit a freshly joined faster device before it has been profiled.
+//     On single-class clusters the tier never fires;
+//   - cross-device: a time observed on any device at all, unscaled — the
+//     only cross-device fallback the model had when clusters were uniformly
+//     V100;
 //   - split scaling: a sub-operation produced by SplitOperation is
 //     estimated from its parent's observed time scaled sublinearly (small
 //     kernels run at lower utilization, so 1/n of the work takes more than
@@ -37,18 +56,64 @@ type CompModel struct {
 	mu     sync.RWMutex
 	stats  map[compKey]*runningStat
 	byName map[string]*runningStat // any-device aggregate per op name
+	// byClass pools observations across same-class devices. devClass maps
+	// device ID -> class name for the cluster the model was built for; nil
+	// (the class-less constructor) disables the class tier entirely.
+	byClass  map[classKey]*runningStat
+	devClass []string
+	// classFLOPS maps class name -> peak FLOPS and classNames lists the
+	// cluster's classes sorted, fixing the probe order of the cross-class
+	// scaled fallback.
+	classFLOPS map[string]float64
+	classNames []string
 	// SplitExponent controls the sublinear split-scaling fallback: a 1/n
 	// partition is estimated at parent * n^-SplitExponent.
 	splitExponent float64
 }
 
-// NewCompModel returns an empty computation cost model.
+// NewCompModel returns an empty computation cost model with no device-class
+// information (every device is its own anonymous class and only the
+// any-device fallback applies). Prefer NewCompModelFor.
 func NewCompModel() *CompModel {
 	return &CompModel{
 		stats:         make(map[compKey]*runningStat),
 		byName:        make(map[string]*runningStat),
+		byClass:       make(map[classKey]*runningStat),
 		splitExponent: 0.85,
 	}
+}
+
+// NewCompModelFor returns an empty computation cost model keyed to the
+// cluster's device classes.
+func NewCompModelFor(cluster *device.Cluster) *CompModel {
+	m := NewCompModel()
+	m.devClass = deviceClasses(cluster)
+	m.classFLOPS = make(map[string]float64)
+	for _, d := range cluster.Devices() {
+		if _, ok := m.classFLOPS[d.ClassName()]; !ok {
+			m.classFLOPS[d.ClassName()] = d.PeakFLOPS
+			m.classNames = append(m.classNames, d.ClassName())
+		}
+	}
+	sort.Strings(m.classNames)
+	return m
+}
+
+// deviceClasses snapshots the cluster's device ID -> class-name mapping.
+func deviceClasses(cluster *device.Cluster) []string {
+	classes := make([]string, cluster.NumDevices())
+	for _, d := range cluster.Devices() {
+		classes[d.ID] = d.ClassName()
+	}
+	return classes
+}
+
+// classOf returns the class label of a device ID, or "" when unknown.
+func (m *CompModel) classOf(dev int) string {
+	if dev < 0 || dev >= len(m.devClass) {
+		return ""
+	}
+	return m.devClass[dev]
 }
 
 // Observe records an execution of the named op on device dev.
@@ -62,6 +127,15 @@ func (m *CompModel) Observe(name string, dev int, d time.Duration) {
 		m.stats[k] = s
 	}
 	s.add(float64(d))
+	if class := m.classOf(dev); class != "" {
+		ck := classKey{name: name, class: class}
+		cs, ok := m.byClass[ck]
+		if !ok {
+			cs = &runningStat{}
+			m.byClass[ck] = cs
+		}
+		cs.add(float64(d))
+	}
 	agg, ok := m.byName[name]
 	if !ok {
 		agg = &runningStat{}
@@ -82,8 +156,9 @@ func (m *CompModel) Lookup(name string, dev int) (time.Duration, bool) {
 	return time.Duration(s.mean), true
 }
 
-// Exec implements the estimator contract: exact key, then cross-device
-// fallback, then split-scaling fallback, then zero (explore).
+// Exec implements the estimator contract: exact key, then same-class
+// fallback, then cross-device fallback, then split-scaling fallback, then
+// zero (explore).
 func (m *CompModel) Exec(op *graph.Op, dev *device.Device) time.Duration {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -94,25 +169,70 @@ func (m *CompModel) execLocked(op *graph.Op, dev int) time.Duration {
 	if s, ok := m.stats[compKey{name: op.Name, dev: dev}]; ok {
 		return time.Duration(s.mean)
 	}
+	class := m.classOf(dev)
+	if class != "" {
+		if s, ok := m.byClass[classKey{name: op.Name, class: class}]; ok {
+			return time.Duration(s.mean)
+		}
+		if t, ok := m.crossClassLocked(op.Name, class, 1); ok {
+			return t
+		}
+	}
 	if s, ok := m.byName[op.Name]; ok {
 		return time.Duration(s.mean)
 	}
 	if op.SplitOf != "" && op.SplitN > 1 {
+		scale := math.Pow(float64(op.SplitN), -m.splitExponent)
+		if class != "" {
+			if s, ok := m.byClass[classKey{name: op.SplitOf, class: class}]; ok {
+				return time.Duration(s.mean * scale)
+			}
+			if t, ok := m.crossClassLocked(op.SplitOf, class, scale); ok {
+				return t
+			}
+		}
 		if s, ok := m.byName[op.SplitOf]; ok {
-			scale := math.Pow(float64(op.SplitN), -m.splitExponent)
 			return time.Duration(s.mean * scale)
 		}
 	}
 	return 0
 }
 
-// CompSnapshot is an immutable view of a CompModel: the per-(name, device)
-// and per-name means frozen at snapshot time. Worker goroutines of the
-// parallel strategy calculator read it lock-free while concurrent Observe
-// calls keep mutating the live model.
+// crossClassLocked estimates op name on a device of class from another
+// class's pooled observations, scaled by the peak-throughput ratio. Classes
+// are probed in sorted-name order so the estimate is deterministic when
+// several have data. Single-class clusters never reach here with a hit.
+func (m *CompModel) crossClassLocked(name, class string, scale float64) (time.Duration, bool) {
+	own := m.classFLOPS[class]
+	if own <= 0 {
+		return 0, false
+	}
+	for _, other := range m.classNames {
+		if other == class {
+			continue
+		}
+		s, ok := m.byClass[classKey{name: name, class: other}]
+		if !ok {
+			continue
+		}
+		if ref := m.classFLOPS[other]; ref > 0 {
+			return time.Duration(s.mean * scale * ref / own), true
+		}
+	}
+	return 0, false
+}
+
+// CompSnapshot is an immutable view of a CompModel: the per-(name, device),
+// per-(name, class) and per-name means frozen at snapshot time. Worker
+// goroutines of the parallel strategy calculator read it lock-free while
+// concurrent Observe calls keep mutating the live model.
 type CompSnapshot struct {
 	exact         map[compKey]time.Duration
+	byClass       map[classKey]time.Duration
 	byName        map[string]time.Duration
+	devClass      []string
+	classFLOPS    map[string]float64
+	classNames    []string
 	splitExponent float64
 }
 
@@ -122,11 +242,18 @@ func (m *CompModel) Snapshot() *CompSnapshot {
 	defer m.mu.RUnlock()
 	s := &CompSnapshot{
 		exact:         make(map[compKey]time.Duration, len(m.stats)),
+		byClass:       make(map[classKey]time.Duration, len(m.byClass)),
 		byName:        make(map[string]time.Duration, len(m.byName)),
+		devClass:      m.devClass,
+		classFLOPS:    m.classFLOPS,
+		classNames:    m.classNames,
 		splitExponent: m.splitExponent,
 	}
 	for k, st := range m.stats {
 		s.exact[k] = time.Duration(st.mean)
+	}
+	for k, st := range m.byClass {
+		s.byClass[k] = time.Duration(st.mean)
 	}
 	for name, st := range m.byName {
 		s.byName[name] = time.Duration(st.mean)
@@ -135,21 +262,63 @@ func (m *CompModel) Snapshot() *CompSnapshot {
 }
 
 // Exec predicts like CompModel.Exec against the frozen means: exact key,
-// then cross-device fallback, then split-scaling fallback, then zero.
+// then same-class, then cross-class scaled, then cross-device fallback, then
+// split-scaling fallback, then zero.
 func (s *CompSnapshot) Exec(op *graph.Op, dev *device.Device) time.Duration {
 	if t, ok := s.exact[compKey{name: op.Name, dev: dev.ID}]; ok {
 		return t
+	}
+	var class string
+	if dev.ID >= 0 && dev.ID < len(s.devClass) {
+		class = s.devClass[dev.ID]
+	}
+	if class != "" {
+		if t, ok := s.byClass[classKey{name: op.Name, class: class}]; ok {
+			return t
+		}
+		if t, ok := s.crossClass(op.Name, class, 1); ok {
+			return t
+		}
 	}
 	if t, ok := s.byName[op.Name]; ok {
 		return t
 	}
 	if op.SplitOf != "" && op.SplitN > 1 {
+		scale := math.Pow(float64(op.SplitN), -s.splitExponent)
+		if class != "" {
+			if t, ok := s.byClass[classKey{name: op.SplitOf, class: class}]; ok {
+				return time.Duration(float64(t) * scale)
+			}
+			if t, ok := s.crossClass(op.SplitOf, class, scale); ok {
+				return t
+			}
+		}
 		if t, ok := s.byName[op.SplitOf]; ok {
-			scale := math.Pow(float64(op.SplitN), -s.splitExponent)
 			return time.Duration(float64(t) * scale)
 		}
 	}
 	return 0
+}
+
+// crossClass mirrors CompModel.crossClassLocked against the frozen means.
+func (s *CompSnapshot) crossClass(name, class string, scale float64) (time.Duration, bool) {
+	own := s.classFLOPS[class]
+	if own <= 0 {
+		return 0, false
+	}
+	for _, other := range s.classNames {
+		if other == class {
+			continue
+		}
+		t, ok := s.byClass[classKey{name: name, class: other}]
+		if !ok {
+			continue
+		}
+		if ref := s.classFLOPS[other]; ref > 0 {
+			return time.Duration(float64(t) * scale * ref / own), true
+		}
+	}
+	return 0, false
 }
 
 // MaxExec returns the maximal estimated execution time of op over the

@@ -20,7 +20,7 @@ var _ Estimator = (*Model)(nil)
 // NewModel returns empty cost models for the cluster.
 func NewModel(cluster *device.Cluster) *Model {
 	return &Model{
-		Comp: NewCompModel(),
+		Comp: NewCompModelFor(cluster),
 		Link: NewCommModel(cluster),
 	}
 }

@@ -104,6 +104,15 @@ func (m *Model) ReadJSON(r io.Reader) error {
 			m.Comp.stats[k] = cur
 		}
 		mergeStat(cur, e.N, e.Mean, e.M2)
+		if class := m.Comp.classOf(e.Dev); class != "" {
+			ck := classKey{name: e.Name, class: class}
+			cs, ok := m.Comp.byClass[ck]
+			if !ok {
+				cs = &runningStat{}
+				m.Comp.byClass[ck] = cs
+			}
+			mergeStat(cs, e.N, e.Mean, e.M2)
+		}
 		agg, ok := m.Comp.byName[e.Name]
 		if !ok {
 			agg = &runningStat{}

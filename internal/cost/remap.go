@@ -27,6 +27,15 @@ func (m *CompModel) remapInto(dst *CompModel, oldToNew []int) {
 		nk := compKey{name: k.name, dev: oldToNew[k.dev]}
 		cp := *s
 		dst.stats[nk] = &cp
+		if class := dst.classOf(nk.dev); class != "" {
+			ck := classKey{name: k.name, class: class}
+			cs, ok := dst.byClass[ck]
+			if !ok {
+				cs = &runningStat{}
+				dst.byClass[ck] = cs
+			}
+			mergeStat(cs, s.n, s.mean, s.m2)
+		}
 		agg, ok := dst.byName[k.name]
 		if !ok {
 			agg = &runningStat{}

@@ -1,0 +1,115 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class describes a device class: the per-accelerator constants that used to
+// be package-level V100 defaults. A cluster may mix classes (heterogeneous
+// testbeds, or a degraded fleet backfilled with whatever hardware is free),
+// and every layer above — the kernel oracle's roofline, the learned cost
+// models' fallback pooling, the scheduler's per-device exec rows — reads
+// these constants per device instead of assuming one global GPU type.
+type Class struct {
+	// Name identifies the class ("V100", "A100", "T4", or a custom name
+	// defined in a cluster spec).
+	Name string
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes int64
+	// PeakFLOPS is the peak single-precision throughput in FLOP/s.
+	PeakFLOPS float64
+	// MemBandwidth is the device memory bandwidth in bytes/s.
+	MemBandwidth float64
+	// SaturationFLOPs is the knee of the utilization curve for this class:
+	// an op with this many FLOPs reaches half of its kind's peak efficiency.
+	// Bigger accelerators need bigger kernels to saturate.
+	SaturationFLOPs float64
+}
+
+// Built-in class names.
+const (
+	ClassV100 = "V100"
+	ClassA100 = "A100"
+	ClassT4   = "T4"
+)
+
+// builtinClasses are the preset accelerator classes. V100 reproduces the
+// package's original defaults exactly (the paper's testbed); A100 and T4
+// bracket it from above and below.
+var builtinClasses = map[string]Class{
+	ClassV100: {
+		Name:            ClassV100,
+		MemoryBytes:     defaultGPUMemory,
+		PeakFLOPS:       defaultPeakFLOPS,
+		MemBandwidth:    defaultMemBW,
+		SaturationFLOPs: defaultSaturationFLOPs,
+	},
+	ClassA100: {
+		Name:            ClassA100,
+		MemoryBytes:     40 * GiB,
+		PeakFLOPS:       19.5e12, // A100 fp32
+		MemBandwidth:    1555e9,  // HBM2e
+		SaturationFLOPs: 6e9,
+	},
+	ClassT4: {
+		Name:            ClassT4,
+		MemoryBytes:     16 * GiB,
+		PeakFLOPS:       8.1e12, // T4 fp32
+		MemBandwidth:    300e9,  // GDDR6
+		SaturationFLOPs: 2e9,
+	},
+}
+
+// ClassByName returns a built-in class preset.
+func ClassByName(name string) (Class, bool) {
+	c, ok := builtinClasses[name]
+	return c, ok
+}
+
+// ClassNames lists the built-in class names in sorted order.
+func ClassNames() []string {
+	names := make([]string, 0, len(builtinClasses))
+	for name := range builtinClasses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// validate rejects classes whose constants cannot drive the roofline model.
+func (c Class) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("class with empty name")
+	}
+	if c.MemoryBytes <= 0 {
+		return fmt.Errorf("class %q: memory %d must be positive", c.Name, c.MemoryBytes)
+	}
+	if c.PeakFLOPS <= 0 {
+		return fmt.Errorf("class %q: peak FLOPS %g must be positive", c.Name, c.PeakFLOPS)
+	}
+	if c.MemBandwidth <= 0 {
+		return fmt.Errorf("class %q: memory bandwidth %g must be positive", c.Name, c.MemBandwidth)
+	}
+	if c.SaturationFLOPs < 0 {
+		return fmt.Errorf("class %q: saturation knee %g must be non-negative", c.Name, c.SaturationFLOPs)
+	}
+	return nil
+}
+
+// newDevice materializes a device of this class. The class constants are
+// copied onto the device so existing per-device mutation (drift tests, the
+// straggler fault) keeps working; Class keeps the label for stat pooling.
+func (c Class) newDevice(id int, name string, server, rack int) *Device {
+	return &Device{
+		ID:              id,
+		Name:            name,
+		Class:           c.Name,
+		MemoryBytes:     c.MemoryBytes,
+		PeakFLOPS:       c.PeakFLOPS,
+		MemBandwidth:    c.MemBandwidth,
+		SaturationFLOPs: c.SaturationFLOPs,
+		Server:          server,
+		Rack:            rack,
+	}
+}

@@ -1,0 +1,213 @@
+package device
+
+import (
+	"testing"
+)
+
+// Regression tests for the uniform-cluster assumptions that Without and Grow
+// expose on irregular clusters: server counting, name preservation and
+// reuse, the renumber contract, and SlowestLink under per-pair asymmetry.
+
+// mixedTestSpec is a small irregular fleet: an NVLink V100 pair in rack 0
+// and a PCIe T4 triple in rack 1.
+func mixedTestSpec() *Spec {
+	return &Spec{Servers: []SpecServer{
+		{Rack: 0, Interconnect: InterconnectNVLink, GPUs: []string{"V100", "V100"}},
+		{Rack: 1, Interconnect: InterconnectPCIe, GPUs: []string{"T4", "T4", "T4"}},
+	}}
+}
+
+// TestServersAfterWithoutEmptiesServer: removing every device of a server
+// must shrink Servers() — it counts populated servers, not the construction
+// topology.
+func TestServersAfterWithoutEmptiesServer(t *testing.T) {
+	c, err := NewCluster(2, 2)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	// Remove both server-1 devices (IDs 2 and 3); descending order so the
+	// first removal does not shift the second target.
+	c, _, err = c.Without(3)
+	if err != nil {
+		t.Fatalf("Without(3): %v", err)
+	}
+	c, _, err = c.Without(2)
+	if err != nil {
+		t.Fatalf("Without(2): %v", err)
+	}
+	if got := c.Servers(); got != 1 {
+		t.Errorf("Servers() = %d after emptying server 1, want 1", got)
+	}
+	want := []string{"server0/gpu0", "server0/gpu1"}
+	for i, w := range want {
+		if got := c.Device(i).Name; got != w {
+			t.Errorf("survivor %d name = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestWithoutRenumberContractIrregular: on a mixed-class cluster, Without
+// must renumber survivors densely in original order, report -1 for the
+// removed device, and carry names, classes and pairwise links through
+// unchanged.
+func TestWithoutRenumberContractIrregular(t *testing.T) {
+	c, err := NewHeterogeneous(mixedTestSpec())
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	const failed = 2 // first T4
+	next, mapping, err := c.Without(failed)
+	if err != nil {
+		t.Fatalf("Without: %v", err)
+	}
+	if mapping[failed] != -1 {
+		t.Errorf("mapping[%d] = %d, want -1", failed, mapping[failed])
+	}
+	for old, nu := range mapping {
+		if old == failed {
+			continue
+		}
+		if nu < 0 || nu >= next.NumDevices() {
+			t.Fatalf("mapping[%d] = %d outside survivors", old, nu)
+		}
+		od, nd := c.Device(old), next.Device(nu)
+		if nd.ID != nu {
+			t.Errorf("survivor %d has ID %d", nu, nd.ID)
+		}
+		if nd.Name != od.Name || nd.ClassName() != od.ClassName() || nd.Server != od.Server {
+			t.Errorf("survivor %d = %s/%s/server%d, want %s/%s/server%d",
+				nu, nd.Name, nd.ClassName(), nd.Server, od.Name, od.ClassName(), od.Server)
+		}
+	}
+	for oldI, nuI := range mapping {
+		for oldJ, nuJ := range mapping {
+			if nuI < 0 || nuJ < 0 || oldI == oldJ {
+				continue
+			}
+			if got, want := next.Link(nuI, nuJ), c.Link(oldI, oldJ); got != want {
+				t.Errorf("link %d->%d = %+v, want original %d->%d %+v",
+					nuI, nuJ, got, oldI, oldJ, want)
+			}
+		}
+	}
+}
+
+// TestGrowAfterWithoutDoesNotReuseNames: Without keeps survivor names, so a
+// later join must probe past them instead of handing out a name already in
+// use — losing the middle GPU of a server and then growing that server must
+// not mint a second "server0/gpu2".
+func TestGrowAfterWithoutDoesNotReuseNames(t *testing.T) {
+	c, err := SingleServer(3)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	c, _, err = c.Without(1)
+	if err != nil {
+		t.Fatalf("Without: %v", err)
+	}
+	next, joined, err := c.Grow(JoinSpec{Server: 0})
+	if err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	names := make(map[string]int)
+	for _, d := range next.Devices() {
+		names[d.Name]++
+		if names[d.Name] > 1 {
+			t.Fatalf("name %q assigned to more than one device", d.Name)
+		}
+	}
+	if joined.Name != "server0/gpu3" {
+		t.Errorf("joined name = %q, want server0/gpu3 (gpu2 survived the loss)", joined.Name)
+	}
+	if joined.ID != next.NumDevices()-1 {
+		t.Errorf("joined ID = %d, want %d", joined.ID, next.NumDevices()-1)
+	}
+}
+
+// TestGrowNewServerTopology: a joiner on a brand-new server gets the next
+// unused server index, the requested rack and interconnect, and link tiers
+// consistent with both — cross-rack to the existing fleet, and the server's
+// own interconnect to a second joiner on the same machine.
+func TestGrowNewServerTopology(t *testing.T) {
+	c, err := NewHeterogeneous(mixedTestSpec())
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	c, first, err := c.Grow(JoinSpec{Class: ClassT4, Server: NewServer, Rack: 2, Interconnect: InterconnectPCIe})
+	if err != nil {
+		t.Fatalf("Grow onto new server: %v", err)
+	}
+	if first.Server != 2 {
+		t.Errorf("new server index = %d, want 2", first.Server)
+	}
+	policy := DefaultLinkPolicy()
+	if got := c.Link(0, first.ID); got != policy.CrossRack {
+		t.Errorf("link to rack-2 joiner = %+v, want cross-rack tier %+v", got, policy.CrossRack)
+	}
+	c, second, err := c.Grow(JoinSpec{Class: ClassT4, Server: first.Server})
+	if err != nil {
+		t.Fatalf("Grow onto joined server: %v", err)
+	}
+	if got := c.Link(first.ID, second.ID); got != policy.PCIe {
+		t.Errorf("intra-server link on PCIe joiner machine = %+v, want %+v", got, policy.PCIe)
+	}
+	if c.Servers() != 3 {
+		t.Errorf("Servers() = %d, want 3", c.Servers())
+	}
+}
+
+// TestGrowPreservesExistingTopology: the elastic contract — existing device
+// IDs, names and pairwise links are untouched by a join, so strategies
+// computed for the old cluster stay deployable while the new one is
+// recomputed.
+func TestGrowPreservesExistingTopology(t *testing.T) {
+	c, err := NewHeterogeneous(mixedTestSpec())
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	next, joined, err := c.Grow(JoinSpec{Class: ClassA100, Server: 0})
+	if err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if joined.ID != c.NumDevices() {
+		t.Errorf("joined ID = %d, want %d", joined.ID, c.NumDevices())
+	}
+	for _, d := range c.Devices() {
+		nd := next.Device(d.ID)
+		if nd.Name != d.Name || nd.ClassName() != d.ClassName() || nd.Server != d.Server {
+			t.Errorf("device %d changed: %s/%s -> %s/%s", d.ID, d.Name, d.ClassName(), nd.Name, nd.ClassName())
+		}
+	}
+	for i := 0; i < c.NumDevices(); i++ {
+		for j := 0; j < c.NumDevices(); j++ {
+			if i == j {
+				continue
+			}
+			if got, want := next.Link(i, j), c.Link(i, j); got != want {
+				t.Errorf("existing link %d->%d changed: %+v -> %+v", i, j, want, got)
+			}
+		}
+	}
+}
+
+// TestSlowestLinkAsymmetric: SlowestLink scans ordered pairs, so a
+// direction-specific override (one congested uplink) must be found even when
+// the reverse direction is fast.
+func TestSlowestLinkAsymmetric(t *testing.T) {
+	spec := mixedTestSpec()
+	slow := SpecLink{BandwidthBps: 0.1e9, LatencyS: 500e-6}
+	spec.Overrides = []SpecOverride{{From: 3, To: 0, Link: slow}}
+	c, err := NewHeterogeneous(spec)
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	if got := c.Link(3, 0); got != slow.link() {
+		t.Fatalf("override not applied: %+v", got)
+	}
+	if got := c.Link(0, 3); got == slow.link() {
+		t.Fatal("override leaked into the reverse direction")
+	}
+	if got := c.SlowestLink(); got != slow.link() {
+		t.Errorf("SlowestLink = %+v, want the asymmetric override %+v", got, slow.link())
+	}
+}

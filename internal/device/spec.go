@@ -1,0 +1,376 @@
+package device
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Cluster specs: the JSON description of a (possibly mixed) fleet that
+// `fastt -cluster mix.json` loads. A spec lists servers — each with a rack,
+// an intra-server interconnect kind, and the class of every GPU it hosts —
+// plus optional custom class definitions, link-tier overrides, and explicit
+// per-pair link overrides for asymmetric topologies the tiers cannot
+// express.
+//
+// Example:
+//
+//	{
+//	  "servers": [
+//	    {"rack": 0, "interconnect": "nvlink", "gpus": ["V100","V100","V100","V100"]},
+//	    {"rack": 1, "interconnect": "pcie",   "gpus": ["T4","T4","T4","T4"]}
+//	  ]
+//	}
+//
+// ReadSpec validates and canonicalizes; WriteJSON emits the canonical form
+// (a fixed field order with defaults made explicit), so read → write →
+// read is the identity — the fuzz target's round-trip property.
+
+// SpecLink is a link in spec form.
+type SpecLink struct {
+	// BandwidthBps is the sustained transfer rate in bytes/s.
+	BandwidthBps float64 `json:"bandwidthBps"`
+	// LatencyS is the fixed per-transfer setup time in seconds.
+	LatencyS float64 `json:"latencyS"`
+}
+
+func (l SpecLink) link() Link { return Link{Bandwidth: l.BandwidthBps, Latency: l.LatencyS} }
+
+func specLinkOf(l Link) *SpecLink {
+	return &SpecLink{BandwidthBps: l.Bandwidth, LatencyS: l.Latency}
+}
+
+func (l SpecLink) validate(what string) error {
+	if !(l.BandwidthBps > 0) { // also rejects NaN
+		return fmt.Errorf("%s: bandwidth %g must be positive", what, l.BandwidthBps)
+	}
+	if !(l.LatencyS >= 0) {
+		return fmt.Errorf("%s: latency %g must be non-negative", what, l.LatencyS)
+	}
+	return nil
+}
+
+// SpecServer is one machine of the fleet.
+type SpecServer struct {
+	// Rack indexes the rack hosting the server.
+	Rack int `json:"rack"`
+	// Interconnect is the intra-server link kind ("nvlink" or "pcie");
+	// empty canonicalizes to "nvlink".
+	Interconnect string `json:"interconnect"`
+	// GPUs lists the class name of every GPU on the server, in device
+	// order.
+	GPUs []string `json:"gpus"`
+}
+
+// SpecClass defines a custom device class (or overrides a built-in one).
+type SpecClass struct {
+	MemoryBytes     int64   `json:"memoryBytes"`
+	PeakFLOPS       float64 `json:"peakFLOPS"`
+	MemBandwidthBps float64 `json:"memBandwidthBps"`
+	// SaturationFLOPs defaults to the V100 knee when zero.
+	SaturationFLOPs float64 `json:"saturationFLOPs,omitempty"`
+}
+
+// SpecLinks overrides individual tiers of the default link policy.
+type SpecLinks struct {
+	NVLink    *SpecLink `json:"nvlink,omitempty"`
+	PCIe      *SpecLink `json:"pcie,omitempty"`
+	SameRack  *SpecLink `json:"sameRack,omitempty"`
+	CrossRack *SpecLink `json:"crossRack,omitempty"`
+}
+
+// SpecOverride pins the link of one ordered device pair, overriding the
+// tier-derived value — the escape hatch for asymmetric topologies
+// (directional congestion, a mis-cabled host bridge).
+type SpecOverride struct {
+	From int      `json:"from"`
+	To   int      `json:"to"`
+	Link SpecLink `json:"link"`
+}
+
+// Spec is the JSON cluster description.
+type Spec struct {
+	Servers   []SpecServer         `json:"servers"`
+	Classes   map[string]SpecClass `json:"classes,omitempty"`
+	Links     *SpecLinks           `json:"links,omitempty"`
+	Overrides []SpecOverride       `json:"overrides,omitempty"`
+}
+
+// NumDevices returns the total GPU count of the spec.
+func (s *Spec) NumDevices() int {
+	n := 0
+	for _, srv := range s.Servers {
+		n += len(srv.GPUs)
+	}
+	return n
+}
+
+// classFor resolves a class name against the spec's custom classes first,
+// then the built-in presets.
+func (s *Spec) classFor(name string) (Class, error) {
+	if sc, ok := s.Classes[name]; ok {
+		c := Class{
+			Name:            name,
+			MemoryBytes:     sc.MemoryBytes,
+			PeakFLOPS:       sc.PeakFLOPS,
+			MemBandwidth:    sc.MemBandwidthBps,
+			SaturationFLOPs: sc.SaturationFLOPs,
+		}
+		if c.SaturationFLOPs == 0 {
+			c.SaturationFLOPs = defaultSaturationFLOPs
+		}
+		return c, c.validate()
+	}
+	if c, ok := ClassByName(name); ok {
+		return c, nil
+	}
+	return Class{}, fmt.Errorf("unknown device class %q", name)
+}
+
+// validate checks the spec and fills canonical defaults in place.
+func (s *Spec) validate() error {
+	if len(s.Servers) == 0 {
+		return fmt.Errorf("spec: %w", ErrNoDevices)
+	}
+	for i := range s.Servers {
+		srv := &s.Servers[i]
+		if srv.Rack < 0 {
+			return fmt.Errorf("spec: server %d: negative rack %d", i, srv.Rack)
+		}
+		switch srv.Interconnect {
+		case "":
+			srv.Interconnect = InterconnectNVLink
+		case InterconnectNVLink, InterconnectPCIe:
+		default:
+			return fmt.Errorf("spec: server %d: unknown interconnect %q", i, srv.Interconnect)
+		}
+		if len(srv.GPUs) == 0 {
+			return fmt.Errorf("spec: server %d hosts no GPUs", i)
+		}
+		for _, class := range srv.GPUs {
+			if _, err := s.classFor(class); err != nil {
+				return fmt.Errorf("spec: server %d: %w", i, err)
+			}
+		}
+	}
+	for name, sc := range s.Classes {
+		c := Class{Name: name, MemoryBytes: sc.MemoryBytes, PeakFLOPS: sc.PeakFLOPS,
+			MemBandwidth: sc.MemBandwidthBps, SaturationFLOPs: sc.SaturationFLOPs}
+		if c.SaturationFLOPs == 0 {
+			c.SaturationFLOPs = defaultSaturationFLOPs
+		}
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+	}
+	if s.Links != nil {
+		for _, tier := range []struct {
+			name string
+			l    *SpecLink
+		}{
+			{"nvlink", s.Links.NVLink},
+			{"pcie", s.Links.PCIe},
+			{"sameRack", s.Links.SameRack},
+			{"crossRack", s.Links.CrossRack},
+		} {
+			if tier.l == nil {
+				continue
+			}
+			if err := tier.l.validate("spec: links." + tier.name); err != nil {
+				return err
+			}
+		}
+	}
+	n := s.NumDevices()
+	for i, o := range s.Overrides {
+		if o.From < 0 || o.From >= n || o.To < 0 || o.To >= n || o.From == o.To {
+			return fmt.Errorf("spec: override %d: pair %d->%d outside %d devices", i, o.From, o.To, n)
+		}
+		if err := o.Link.validate(fmt.Sprintf("spec: override %d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// policy resolves the spec's link tiers over the defaults.
+func (s *Spec) policy() LinkPolicy {
+	p := DefaultLinkPolicy()
+	if s.Links == nil {
+		return p
+	}
+	if s.Links.NVLink != nil {
+		p.NVLink = s.Links.NVLink.link()
+	}
+	if s.Links.PCIe != nil {
+		p.PCIe = s.Links.PCIe.link()
+	}
+	if s.Links.SameRack != nil {
+		p.SameRack = s.Links.SameRack.link()
+	}
+	if s.Links.CrossRack != nil {
+		p.CrossRack = s.Links.CrossRack.link()
+	}
+	return p
+}
+
+// ReadSpec decodes, validates and canonicalizes a cluster spec. Unknown
+// fields are rejected so typos fail loudly instead of silently describing a
+// different fleet.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("decode cluster spec: %w", err)
+	}
+	// A second document means trailing garbage (and a canonical form that
+	// would not round-trip); reject it.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("decode cluster spec: trailing data after spec")
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ReadSpecFile loads a cluster spec from a file.
+func ReadSpecFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ReadSpec(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteJSON emits the spec in canonical form: validated, defaults explicit,
+// custom classes in sorted name order. ReadSpec(WriteJSON(s)) reproduces s.
+func (s *Spec) WriteJSON(w io.Writer) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	// Marshal through an ordered shadow document so map iteration order
+	// cannot leak into the bytes.
+	type namedClass struct {
+		Name  string
+		Class SpecClass
+	}
+	var classes []namedClass
+	for name, c := range s.Classes {
+		if c.SaturationFLOPs == 0 {
+			c.SaturationFLOPs = defaultSaturationFLOPs
+		}
+		classes = append(classes, namedClass{Name: name, Class: c})
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Name < classes[j].Name })
+
+	var buf bytes.Buffer
+	buf.WriteString("{\n  \"servers\": [")
+	for i, srv := range s.Servers {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("\n    ")
+		b, err := json.Marshal(srv)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	}
+	buf.WriteString("\n  ]")
+	if len(classes) > 0 {
+		buf.WriteString(",\n  \"classes\": {")
+		for i, nc := range classes {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			name, err := json.Marshal(nc.Name)
+			if err != nil {
+				return err
+			}
+			b, err := json.Marshal(nc.Class)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&buf, "\n    %s: %s", name, b)
+		}
+		buf.WriteString("\n  }")
+	}
+	if s.Links != nil {
+		b, err := json.Marshal(s.Links)
+		if err != nil {
+			return err
+		}
+		// An all-nil Links canonicalizes away entirely.
+		if string(b) != "{}" {
+			fmt.Fprintf(&buf, ",\n  \"links\": %s", b)
+		}
+	}
+	if len(s.Overrides) > 0 {
+		buf.WriteString(",\n  \"overrides\": [")
+		for i, o := range s.Overrides {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			b, err := json.Marshal(o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&buf, "\n    %s", b)
+		}
+		buf.WriteString("\n  ]")
+	}
+	buf.WriteString("\n}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// NewHeterogeneous materializes the cluster a spec describes: devices in
+// spec order (server by server), classed constants, and a link table built
+// from the tiered policy plus any per-pair overrides.
+func NewHeterogeneous(s *Spec) (*Cluster, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	n := s.NumDevices()
+	c := &Cluster{
+		devices: make([]*Device, 0, n),
+		links:   make([][]Link, n),
+		servers: make(map[int]serverInfo, len(s.Servers)),
+		policy:  s.policy(),
+	}
+	for si, srv := range s.Servers {
+		c.servers[si] = serverInfo{rack: srv.Rack, interconnect: srv.Interconnect}
+		for g, className := range srv.GPUs {
+			class, err := s.classFor(className)
+			if err != nil {
+				return nil, err // unreachable after validate
+			}
+			id := len(c.devices)
+			name := fmt.Sprintf("server%d/gpu%d", si, g)
+			c.devices = append(c.devices, class.newDevice(id, name, si, srv.Rack))
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.links[i] = make([]Link, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			c.links[i][j] = c.policy.linkFor(c.devices[i], c.devices[j], c.servers)
+		}
+	}
+	for _, o := range s.Overrides {
+		c.links[o.From][o.To] = o.Link.link()
+	}
+	return c, nil
+}

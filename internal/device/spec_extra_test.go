@@ -1,0 +1,122 @@
+package device_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastt/internal/device"
+)
+
+// TestReadSpecFileRoundTrip: the file loader behind `fastt -cluster` — a
+// spec with custom classes, tier overrides and a per-pair override loads,
+// materializes, and reports its path on error.
+func TestReadSpecFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mix.json")
+	spec := &device.Spec{
+		Servers: []device.SpecServer{
+			{Rack: 0, Interconnect: device.InterconnectNVLink, GPUs: []string{"V100", "H9"}},
+			{Rack: 1, Interconnect: device.InterconnectPCIe, GPUs: []string{"T4"}},
+		},
+		Classes: map[string]device.SpecClass{
+			"H9": {MemoryBytes: 8 * device.GiB, PeakFLOPS: 5e12, MemBandwidthBps: 4e11},
+		},
+		Links: &device.SpecLinks{
+			CrossRack: &device.SpecLink{BandwidthBps: 2e9, LatencyS: 100e-6},
+		},
+		Overrides: []device.SpecOverride{
+			{From: 2, To: 0, Link: device.SpecLink{BandwidthBps: 0.5e9, LatencyS: 200e-6}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := spec.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := device.ReadSpecFile(path)
+	if err != nil {
+		t.Fatalf("ReadSpecFile: %v", err)
+	}
+	c, err := device.NewHeterogeneous(loaded)
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	if c.NumDevices() != 3 || c.Servers() != 2 {
+		t.Fatalf("materialized %d devices / %d servers, want 3 / 2", c.NumDevices(), c.Servers())
+	}
+	if got := c.Device(1).ClassName(); got != "H9" {
+		t.Errorf("device 1 class = %q, want the custom H9", got)
+	}
+	// The tier override shapes cross-rack pairs; the per-pair override wins
+	// on its one ordered pair only.
+	crossRack := device.Link{Bandwidth: 2e9, Latency: 100e-6}
+	if got := c.Link(0, 2); got != crossRack {
+		t.Errorf("cross-rack link = %+v, want overridden tier %+v", got, crossRack)
+	}
+	pair := device.Link{Bandwidth: 0.5e9, Latency: 200e-6}
+	if got := c.Link(2, 0); got != pair {
+		t.Errorf("overridden pair 2->0 = %+v, want %+v", got, pair)
+	}
+
+	if _, err := device.ReadSpecFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("ReadSpecFile on a missing path did not fail")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"servers":[{"gpus":["NoSuchGPU"]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := device.ReadSpecFile(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("invalid spec error %v does not name the file", err)
+	}
+}
+
+// TestSpecValidationErrors: each malformed spec is rejected with its own
+// diagnostic rather than materializing a fleet that was not described.
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"empty servers", `{"servers":[]}`},
+		{"negative rack", `{"servers":[{"rack":-1,"gpus":["V100"]}]}`},
+		{"unknown interconnect", `{"servers":[{"interconnect":"token-ring","gpus":["V100"]}]}`},
+		{"server without gpus", `{"servers":[{"rack":0,"gpus":[]}]}`},
+		{"unknown class", `{"servers":[{"gpus":["Z9000"]}]}`},
+		{"bad custom class", `{"servers":[{"gpus":["X"]}],"classes":{"X":{"memoryBytes":0,"peakFLOPS":1,"memBandwidthBps":1}}}`},
+		{"bad tier", `{"servers":[{"gpus":["V100"]}],"links":{"nvlink":{"bandwidthBps":-1,"latencyS":0}}}`},
+		{"override out of range", `{"servers":[{"gpus":["V100"]}],"overrides":[{"from":0,"to":5,"link":{"bandwidthBps":1,"latencyS":0}}]}`},
+		{"self override", `{"servers":[{"gpus":["V100"]}],"overrides":[{"from":0,"to":0,"link":{"bandwidthBps":1,"latencyS":0}}]}`},
+		{"unknown field", `{"servers":[{"gpus":["V100"]}],"gpusPerServer":4}`},
+		{"trailing data", `{"servers":[{"gpus":["V100"]}]} {}`},
+	}
+	for _, tc := range cases {
+		if _, err := device.ReadSpec(strings.NewReader(tc.json)); err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.json)
+		}
+	}
+}
+
+// TestClassNamesSorted: the built-in presets list is stable and sorted (CLI
+// help and error messages rely on it).
+func TestClassNamesSorted(t *testing.T) {
+	names := device.ClassNames()
+	want := []string{device.ClassA100, device.ClassT4, device.ClassV100}
+	if len(names) != len(want) {
+		t.Fatalf("ClassNames() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ClassNames() = %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		if _, ok := device.ClassByName(name); !ok {
+			t.Errorf("listed class %q not resolvable", name)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package device_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fastt/internal/device"
+)
+
+// FuzzReadSpec asserts the cluster-spec decoder's contract on arbitrary
+// bytes: it never panics; anything it accepts serializes to a canonical form
+// that re-reads and re-writes identically; and the accepted spec
+// deterministically materializes the same cluster twice (NewHeterogeneous
+// has no hidden iteration-order dependence).
+func FuzzReadSpec(f *testing.F) {
+	f.Add([]byte(`{"servers":[{"rack":0,"interconnect":"nvlink","gpus":["V100","V100"]}]}`))
+	f.Add([]byte(`{"servers":[` +
+		`{"rack":0,"interconnect":"nvlink","gpus":["V100","V100","V100","V100"]},` +
+		`{"rack":1,"interconnect":"pcie","gpus":["T4","T4"]}]}`))
+	f.Add([]byte(`{"servers":[{"gpus":["A100"]}],` +
+		`"classes":{"H9":{"memoryBytes":1024,"peakFLOPS":1e12,"memBandwidthBps":1e9}},` +
+		`"links":{"nvlink":{"bandwidthBps":9e9,"latencyS":1e-6}},` +
+		`"overrides":[{"from":0,"to":0,"link":{"bandwidthBps":1,"latencyS":0}}]}`))
+	f.Add([]byte(`{"servers":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := device.ReadSpec(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := s.WriteJSON(&first); err != nil {
+			t.Fatalf("accepted spec does not serialize: %v", err)
+		}
+		s2, err := device.ReadSpec(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := s2.WriteJSON(&second); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round-trip is not canonical:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+		}
+		a, err := device.NewHeterogeneous(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not materialize: %v", err)
+		}
+		b, err := device.NewHeterogeneous(s2)
+		if err != nil {
+			t.Fatalf("round-tripped spec does not materialize: %v", err)
+		}
+		if a.NumDevices() != b.NumDevices() || a.Servers() != b.Servers() {
+			t.Fatalf("materialization differs: %d/%d devices, %d/%d servers",
+				a.NumDevices(), b.NumDevices(), a.Servers(), b.Servers())
+		}
+		for _, d := range a.Devices() {
+			e := b.Device(d.ID)
+			if d.Name != e.Name || d.ClassName() != e.ClassName() ||
+				d.Server != e.Server || d.Rack != e.Rack {
+				t.Fatalf("device %d differs across materializations: %+v vs %+v", d.ID, d, e)
+			}
+		}
+		for i := 0; i < a.NumDevices(); i++ {
+			for j := 0; j < a.NumDevices(); j++ {
+				if i != j && a.Link(i, j) != b.Link(i, j) {
+					t.Fatalf("link %d->%d differs: %+v vs %+v", i, j, a.Link(i, j), b.Link(i, j))
+				}
+			}
+		}
+	})
+}

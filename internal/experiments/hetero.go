@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+	"fastt/internal/session"
+	"fastt/internal/sim"
+)
+
+// Hetero mix labels — the four rows of the cluster-mix table per model.
+const (
+	MixUniform       = "8xV100"          // homogeneous reference: 2 servers x 4 V100
+	MixHetero        = "4xV100+4xT4"     // FastT on the real mixed cluster
+	MixUniformAssume = "mix(as-uniform)" // strategy learned on all-V100, deployed on the mix
+	MixT4Only        = "4xT4"            // the weak subcluster alone — the bound a mix must beat
+)
+
+// HeteroRow is one (model, cluster mix) configuration of the cluster-mix
+// table: the same training graph scheduled onto different device
+// populations.
+type HeteroRow struct {
+	Model   string
+	Mix     string
+	Devices int
+	// Predicted is the activated strategy's own makespan estimate; Iter is
+	// the measured per-iteration time (0 when OOM / no feasible start).
+	Predicted time.Duration
+	Iter      time.Duration
+	Speed     float64 // samples/s (0 when OOM)
+	OOM       bool
+	// V100Share is the FLOPs-weighted fraction of ops placed on V100-class
+	// devices; -1 when the cluster has no class split to report (uniform and
+	// T4-only rows).
+	V100Share float64
+	CalcWall  time.Duration
+}
+
+// heteroMixSpec builds the 4xV100 + 4xT4 two-server cluster the table
+// revolves around: the V100 server and the T4 server NVLink-internal, same
+// rack.
+func heteroMixSpec() *device.Spec {
+	return &device.Spec{Servers: []device.SpecServer{
+		{Rack: 0, Interconnect: device.InterconnectNVLink, GPUs: []string{"V100", "V100", "V100", "V100"}},
+		{Rack: 0, Interconnect: device.InterconnectNVLink, GPUs: []string{"T4", "T4", "T4", "T4"}},
+	}}
+}
+
+// t4OnlySpec is the mix's weak half alone.
+func t4OnlySpec() *device.Spec {
+	return &device.Spec{Servers: []device.SpecServer{
+		{Rack: 0, Interconnect: device.InterconnectNVLink, GPUs: []string{"T4", "T4", "T4", "T4"}},
+	}}
+}
+
+// deployed is a strategy lifted out of the session that produced it, in the
+// form a simulator on another cluster can execute: the materialized graph,
+// its placement, and the enforced order.
+type deployed struct {
+	graph      *graph.Graph
+	placement  []int
+	priorities []int
+	predicted  time.Duration
+}
+
+// HeteroMixTable schedules each model's 8-replica training graph onto four
+// device populations: the homogeneous 8xV100 reference, the 4xV100+4xT4 mix
+// with FastT aware of the classes (full pre-training bootstrap with learned
+// cost models), the same mix running the strategy learned under the old
+// all-V100 assumption, and the T4-only subcluster. The same graph and batch
+// are used throughout, so rows differ only in what the scheduler knew and
+// what hardware ran it.
+func HeteroMixTable(cfg Config, modelNames []string) ([]HeteroRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]HeteroRow, 0, 4*len(modelNames))
+	for _, name := range modelNames {
+		r, err := heteroCells(cfg, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+func heteroCells(cfg Config, model string) ([]HeteroRow, error) {
+	const gpus = 8
+	spec, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	perGPU, global := batches(spec, Strong, gpus, 0)
+	m, err := spec.Build(perGPU)
+	if err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	train, err := graph.BuildDataParallel(m, gpus)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: %w", err)
+	}
+
+	uniform, err := device.NewCluster(2, 4)
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := device.NewHeterogeneous(heteroMixSpec())
+	if err != nil {
+		return nil, err
+	}
+	t4only, err := device.NewHeterogeneous(t4OnlySpec())
+	if err != nil {
+		return nil, err
+	}
+
+	uniformDep, uniformRow, err := heteroTrain(cfg, model, MixUniform, train, uniform, global)
+	if err != nil {
+		return nil, err
+	}
+	_, heteroRow, err := heteroTrain(cfg, model, MixHetero, train, mixed, global)
+	if err != nil {
+		return nil, err
+	}
+	// The uniform-assumption row deploys the all-V100 strategy on the real
+	// mix: same placement indices, different silicon underneath — exactly
+	// what the pre-class scheduler would have done.
+	assumeRow := HeteroRow{
+		Model: model, Mix: MixUniformAssume, Devices: mixed.NumDevices(),
+		V100Share: -1,
+	}
+	if uniformDep != nil {
+		assumeRow.Predicted = uniformDep.predicted
+		assumeRow.V100Share = flopsShareOnV100(uniformDep.graph, uniformDep.placement, mixed)
+		if err := measureDeployed(cfg, &assumeRow, uniformDep, mixed, global); err != nil {
+			return nil, err
+		}
+	} else {
+		assumeRow.OOM = true
+	}
+	_, t4Row, err := heteroTrain(cfg, model, MixT4Only, train, t4only, global)
+	if err != nil {
+		return nil, err
+	}
+	return []HeteroRow{*uniformRow, *heteroRow, assumeRow, *t4Row}, nil
+}
+
+// heteroTrain runs the full FastT pipeline — bootstrap with learned cost
+// models, strategy activation, measured training — for the graph on the
+// cluster, and lifts the activated strategy out for cross-cluster deploys.
+// A configuration with no feasible start yields an OOM row and a nil deploy.
+func heteroTrain(cfg Config, model, mix string, train *graph.Graph, cluster *device.Cluster, global int) (*deployed, *HeteroRow, error) {
+	row := &HeteroRow{
+		Model: model, Mix: mix, Devices: cluster.NumDevices(),
+		V100Share: -1,
+	}
+	s, err := session.New(cluster, sim.DefaultExecutor(cluster), train, session.Config{
+		Seed:      cfg.Seed,
+		MaxRounds: cfg.MaxRounds,
+		Jitter:    cfg.Jitter,
+		Sched: core.Options{
+			MaxSplitOps:   cfg.MaxSplitOps,
+			MaxSyncGroups: cfg.MaxSyncGroups,
+			Workers:       cfg.Workers,
+		},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s session: %w", mix, err)
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		if errors.Is(err, session.ErrNoFeasibleStart) {
+			row.OOM = true
+			return nil, row, nil
+		}
+		return nil, nil, fmt.Errorf("%s bootstrap: %w", mix, err)
+	}
+	stats, err := s.Run(cfg.MeasureIters)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s run: %w", mix, err)
+	}
+	row.Predicted = s.ActiveArtifact().Predicted
+	row.Iter = stats.AvgIter
+	row.Speed = float64(global) / stats.AvgIter.Seconds()
+	row.CalcWall = rep.CalcWallTotal
+	if mixedClasses(cluster) {
+		row.V100Share = flopsShareOnV100(s.ActiveGraph(), s.ActivePlacement(), cluster)
+	}
+	dep := &deployed{
+		graph:      s.ActiveGraph(),
+		placement:  s.ActivePlacement(),
+		priorities: s.ActivePriorities(),
+		predicted:  s.ActiveArtifact().Predicted,
+	}
+	return dep, row, nil
+}
+
+// measureDeployed runs a lifted strategy on another cluster's simulator and
+// fills the row's measured columns. An OOM marks the row instead of failing
+// the table.
+func measureDeployed(cfg Config, row *HeteroRow, dep *deployed, cluster *device.Cluster, global int) error {
+	engine := sim.NewEngine(cluster, kernels.NewDefaultOracle(cluster))
+	var total time.Duration
+	for i := 0; i < cfg.MeasureIters; i++ {
+		res, err := engine.Run(dep.graph, dep.placement, sim.Config{
+			Discipline: sim.Priority,
+			Priorities: dep.priorities,
+			Jitter:     cfg.Jitter,
+			Seed:       cfg.Seed + int64(i),
+		})
+		if err != nil {
+			var oom *sim.OOMError
+			if errors.As(err, &oom) {
+				row.OOM = true
+				return nil
+			}
+			return fmt.Errorf("%s measure: %w", row.Mix, err)
+		}
+		total += res.Makespan
+	}
+	row.Iter = total / time.Duration(cfg.MeasureIters)
+	row.Speed = float64(global) / row.Iter.Seconds()
+	return nil
+}
+
+// mixedClasses reports whether the cluster carries more than one device
+// class.
+func mixedClasses(cluster *device.Cluster) bool {
+	first := cluster.Device(0).ClassName()
+	for _, d := range cluster.Devices() {
+		if d.ClassName() != first {
+			return true
+		}
+	}
+	return false
+}
+
+// flopsShareOnV100 returns the FLOPs-weighted fraction of the placed graph
+// that runs on V100-class devices — the "did the critical work land on the
+// fast silicon" metric of the cluster-mix table.
+func flopsShareOnV100(g *graph.Graph, place []int, cluster *device.Cluster) float64 {
+	var fast, total int64
+	for _, op := range g.Ops() {
+		if op.FLOPs <= 0 || op.ID >= len(place) {
+			continue
+		}
+		total += op.FLOPs
+		if cluster.Device(place[op.ID]).ClassName() == device.ClassV100 {
+			fast += op.FLOPs
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(fast) / float64(total)
+}
+
+// WriteHeteroTable prints the cluster-mix table.
+func WriteHeteroTable(w io.Writer, rows []HeteroRow) error {
+	if _, err := fmt.Fprintf(w, "%-16s %-16s %4s %12s %12s %12s %10s %9s\n",
+		"Model", "Mix", "Dev", "Predicted", "AvgIter", "Samples/s", "V100FLOPs", "CalcWall"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		iter, speed := "OOM", "-"
+		if !r.OOM {
+			iter = r.Iter.Round(time.Microsecond).String()
+			speed = fmt.Sprintf("%.1f", r.Speed)
+		}
+		share := "-"
+		if r.V100Share >= 0 {
+			share = fmt.Sprintf("%.0f%%", 100*r.V100Share)
+		}
+		fmt.Fprintf(w, "%-16s %-16s %4d %12v %12s %12s %10s %9v\n",
+			r.Model, r.Mix, r.Devices, r.Predicted.Round(time.Microsecond),
+			iter, speed, share, r.CalcWall.Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHeteroMixTableSmoke runs the full cluster-mix pipeline — four trained
+// populations per model — on the cheapest model and checks the structural
+// invariants of the table: row identity and order, the mix-beats-its-weak-
+// half bound, class shares only where a class split exists, and the
+// as-uniform row reusing the uniform strategy (zero calc wall, identical
+// prediction).
+func TestHeteroMixTableSmoke(t *testing.T) {
+	cfg := Config{MeasureIters: 2, MaxRounds: 2, MaxSplitOps: 2, MaxSyncGroups: 4, Workers: 1, Seed: 7}
+	rows, err := HeteroMixTable(cfg, []string{"LeNet"})
+	if err != nil {
+		t.Fatalf("HeteroMixTable: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byMix := make(map[string]HeteroRow, 4)
+	for i, want := range []string{MixUniform, MixHetero, MixUniformAssume, MixT4Only} {
+		if rows[i].Mix != want {
+			t.Fatalf("row %d mix = %q, want %q", i, rows[i].Mix, want)
+		}
+		if rows[i].Model != "LeNet" {
+			t.Fatalf("row %d model = %q", i, rows[i].Model)
+		}
+		byMix[rows[i].Mix] = rows[i]
+	}
+	for mix, r := range byMix {
+		if r.OOM {
+			t.Fatalf("%s: unexpected OOM on LeNet", mix)
+		}
+		if r.Predicted <= 0 || r.Iter <= 0 || r.Speed <= 0 {
+			t.Errorf("%s: non-positive columns %+v", mix, r)
+		}
+	}
+	if u, m := byMix[MixUniform], byMix[MixHetero]; m.Devices != u.Devices {
+		t.Errorf("mix has %d devices, uniform %d — same population size expected", m.Devices, u.Devices)
+	}
+	// The structural bound the search now enforces: the mix never predicts
+	// worse than its T4-only half.
+	if m, t4 := byMix[MixHetero], byMix[MixT4Only]; m.Predicted > t4.Predicted {
+		t.Errorf("mix predicts %v, worse than its T4-only half's %v", m.Predicted, t4.Predicted)
+	}
+	// Class shares: reported only where the cluster actually mixes classes.
+	for _, mix := range []string{MixUniform, MixT4Only} {
+		if s := byMix[mix].V100Share; s != -1 {
+			t.Errorf("%s: V100Share = %v, want -1 on a single-class cluster", mix, s)
+		}
+	}
+	for _, mix := range []string{MixHetero, MixUniformAssume} {
+		if s := byMix[mix].V100Share; s < 0 || s > 1 {
+			t.Errorf("%s: V100Share = %v outside [0,1]", mix, s)
+		}
+	}
+	// The as-uniform row deploys the uniform strategy verbatim: same
+	// prediction, no strategy calculation of its own.
+	if a, u := byMix[MixUniformAssume], byMix[MixUniform]; a.Predicted != u.Predicted || a.CalcWall != 0 {
+		t.Errorf("as-uniform row = pred %v wall %v, want the uniform row's pred %v and zero wall",
+			a.Predicted, a.CalcWall, u.Predicted)
+	}
+
+	var buf strings.Builder
+	if err := WriteHeteroTable(&buf, rows); err != nil {
+		t.Fatalf("WriteHeteroTable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Model", "V100FLOPs", "LeNet", MixHetero, MixUniformAssume} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "OOM") {
+		t.Errorf("table reports OOM for LeNet:\n%s", out)
+	}
+}
+
+// TestWriteHeteroTableOOMRow pins the rendering of an infeasible cell: OOM
+// in the measured column, dashes where there is nothing to report.
+func TestWriteHeteroTableOOMRow(t *testing.T) {
+	rows := []HeteroRow{{
+		Model: "Bert-large", Mix: MixT4Only, Devices: 4,
+		Predicted: 250 * time.Millisecond, OOM: true, V100Share: -1,
+	}}
+	var buf strings.Builder
+	if err := WriteHeteroTable(&buf, rows); err != nil {
+		t.Fatalf("WriteHeteroTable: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "OOM") {
+		t.Errorf("OOM row not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("empty columns not dashed:\n%s", out)
+	}
+}

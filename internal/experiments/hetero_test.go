@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+)
+
+// heteroTestGraph builds a small 4-replica training graph for the model —
+// deployable both on the 8-device mix and on the 4-device T4 subcluster, so
+// the two searches schedule the identical workload.
+func heteroTestGraph(t *testing.T, model string) *graph.Graph {
+	t.Helper()
+	spec, err := models.ByName(model)
+	if err != nil {
+		t.Fatalf("%s: %v", model, err)
+	}
+	perGPU, _ := batches(spec, Strong, 8, 0)
+	m, err := spec.Build(perGPU)
+	if err != nil {
+		t.Fatalf("%s build: %v", model, err)
+	}
+	train, err := graph.BuildDataParallel(m, 4)
+	if err != nil {
+		t.Fatalf("%s replicate: %v", model, err)
+	}
+	return train
+}
+
+func heteroTestOpts(workers int) core.Options {
+	return core.Options{MaxSplitOps: 2, MaxSyncGroups: 4, Workers: workers}
+}
+
+// TestHeteroMixBeatsT4Bound is the catalog-wide heterogeneity property: for
+// every model, the predicted makespan of OS-DPOS on the 4xV100+4xT4 mix must
+// not exceed the same search confined to the T4-only subcluster. The T4
+// subcluster's schedules are a subset of the mix's, so a class-aware search
+// that loses to its own weak half has mispriced the fast devices. The
+// FLOPs-share check pins the mechanism: the win must come from placing the
+// bulk of the compute on V100-class silicon.
+func TestHeteroMixBeatsT4Bound(t *testing.T) {
+	mixed, err := device.NewHeterogeneous(heteroMixSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4only, err := device.NewHeterogeneous(t4OnlySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := allCatalogModels()
+	if testing.Short() {
+		catalog = []string{"LeNet", "AlexNet", "VGG-19", "Transformer"}
+	}
+	for _, model := range catalog {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			train := heteroTestGraph(t, model)
+			mixStrat, err := core.ComputeStrategy(train, mixed,
+				kernels.NewDefaultOracle(mixed), heteroTestOpts(0))
+			if err != nil {
+				t.Fatalf("mix strategy: %v", err)
+			}
+			t4Strat, err := core.ComputeStrategy(train, t4only,
+				kernels.NewDefaultOracle(t4only), heteroTestOpts(0))
+			if err != nil {
+				t.Fatalf("t4 strategy: %v", err)
+			}
+			if mixStrat.Predicted > t4Strat.Predicted {
+				t.Errorf("mix predicted %v exceeds T4-only bound %v",
+					mixStrat.Predicted, t4Strat.Predicted)
+			}
+			if share := flopsShareOnV100(mixStrat.Graph, mixStrat.Placement, mixed); share < 0.5 {
+				t.Errorf("only %.0f%% of FLOPs placed on V100-class devices; critical work left on T4s",
+					100*share)
+			}
+		})
+	}
+}
+
+// TestHeteroStrategyDeterministicAcrossWorkers asserts the mixed-class search
+// stays byte-for-byte reproducible under the parallel calculator: the
+// asymmetric link matrix and classed costs must not introduce
+// iteration-order or floating-point divergence between worker counts.
+func TestHeteroStrategyDeterministicAcrossWorkers(t *testing.T) {
+	mixed, err := device.NewHeterogeneous(heteroMixSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := heteroTestGraph(t, "Inception_v3")
+	runWith := func(workers int) []byte {
+		s, err := core.ComputeStrategy(train, mixed,
+			kernels.NewDefaultOracle(mixed), heteroTestOpts(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatalf("workers=%d marshal: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	ref := runWith(1)
+	for _, workers := range []int{4, 8} {
+		if got := runWith(workers); !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d strategy differs from workers=1", workers)
+		}
+	}
+}
+
+// allCatalogModels mirrors cmd/benchtab's allModels; kept here so the
+// property test sweeps the whole catalog without importing the command.
+func allCatalogModels() []string {
+	return []string{
+		"Inception_v3", "VGG-19", "ResNet200", "LeNet", "AlexNet",
+		"GNMT", "RNNLM", "Transformer", "Bert-large",
+	}
+}

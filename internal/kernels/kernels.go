@@ -31,7 +31,9 @@ type Config struct {
 	// LaunchOverhead is the fixed per-kernel cost (driver + scheduling).
 	LaunchOverhead time.Duration
 	// SaturationFLOPs is the knee of the utilization curve: an op with this
-	// many FLOPs reaches half of its kind's peak efficiency.
+	// many FLOPs reaches half of its kind's peak efficiency. It is the
+	// fallback for devices that do not carry a per-class knee of their own
+	// (Device.SaturationFLOPs).
 	SaturationFLOPs float64
 }
 
@@ -97,6 +99,19 @@ func peakEfficiency(k graph.OpKind) float64 {
 	}
 }
 
+// saturationFLOPs is the utilization knee for one device: the device class's
+// own constant when it carries one, the configured default otherwise. The
+// homogeneous constructors leave the per-device value zero, so a custom
+// Config keeps its pre-class meaning on uniform clusters; heterogeneous
+// clusters materialize a knee per class (a T4 saturates on far smaller
+// kernels than an A100).
+func (o *Oracle) saturationFLOPs(dev *device.Device) float64 {
+	if dev.SaturationFLOPs > 0 {
+		return dev.SaturationFLOPs
+	}
+	return o.cfg.SaturationFLOPs
+}
+
 // Exec returns the ground-truth run time of op on dev.
 func (o *Oracle) Exec(op *graph.Op, dev *device.Device) time.Duration {
 	if op.FLOPs == 0 && op.OutputBytes == 0 {
@@ -107,7 +122,7 @@ func (o *Oracle) Exec(op *graph.Op, dev *device.Device) time.Duration {
 	// inherently bandwidth-bound kinds (tiny peak efficiency) are not
 	// charged pathological compute time at small sizes; their cost comes
 	// from the memory term below.
-	knee := o.cfg.SaturationFLOPs * peakEfficiency(op.Kind)
+	knee := o.saturationFLOPs(dev) * peakEfficiency(op.Kind)
 	eff := peakEfficiency(op.Kind) * f / (f + knee)
 	var computeSec float64
 	if eff > 0 && f > 0 {

@@ -59,3 +59,18 @@ type DegradableExecutor interface {
 	// without a clock treat it as a no-op.
 	Advance(d time.Duration)
 }
+
+// GrowableExecutor is implemented by executors that can absorb a device
+// joining mid-run — the inverse of Shrink, and the capability the session's
+// elastic scale-out needs. The contract mirrors Shrink's renumbering rule in
+// the trivial direction: existing devices keep their IDs (so the running
+// strategy stays valid while a replacement is computed), and the joined
+// device takes the next free ID, cluster.NumDevices() before the join.
+type GrowableExecutor interface {
+	Executor
+	// Grow returns an executor and cluster with the joining device
+	// appended, carrying over backend state (clocks, pending fault
+	// schedules) so the training timeline stays continuous. The *Device is
+	// the joined device in the returned cluster.
+	Grow(join device.JoinSpec) (Executor, *device.Cluster, *device.Device, error)
+}

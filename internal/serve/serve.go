@@ -344,8 +344,11 @@ func (s *Service) search(ctx context.Context, key strategy.CacheKey, req *Reques
 	cluster := req.Cluster
 	if cluster == nil {
 		shape := key.Cluster
-		if shape.Devices > 0 {
-			return nil, badRequest("irregular cluster shape %+v needs an explicit cluster", shape)
+		if shape.Devices > 0 || shape.Classes != "" {
+			// Count-only regular shapes are the only ones the service can
+			// materialize itself; irregular or classed mixes carry topology
+			// the shape encoding alone cannot reconstruct.
+			return nil, badRequest("irregular or classed cluster shape %+v needs an explicit cluster", shape)
 		}
 		var err error
 		if cluster, err = device.NewCluster(shape.Servers, shape.GPUsPerServer); err != nil {

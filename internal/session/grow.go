@@ -1,0 +1,146 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fastt/internal/checkpoint"
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/runtime"
+	"fastt/internal/validate"
+)
+
+// GrowReport summarizes one elastic scale-out: what joined, what the join
+// cost on the training timeline, and whether the session is now running a
+// strategy recomputed for the enlarged cluster.
+type GrowReport struct {
+	// Device / Name / Class identify the joined device in the new cluster.
+	Device int
+	Name   string
+	Class  string
+	// Devices is the cluster size after the join.
+	Devices int
+	// LostIterations counts training iterations rolled back by the
+	// checkpoint restore.
+	LostIterations int
+	// RecoveryTime is the simulated timeline charge of the join: the
+	// checkpoint restart plus profiling of the recomputed strategy.
+	RecoveryTime time.Duration
+	// RecomputeWall is the wall-clock time of the OS-DPOS recompute.
+	RecomputeWall time.Duration
+	// Measured is the recomputed strategy's profiled iteration time (zero
+	// when not recomputed).
+	Measured time.Duration
+	// Recomputed reports whether the recomputed strategy was activated. When
+	// false the session keeps training under the pre-join strategy — still
+	// valid, since existing device IDs are unchanged — and the joiner idles
+	// until a later recompute picks it up.
+	Recomputed bool
+}
+
+// Grow absorbs a device joining mid-run — the elastic inverse of the
+// device-loss recovery path. See GrowCtx.
+func (s *Session) Grow(join device.JoinSpec) (*GrowReport, error) {
+	return s.GrowCtx(context.Background(), join)
+}
+
+// GrowCtx grows the executor and cluster by one device, restores the latest
+// checkpoint (a real scale-out is a checkpoint/restart cycle: progress rolls
+// back to the snapshot and the restart is charged to the timeline),
+// recomputes a full OS-DPOS strategy on the enlarged cluster, and resumes
+// under it after validation and profiling. The learned cost models carry
+// over unchanged for existing devices; the joiner starts from its class's
+// pooled statistics when same-class devices were already profiled, and from
+// the explore-biased zero estimate otherwise.
+//
+// The backend must implement runtime.GrowableExecutor. If the recompute
+// finds no feasible placement, or the candidate fails validation, OOMs, or
+// profiles no faster than the running strategy, the session keeps the
+// pre-join strategy (existing device IDs are unchanged, so it remains
+// runnable) and reports Recomputed=false instead of failing.
+func (s *Session) GrowCtx(ctx context.Context, join device.JoinSpec) (*GrowReport, error) {
+	grower, ok := s.exec.(runtime.GrowableExecutor)
+	if !ok {
+		return nil, fmt.Errorf("executor backend %T cannot grow", s.exec)
+	}
+	nextExec, nextCluster, joined, err := grower.Grow(join)
+	if err != nil {
+		return nil, err
+	}
+
+	// Existing devices keep their IDs, so the cost-model remap is the
+	// identity; rebuilding against the new cluster re-keys the class and
+	// link-tier aggregates to include the joiner.
+	mapping := make([]int, s.cluster.NumDevices())
+	for d := range mapping {
+		mapping[d] = d
+	}
+	s.costs = s.costs.RemapDevices(nextCluster, mapping)
+	s.cluster = nextCluster
+	s.exec = nextExec
+	rep := &GrowReport{
+		Device:  joined.ID,
+		Name:    joined.Name,
+		Class:   joined.ClassName(),
+		Devices: nextCluster.NumDevices(),
+	}
+
+	// Restore the latest checkpoint and charge the restart, exactly like the
+	// loss path: joining is a checkpoint/restart cycle on the training
+	// timeline. Without a snapshot (Bootstrap never activated) nothing rolls
+	// back.
+	paramBytes := s.cur.graph.ComputeStats().ParamBytes
+	snap, err := s.store.Restore()
+	switch {
+	case err == nil:
+		if s.step > snap.Step {
+			rep.LostIterations = s.step - snap.Step
+			s.step = snap.Step
+		}
+		paramBytes = snap.ParamBytes
+	case !errors.Is(err, checkpoint.ErrNoSnapshot):
+		return rep, fmt.Errorf("restore checkpoint: %w", err)
+	}
+	charge := s.ckCost.RestartCost(paramBytes)
+	rep.RecoveryTime += charge
+	s.advanceTimeline(charge)
+
+	// Recompute on the enlarged cluster. Unlike the loss path there is no
+	// degradation ladder: the pre-join strategy is the safe floor.
+	t0 := time.Now()
+	cand, err := s.compute(ctx)
+	rep.RecomputeWall = time.Since(t0)
+	switch {
+	case errors.Is(err, core.ErrNoFeasiblePlacement):
+		return rep, nil
+	case err != nil:
+		return rep, fmt.Errorf("recompute on grown cluster: %w", err)
+	}
+	if verr := validate.Strategy(cand, s.cluster, validate.Options{}); verr != nil {
+		return rep, nil
+	}
+	next := s.candidateActive(cand)
+	m, oom, perr := s.profile(next)
+	if perr != nil {
+		return rep, perr
+	}
+	if oom != nil {
+		return rep, nil
+	}
+	if s.curMeasured > 0 && m >= s.curMeasured {
+		// A slow joiner can make the enlarged cluster's best candidate worse
+		// than the running strategy (pulling work onto it crosses a slower
+		// link than it saves in compute). Mirror Bootstrap's guarantee: never
+		// end slower than the strategy already in hand.
+		return rep, nil
+	}
+	s.cur = next
+	s.curMeasured = m
+	rep.Measured = m
+	rep.Recomputed = true
+	rep.RecoveryTime += m * time.Duration(s.cfg.ProfileIters)
+	return rep, s.activate()
+}

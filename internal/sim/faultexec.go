@@ -27,7 +27,10 @@ type FaultyExecutor struct {
 	reported []bool // per plan-fault index: already surfaced in a Result
 }
 
-var _ runtime.DegradableExecutor = (*FaultyExecutor)(nil)
+var (
+	_ runtime.DegradableExecutor = (*FaultyExecutor)(nil)
+	_ runtime.GrowableExecutor   = (*FaultyExecutor)(nil)
+)
 
 // NewFaultyExecutor returns a fault-injecting executor for the cluster. A nil
 // plan behaves exactly like the plain Executor. The plan is validated against
@@ -159,4 +162,29 @@ func (x *FaultyExecutor) Shrink(failedDevice int) (runtime.Executor, *device.Clu
 		}
 	}
 	return nx, next, nil
+}
+
+// Grow implements runtime.GrowableExecutor: it returns the executor for the
+// cluster with the joining device appended. Existing device IDs are
+// unchanged, so the installed fault schedule and its reporting state carry
+// over verbatim — pending faults keep targeting the devices they were
+// drawn for, and the joiner starts fault-free. The timeline clock carries
+// over too, keeping time-anchored faults aligned across the join.
+func (x *FaultyExecutor) Grow(join device.JoinSpec) (runtime.Executor, *device.Cluster, *device.Device, error) {
+	next, joined, err := x.engine.cluster.Grow(join)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("grow executor: %w", err)
+	}
+	oracle := x.oracle.WithCluster(next)
+	nx := &FaultyExecutor{
+		engine: NewEngine(next, oracle),
+		oracle: oracle,
+		plan:   x.plan,
+		epoch:  x.epoch,
+	}
+	if x.reported != nil {
+		nx.reported = make([]bool, len(x.reported))
+		copy(nx.reported, x.reported)
+	}
+	return nx, next, joined, nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"fastt/internal/device"
@@ -44,16 +45,28 @@ var (
 // ClusterShape records the topology an artifact was computed for. Regular
 // clusters (every server hosting the same GPU count) use Servers ×
 // GPUsPerServer, the original schema-1 encoding. Irregular clusters — the
-// degraded shapes left behind after a device failure — set Devices to the
-// total device count and leave GPUsPerServer zero, so a strategy recomputed
-// on survivors still validates against the cluster it was computed for
-// without bumping the schema.
+// degraded shapes left behind after a device failure, or mixed fleets — set
+// Devices to the total device count and leave GPUsPerServer zero, so a
+// strategy recomputed on survivors still validates against the cluster it
+// was computed for without bumping the schema.
+//
+// Classes carries the exact per-device "server:class" layout whenever the
+// cluster is not a regular all-V100 testbed. It distinguishes shapes the
+// count-only encoding conflates: a 2×4 cluster that lost server 0's gpu1
+// from one that lost server 1's gpu3 (both {2 servers, 7 devices}), or a
+// 4×V100+4×T4 mix from the 8×V100 fleet it would otherwise impersonate.
+// Regular all-V100 clusters leave it empty, so their artifacts serialize
+// byte-identically to the pre-class schema.
 type ClusterShape struct {
 	Servers       int `json:"servers"`
 	GPUsPerServer int `json:"gpusPerServer"`
 	// Devices is the total device count of an irregular cluster; zero for
 	// regular Servers × GPUsPerServer shapes.
 	Devices int `json:"devices,omitempty"`
+	// Classes is the canonical per-device layout, "server:class" in device
+	// ID order, comma-separated (e.g. "0:V100,0:V100,1:T4"). Empty for
+	// regular all-V100 clusters.
+	Classes string `json:"classes,omitempty"`
 }
 
 // NumDevices returns the shape's total device count under either encoding.
@@ -67,8 +80,17 @@ func (s ClusterShape) NumDevices() int {
 // ClusterShapeOf returns the shape of a cluster.
 func ClusterShapeOf(c *device.Cluster) ClusterShape {
 	perServer := make(map[int]int)
-	for _, d := range c.Devices() {
+	allV100 := true
+	var classes strings.Builder
+	for i, d := range c.Devices() {
 		perServer[d.Server]++
+		if d.ClassName() != device.ClassV100 {
+			allV100 = false
+		}
+		if i > 0 {
+			classes.WriteByte(',')
+		}
+		fmt.Fprintf(&classes, "%d:%s", d.Server, d.ClassName())
 	}
 	servers := len(perServer)
 	regular := true
@@ -81,10 +103,13 @@ func ClusterShapeOf(c *device.Cluster) ClusterShape {
 			break
 		}
 	}
-	if regular {
+	if regular && allV100 {
 		return ClusterShape{Servers: servers, GPUsPerServer: gps}
 	}
-	return ClusterShape{Servers: servers, Devices: c.NumDevices()}
+	if regular {
+		return ClusterShape{Servers: servers, GPUsPerServer: gps, Classes: classes.String()}
+	}
+	return ClusterShape{Servers: servers, Devices: c.NumDevices(), Classes: classes.String()}
 }
 
 // Provenance records where an artifact came from, so a deployment can audit

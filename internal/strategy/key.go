@@ -29,10 +29,23 @@ func (k CacheKey) String() string {
 	if cost == "" {
 		cost = "-"
 	}
-	if k.Cluster.Devices > 0 {
-		return fmt.Sprintf("%s@%dsrv/%ddev/%s", k.Fingerprint, k.Cluster.Servers, k.Cluster.Devices, cost)
+	classes := ""
+	if k.Cluster.Classes != "" {
+		// The exact layout can be long on big clusters; logs only need
+		// enough to tell mixes apart.
+		classes = "[" + abbreviate(k.Cluster.Classes, 40) + "]"
 	}
-	return fmt.Sprintf("%s@%dx%d/%s", k.Fingerprint, k.Cluster.Servers, k.Cluster.GPUsPerServer, cost)
+	if k.Cluster.Devices > 0 {
+		return fmt.Sprintf("%s@%dsrv/%ddev%s/%s", k.Fingerprint, k.Cluster.Servers, k.Cluster.Devices, classes, cost)
+	}
+	return fmt.Sprintf("%s@%dx%d%s/%s", k.Fingerprint, k.Cluster.Servers, k.Cluster.GPUsPerServer, classes, cost)
+}
+
+func abbreviate(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	return s[:max-3] + "..."
 }
 
 // Hash64 digests the key with FNV-1a, the shard selector of the serve
@@ -62,6 +75,7 @@ func (k CacheKey) Hash64() uint64 {
 	mixInt(k.Cluster.Servers)
 	mixInt(k.Cluster.GPUsPerServer)
 	mixInt(k.Cluster.Devices)
+	mix(k.Cluster.Classes)
 	mix(k.CostHash)
 	return h
 }
@@ -79,6 +93,7 @@ func (a *Artifact) SizeBytes() int64 {
 	n := int64(structOverhead)
 	n += int64(len(a.Fingerprint))
 	n += int64(len(a.Provenance.Model) + len(a.Provenance.Origin) + len(a.Provenance.CostHash))
+	n += int64(len(a.Provenance.Cluster.Classes))
 	n += int64(8 * (len(a.Placement) + len(a.Order)))
 	for _, sp := range a.Splits {
 		n += perSplit + int64(len(sp.OpName))

@@ -3,6 +3,8 @@ package strategy
 import (
 	"strings"
 	"testing"
+
+	"fastt/internal/device"
 )
 
 func TestCacheKeyDistinctCoordinates(t *testing.T) {
@@ -55,6 +57,85 @@ func TestArtifactCacheKeyRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(k.String(), "feedface") || !strings.Contains(k.String(), "1x4") {
 		t.Errorf("String() = %q, want fingerprint and shape rendered", k.String())
+	}
+}
+
+// TestClusterShapeRegularEncodingUnchanged pins the pre-class encoding:
+// regular all-V100 clusters must keep the bare {servers, gpusPerServer}
+// shape — no Devices, no Classes — so their artifacts and cache keys stay
+// byte-identical to every artifact minted before device classes existed.
+func TestClusterShapeRegularEncodingUnchanged(t *testing.T) {
+	c, err := device.NewCluster(2, 4)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	got := ClusterShapeOf(c)
+	want := ClusterShape{Servers: 2, GPUsPerServer: 4}
+	if got != want {
+		t.Errorf("ClusterShapeOf(2x4 V100) = %+v, want %+v", got, want)
+	}
+}
+
+// TestDegradedShapesDoNotCollide: two 2x4 clusters that each lost one
+// device are both {2 servers, 7 devices} under the count-only encoding; the
+// classed layout must keep their cache keys apart, or the serve cache would
+// answer one degraded cluster with the other's strategy.
+func TestDegradedShapesDoNotCollide(t *testing.T) {
+	base, err := device.NewCluster(2, 4)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	lostFirst, _, err := base.Without(1) // server 0 loses a GPU
+	if err != nil {
+		t.Fatalf("Without(1): %v", err)
+	}
+	lostLast, _, err := base.Without(7) // server 1 loses a GPU
+	if err != nil {
+		t.Fatalf("Without(7): %v", err)
+	}
+	a, b := ClusterShapeOf(lostFirst), ClusterShapeOf(lostLast)
+	if a.NumDevices() != 7 || b.NumDevices() != 7 || a.Servers != b.Servers {
+		t.Fatalf("unexpected shapes %+v / %+v", a, b)
+	}
+	if a == b {
+		t.Fatalf("degraded shapes collide: %+v", a)
+	}
+	ka := CacheKey{Fingerprint: "g", Cluster: a}
+	kb := CacheKey{Fingerprint: "g", Cluster: b}
+	if ka == kb || ka.Hash64() == kb.Hash64() {
+		t.Errorf("cache keys collide for distinct degraded clusters: %s vs %s", ka, kb)
+	}
+}
+
+// TestMixedShapeDoesNotImpersonateUniform: a 4xV100+4xT4 fleet has the same
+// {2 servers, 4 GPUs each} counts as the uniform testbed; the classed layout
+// must separate them.
+func TestMixedShapeDoesNotImpersonateUniform(t *testing.T) {
+	uniform, err := device.NewCluster(2, 4)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	mixed, err := device.NewHeterogeneous(&device.Spec{Servers: []device.SpecServer{
+		{Rack: 0, GPUs: []string{"V100", "V100", "V100", "V100"}},
+		{Rack: 0, GPUs: []string{"T4", "T4", "T4", "T4"}},
+	}})
+	if err != nil {
+		t.Fatalf("NewHeterogeneous: %v", err)
+	}
+	u, m := ClusterShapeOf(uniform), ClusterShapeOf(mixed)
+	if u.Servers != m.Servers || u.GPUsPerServer != m.GPUsPerServer {
+		t.Fatalf("counts should agree: %+v vs %+v", u, m)
+	}
+	if m.Classes == "" {
+		t.Fatal("mixed cluster produced an empty class layout")
+	}
+	ku := CacheKey{Fingerprint: "g", Cluster: u}
+	km := CacheKey{Fingerprint: "g", Cluster: m}
+	if ku == km || ku.Hash64() == km.Hash64() {
+		t.Errorf("mixed fleet's cache key collides with the uniform testbed: %s", km)
+	}
+	if !strings.Contains(km.String(), "T4") {
+		t.Errorf("key String() = %q, want the mix visible in logs", km.String())
 	}
 }
 

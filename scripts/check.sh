@@ -8,14 +8,17 @@
 #           calculator and the cost-model snapshots must hold under -race)
 #   smoke:  CLI strategy-artifact round trip — `fastt compute` writes an
 #           artifact, `fastt -strategy` reloads and executes it, and the two
-#           canonical artifact-exec lines must match byte for byte
+#           canonical artifact-exec lines must match byte for byte — plus the
+#           elastic loop: examples/elastic must lose a device, accept a
+#           joiner, recompute, and resume
 #   serve:  strategy-service round trip — start `fastt serve` on an
 #           ephemeral port, run the loadgen smoke (cold compute, warm
 #           byte-identical hit, 64-way coalesced herd) and a short loadgen
 #           bench sanity pass (no timing gate — the perf gate lives in
 #           scripts/bench.sh)
-#   fuzz:   10s fuzz smoke per decoder (strategy/graph/cost JSON) on top of
-#           replaying the committed corpora under testdata/fuzz/
+#   fuzz:   10s fuzz smoke per decoder (strategy/graph/cost/cluster-spec
+#           JSON) on top of replaying the committed corpora under
+#           testdata/fuzz/
 #   cover:  coverage gate — total statement coverage of ./internal/... must
 #           not drop below scripts/coverage_baseline.txt
 #   bench:  opt-in perf gate — scripts/bench.sh, fails on >10% regression of
@@ -77,6 +80,15 @@ if [ "$tier" = "smoke" ] || [ "$tier" = "all" ]; then
 		cat "$tmp/compute.line" "$tmp/deploy.line" >&2
 		exit 1
 	fi
+	echo "== smoke: elastic loop (device loss -> join -> recompute -> resume)"
+	go run ./examples/elastic > "$tmp/elastic.out"
+	for want in 'degraded   : 3 survivor' 'joined     : ' 'recomputed : true' 'resumed    : '; do
+		if ! grep -qF "$want" "$tmp/elastic.out"; then
+			echo "elastic example output missing \"$want\":" >&2
+			cat "$tmp/elastic.out" >&2
+			exit 1
+		fi
+	done
 fi
 
 if [ "$tier" = "serve" ] || [ "$tier" = "all" ]; then
@@ -113,6 +125,7 @@ if [ "$tier" = "fuzz" ] || [ "$tier" = "all" ]; then
 	go test ./internal/strategy/ -fuzz '^FuzzReadJSON$' -fuzztime 10s
 	go test ./internal/graph/ -fuzz '^FuzzReadJSON$' -fuzztime 10s
 	go test ./internal/cost/ -fuzz '^FuzzModelReadJSON$' -fuzztime 10s
+	go test ./internal/device/ -fuzz '^FuzzReadSpec$' -fuzztime 10s
 fi
 
 if [ "$tier" = "cover" ] || [ "$tier" = "all" ]; then
