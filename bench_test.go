@@ -459,6 +459,80 @@ func BenchmarkOSDPOSParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmstartRecompute measures warm-started strategy recomputes
+// (Options.Seed) against cold searches for the Transformer at 8 GPUs, the
+// two cases scripts/bench.sh derives its warm-start ratios from:
+//
+//   - recompute/*: the same 8-GPU cluster — the cost-drift, bootstrap-round
+//     and serve related-key path. The seed wins (nothing beats its exact
+//     makespan), the walk stops after one round, and the speedup is large;
+//     bench.sh gates best(cold)/best(seeded) at >= 1.5x.
+//   - shrink/*: 7 survivors after a device failure — the fault-recovery
+//     path. Here a 7-GPU candidate beats the re-evaluated 8-GPU seed in
+//     round one, so the seeded walk is byte-identical to the cold one from
+//     the first commit on and the ratio is structurally bounded near 1x
+//     (see EXPERIMENTS.md, "Warm-started recompute"); bench.sh gates it as
+//     a non-regression floor.
+//
+// Workers=1 keeps the measurement deterministic and honest on the 1-core
+// CI container; the seed search itself runs outside the timer.
+func BenchmarkWarmstartRecompute(b *testing.B) {
+	base, err := device.SingleServer(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := models.ByName("Transformer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := spec.Build(spec.GlobalBatch / 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.BuildDataParallel(m, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{MaxSplitOps: 8, MaxSyncGroups: 8, Workers: 1}
+	seedSt, err := core.ComputeStrategy(g, base, kernels.NewDefaultOracle(base), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shrunk, _, err := base.Without(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		cluster *device.Cluster
+	}{
+		{"recompute", base},
+		{"shrink", shrunk},
+	} {
+		oracle := kernels.NewDefaultOracle(tc.cluster)
+		for _, seeded := range []bool{false, true} {
+			variant, o := "cold", opts
+			if seeded {
+				variant, o.Seed = "seeded", &seedSt.Artifact
+			}
+			b.Run(tc.name+"/"+variant, func(b *testing.B) {
+				var st *core.Strategy
+				for i := 0; i < b.N; i++ {
+					st, err = core.ComputeStrategy(g, tc.cluster, oracle, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if seeded && !st.Seeded {
+						b.Fatal("seed was not applied")
+					}
+				}
+				b.ReportMetric(float64(st.Evaluated), "evaluated")
+				b.ReportMetric(float64(st.Pruned), "pruned")
+			})
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the discrete-event engine on the
 // same workload, reporting simulated ops per wall second.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults|hetero|scaling] [-iters N] [-seed N]
+//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults|hetero|warmstart|scaling] [-iters N] [-seed N]
 //
 // "scaling" prints the worker-sweep table (1/2/4/8 workers × catalog) of
 // strategy-computation wall times; it is not part of "all" because it
@@ -246,6 +246,17 @@ func run(what string, iters int, seed int64) error {
 		}
 		fmt.Fprintln(w, "Cluster mix: makespan vs device population (same 8-replica graph per model)")
 		if err := experiments.WriteHeteroTable(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["warmstart"] {
+		rows, err := experiments.WarmstartTable(cfg, allModels())
+		if err != nil {
+			return fmt.Errorf("warmstart table: %w", err)
+		}
+		fmt.Fprintln(w, "Warm start: cold vs seeded recompute (seed = cold 8-GPU strategy)")
+		if err := experiments.WriteWarmstartTable(w, rows); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -442,6 +442,7 @@ func runCompute(argv []string) (retErr error) {
 	var (
 		model     = fs.String("model", "MLP", "benchmark model (see fastt -list)")
 		gpus      = fs.Int("gpus", 2, "number of GPUs")
+		replicas  = fs.Int("replicas", 0, "data-parallel replicas in the training graph (0 = one per GPU); set it to the old device count when recomputing with -seed-strategy after the cluster shrank, so the graph — and its fingerprint — stay those the seed was computed for")
 		servers   = fs.Int("servers", 1, "number of servers (GPUs divide evenly)")
 		batch     = fs.Int("batch", 0, "global batch override (0 = paper default)")
 		weak      = fs.Bool("weak", false, "weak scaling (fixed per-GPU batch)")
@@ -453,6 +454,7 @@ func runCompute(argv []string) (retErr error) {
 		saveCost  = fs.String("save-costs", "", "write the learned cost models to this file")
 		loadCost  = fs.String("load-costs", "", "preload cost models saved by an earlier run")
 		maxRounds = fs.Int("rounds", 0, "max pre-training strategy-search rounds (0 = default)")
+		seedStrat = fs.String("seed-strategy", "", "warm-start the search from a prior strategy artifact for the same model graph (e.g. one computed before the cluster changed)")
 		clustIn   = fs.String("cluster", "", "heterogeneous cluster spec JSON (overrides -gpus/-servers; see device.ReadSpec)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the strategy computation to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -486,8 +488,12 @@ func runCompute(argv []string) (retErr error) {
 		return err
 	}
 	ngpus := cluster.NumDevices()
-	perGPU, global := resolveBatch(spec, ngpus, *batch, *weak)
-	train, fullBatch, err := trainGraphFor(spec, cluster, ngpus, perGPU, global)
+	nrep := *replicas
+	if nrep <= 0 {
+		nrep = ngpus
+	}
+	perGPU, global := resolveBatch(spec, nrep, *batch, *weak)
+	train, fullBatch, err := trainGraphFor(spec, cluster, nrep, perGPU, global)
 	if err != nil {
 		return err
 	}
@@ -495,14 +501,30 @@ func runCompute(argv []string) (retErr error) {
 		fmt.Println("data parallelism OOMs; searching over the full-batch model graph")
 	}
 
+	sched := core.Options{
+		MaxSplitOps:        8,
+		MaxSyncGroups:      8,
+		Workers:            *workers,
+		DisableSpeculation: disableSpec,
+	}
+	if *seedStrat != "" {
+		// Warm start: every bootstrap round's search prunes against the
+		// prior artifact's re-evaluated makespan (see core.Options.Seed).
+		// The fingerprint is checked up front so a seed for the wrong model
+		// fails with a clear message instead of mid-bootstrap.
+		prior, err := strategy.ReadFile(*seedStrat)
+		if err != nil {
+			return fmt.Errorf("seed strategy: %w", err)
+		}
+		if fp := strategy.Fingerprint(train); prior.Fingerprint != fp {
+			return fmt.Errorf("seed strategy %s: %w: artifact %s, this graph %s",
+				*seedStrat, strategy.ErrFingerprint, prior.Fingerprint, fp)
+		}
+		sched.Seed = prior
+	}
 	exec := sim.DefaultExecutor(cluster)
 	s, err := session.New(cluster, exec, train, session.Config{Seed: *seed, MaxRounds: *maxRounds,
-		Sched: core.Options{
-			MaxSplitOps:        8,
-			MaxSyncGroups:      8,
-			Workers:            *workers,
-			DisableSpeculation: disableSpec,
-		}})
+		Sched: sched})
 	if err != nil {
 		return err
 	}
@@ -528,6 +550,10 @@ func runCompute(argv []string) (retErr error) {
 	fmt.Printf("%s on %d GPU(s): strategy artifact written to %s (origin %s, %d split(s), calc %v)\n",
 		spec.Name, ngpus, *out, art.Provenance.Origin, len(art.Splits),
 		rep.CalcWallTotal.Round(time.Millisecond))
+	if *seedStrat != "" {
+		fmt.Printf("warm start    : seed bound %v, seeded %d round(s), seed won %d round(s)\n",
+			rep.SeedBound.Round(time.Microsecond), rep.SeededRounds, rep.SeedWonRounds)
+	}
 	if *saveCost != "" {
 		if err := saveCostsFile(s, *saveCost); err != nil {
 			return err
@@ -659,6 +685,13 @@ func trainGraphFor(spec models.Spec, cluster *device.Cluster, gpus, perGPU, glob
 		return nil, false, fmt.Errorf("replicate model: %w", err)
 	}
 	place, err := placement.DataParallel(dp, cluster)
+	if errors.Is(err, placement.ErrTooManyReplicas) {
+		// More replicas than devices — the fault-recovery shape (`-replicas`
+		// pins the graph to the pre-failure device count). Naive one-replica-
+		// per-GPU placement does not exist, so skip the OOM precheck and let
+		// the strategy search place the graph.
+		return dp, false, nil
+	}
 	if err != nil {
 		return nil, false, err
 	}

@@ -13,6 +13,7 @@ import (
 	"fastt/internal/cost"
 	"fastt/internal/device"
 	"fastt/internal/graph"
+	"fastt/internal/strategy"
 )
 
 // ErrNoFeasiblePlacement is returned when some operation fits on no device
@@ -95,6 +96,26 @@ type Options struct {
 	// overlay extension). Both paths produce byte-identical strategies;
 	// the direct path exists as the reference for equivalence tests.
 	DisableLattice bool
+	// Seed warm-starts OS-DPOS from a prior strategy artifact for the same
+	// base graph: the seed is re-materialized, evaluated once with DPOS on
+	// the target cluster for an exact feasible makespan, and that value
+	// tightens the initial incumbent bound of every round (pruning is
+	// exact, so candidates that cannot beat the seed abort early). The
+	// result is never worse than the seed's re-evaluated makespan, and is
+	// byte-identical to the cold search whenever any candidate beats the
+	// seed; otherwise the re-materialized seed itself is returned
+	// (SplitResult.SeedWon). A seed whose Fingerprint does not match the
+	// graph is an error (strategy.ErrFingerprint); a seed that fails to
+	// materialize or schedule on the target cluster is ignored and the
+	// search runs cold. Elastic Grow, fault recovery, `fastt compute
+	// -seed-strategy` and the serve related-key lookup all thread the
+	// strategy they already hold through this field.
+	Seed *strategy.Artifact
+
+	// fingerprint carries strategy.Fingerprint(g) when a caller inside this
+	// package already computed it, so the seed validation in OSDPOSCtx does
+	// not hash the graph a second time. Empty means "compute on demand".
+	fingerprint string
 }
 
 func (o Options) memory() graph.MemoryModel {

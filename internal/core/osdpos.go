@@ -11,6 +11,7 @@ import (
 	"fastt/internal/cost"
 	"fastt/internal/device"
 	"fastt/internal/graph"
+	"fastt/internal/strategy"
 )
 
 // SplitResult is the output of OS-DPOS: the rewritten graph (with accepted
@@ -43,6 +44,17 @@ type SplitResult struct {
 	// predicted winner they were evaluated against lost the deterministic
 	// reduce; the affected round re-runs against the actual winner.
 	Mispredicted int
+	// Seeded reports that Options.Seed was evaluated on the target cluster
+	// and its exact makespan (SeedBound) tightened the initial incumbent
+	// bound of every round. False when no seed was given or when the seed
+	// failed to materialize or schedule (the search then ran cold).
+	Seeded bool
+	// SeedBound is the seed strategy's DPOS-evaluated makespan on the
+	// target cluster — the warm incumbent the search had to beat.
+	SeedBound time.Duration
+	// SeedWon reports that no candidate beat the seed bound: the result is
+	// the re-materialized seed strategy itself rather than a searched one.
+	SeedWon bool
 }
 
 // splitCand is one (dimension, split count) candidate for a CP op.
@@ -540,6 +552,33 @@ func OSDPOSCtx(ctx context.Context, g *graph.Graph, cluster *device.Cluster, est
 	}
 	res := &SplitResult{Graph: g, Schedule: sched}
 
+	// Warm start (Theorem 1's pruning argument applied across searches):
+	// a caller-supplied prior strategy is evaluated once for an exact
+	// feasible makespan, and the walk's incumbent starts at
+	// min(initial DPOS, seed). Every commit strictly beats the incumbent,
+	// so the first commit already beats the seed and from then on the
+	// seeded and cold walks carry identical incumbents — the committed
+	// strategy is byte-identical to the cold search's. When nothing beats
+	// the seed, the re-materialized seed itself is the result (SeedWon).
+	var seedGraph *graph.Graph
+	var seedSched *Schedule
+	if opts.Seed != nil {
+		seedGraph, seedSched, err = evalSeed(g, cluster, est, opts)
+		if err != nil {
+			releaseRanks(baseRanks)
+			releaseSchedule(sched)
+			return nil, err
+		}
+		if seedSched != nil {
+			res.Seeded = true
+			res.SeedBound = seedSched.Makespan
+		}
+	}
+	ftOld := sched.Makespan
+	if seedSched != nil && seedSched.Makespan < ftOld {
+		ftOld = seedSched.Makespan
+	}
+
 	// Critical path based on S_new and G (Alg. 2 line 4): ranks evaluated
 	// at the placed devices rather than worst-case maxima.
 	cp, placedRanks := placedCriticalPath(baseCtx, baseLat, sched)
@@ -563,7 +602,7 @@ func OSDPOSCtx(ctx context.Context, g *graph.Graph, cluster *device.Cluster, est
 		specOn:  pool != nil && !opts.DisableSpeculation,
 		res:     res,
 	}
-	base := &roundBase{g: g, ctx: baseCtx, lat: baseLat, ranks: baseRanks, ftOld: sched.Makespan}
+	base := &roundBase{g: g, ctx: baseCtx, lat: baseLat, ranks: baseRanks, ftOld: ftOld}
 	o.retarget(base, 0)
 
 	var final *roundBase
@@ -576,9 +615,55 @@ func OSDPOSCtx(ctx context.Context, g *graph.Graph, cluster *device.Cluster, est
 		releaseRanks(final.ranks)
 	}
 	if err != nil {
+		if seedSched != nil {
+			releaseSchedule(seedSched)
+		}
 		return nil, err
 	}
+	if seedSched != nil {
+		if seedSched.Makespan < res.Schedule.Makespan {
+			// No candidate beat the seed (a commit would have): fall back
+			// to the re-materialized seed strategy.
+			releaseSchedule(res.Schedule)
+			res.Graph = seedGraph
+			res.Schedule = seedSched
+			res.Splits = append([]graph.SplitDecision(nil), opts.Seed.Splits...)
+			res.SeedWon = true
+		} else {
+			releaseSchedule(seedSched)
+		}
+	}
 	return res, nil
+}
+
+// evalSeed validates and evaluates Options.Seed for OSDPOSCtx: the split
+// list is re-applied to the base graph and the result scheduled with one
+// unbounded DPOS pass on the target cluster — a fresh placement, so a seed
+// computed for a differently-sized cluster (elastic grow, fault-recovery
+// shrink) needs no device remapping to stay feasible. A fingerprint
+// mismatch is the caller's bug and errors out; a seed that no longer
+// materializes or schedules (memory infeasible on the shrunken cluster)
+// returns nils and the search runs cold.
+func evalSeed(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts Options) (*graph.Graph, *Schedule, error) {
+	seed := opts.Seed
+	fp := opts.fingerprint
+	if fp == "" {
+		fp = strategy.Fingerprint(g)
+	}
+	if seed.Fingerprint != fp {
+		return nil, nil, fmt.Errorf("seed strategy: %w: seed %s, graph %s",
+			strategy.ErrFingerprint, seed.Fingerprint, fp)
+	}
+	sg, err := seed.Materialize(g)
+	if err != nil {
+		return nil, nil, nil
+	}
+	opts.Seed = nil
+	sched, err := dposFresh(sg, cluster, est, opts, 0, nil)
+	if err != nil {
+		return nil, nil, nil
+	}
+	return sg, sched, nil
 }
 
 // placedCriticalPath recomputes the critical path using the actual

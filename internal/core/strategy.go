@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"fastt/internal/cost"
 	"fastt/internal/device"
@@ -48,6 +49,14 @@ type Strategy struct {
 	// DisableSpeculation.
 	Speculated   int
 	Mispredicted int
+	// Seeded, SeedBound and SeedWon report the warm start (Options.Seed):
+	// whether a prior strategy's exact makespan tightened the search's
+	// initial incumbent, what that bound was, and whether the search fell
+	// back to the re-materialized seed because no candidate beat it (see
+	// SplitResult).
+	Seeded    bool
+	SeedBound time.Duration
+	SeedWon   bool
 }
 
 // ComputeStrategy runs the full FastT pipeline — DPOS placement, the
@@ -69,6 +78,10 @@ func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Clu
 	// passes and every concurrent candidate worker read a consistent,
 	// lock-free view even while the profiler keeps observing.
 	est = cost.ReadSnapshot(est)
+	// The graph fingerprint names the artifact and validates any seed; hash
+	// once here and share it with the search (and the class-restricted
+	// populations) instead of re-hashing per pass.
+	opts.fingerprint = strategy.Fingerprint(g)
 	// Caller pins carry full-cluster device IDs, which a renumbered
 	// class-restricted subcluster cannot honor — so their presence disables
 	// the restriction candidates (see subcluster.go).
@@ -86,7 +99,7 @@ func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Clu
 	full := &Strategy{
 		Artifact: strategy.Artifact{
 			SchemaVersion: strategy.SchemaVersion,
-			Fingerprint:   strategy.Fingerprint(g),
+			Fingerprint:   opts.fingerprint,
 			Placement:     res.Schedule.Placement,
 			Order:         res.Schedule.Order,
 			Splits:        res.Splits,
@@ -98,6 +111,9 @@ func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Clu
 		Pruned:       res.Pruned,
 		Speculated:   res.Speculated,
 		Mispredicted: res.Mispredicted,
+		Seeded:       res.Seeded,
+		SeedBound:    res.SeedBound,
+		SeedWon:      res.SeedWon,
 	}
 	if !tryRestrictions {
 		return full, nil

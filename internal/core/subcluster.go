@@ -123,6 +123,14 @@ func refineWithClassSubclusters(ctx context.Context, g *graph.Graph, cluster *de
 			}
 			cand.Evaluated, cand.Pruned = best.Evaluated, best.Pruned
 			cand.Speculated, cand.Mispredicted = best.Speculated, best.Mispredicted
+			// The seed evaluates independently per population (it may be
+			// feasible on the full cluster but not on a restriction); keep
+			// the winner's own SeedWon but report the warm start if any
+			// population used it.
+			cand.Seeded = cand.Seeded || best.Seeded
+			if cand.SeedBound == 0 {
+				cand.SeedBound = best.SeedBound
+			}
 			best = cand
 		}
 	}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fastt/internal/core"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/kernels"
+	"fastt/internal/models"
+	"fastt/internal/strategy"
+)
+
+// Warmstart case labels — how the target cluster relates to the one the seed
+// strategy was computed on.
+const (
+	CaseSameCluster = "same-cluster" // unchanged cluster: pure recompute
+	CaseShrinkByOne = "shrink-by-1"  // one device failed (the recovery path)
+	CaseGrowByOne   = "grow-by-1"    // one device joined (the elastic path)
+)
+
+// WarmstartRow compares a cold OS-DPOS search against the same search
+// warm-started from a prior artifact — the recompute a session pays after a
+// device failure, an elastic join, or cost-model drift.
+type WarmstartRow struct {
+	Model   string
+	Case    string
+	Devices int
+	// ColdWall / SeedWall are the search wall times without and with the
+	// seed; Speedup is their ratio.
+	ColdWall time.Duration
+	SeedWall time.Duration
+	Speedup  float64
+	// ColdEval / SeedEval and ColdPruned / SeedPruned are the candidate
+	// evaluations completed and aborted by the bound — the mechanism column:
+	// the seed's exact makespan turns completions into prunes.
+	ColdEval   int
+	SeedEval   int
+	ColdPruned int
+	SeedPruned int
+	// SeedBound is the seed strategy's re-evaluated makespan on the target
+	// cluster (the initial incumbent); SeedWon reports that no candidate
+	// beat it and the seeded search returned the re-materialized seed.
+	SeedBound     time.Duration
+	ColdPredicted time.Duration
+	SeedPredicted time.Duration
+	SeedWon       bool
+}
+
+// WarmstartTable measures warm-started recomputes across the catalog. For
+// each model it computes a cold 8-GPU strategy once (the seed), then runs
+// cold and seeded searches for three cluster cases: the same 8 GPUs (a pure
+// recompute, e.g. after cost drift), a shrink to 7 survivors (the fault
+// path), and a growth to 9 (the elastic path). Search time and candidate
+// accounting come from the searches themselves; the simulator is not
+// involved, so rows measure exactly the strategy-calculation cost a session
+// pays mid-run.
+func WarmstartTable(cfg Config, modelNames []string) ([]WarmstartRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]WarmstartRow, 0, 3*len(modelNames))
+	for _, name := range modelNames {
+		r, err := warmstartCells(cfg, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+func warmstartCells(cfg Config, model string) ([]WarmstartRow, error) {
+	const gpus = 8
+	spec, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	perGPU, _ := batches(spec, Strong, gpus, 0)
+	m, err := spec.Build(perGPU)
+	if err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	train, err := graph.BuildDataParallel(m, gpus)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: %w", err)
+	}
+
+	base, err := device.SingleServer(gpus)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		MaxSplitOps:   cfg.MaxSplitOps,
+		MaxSyncGroups: cfg.MaxSyncGroups,
+		Workers:       cfg.Workers,
+	}
+	seedSt, err := core.ComputeStrategy(train, base, kernels.NewDefaultOracle(base), opts)
+	if err != nil {
+		return nil, fmt.Errorf("seed search: %w", err)
+	}
+	seed := &seedSt.Artifact
+
+	shrunk, _, err := base.Without(gpus - 1)
+	if err != nil {
+		return nil, err
+	}
+	grown, err := device.SingleServer(gpus + 1)
+	if err != nil {
+		return nil, err
+	}
+	targets := []struct {
+		label   string
+		cluster *device.Cluster
+	}{
+		{CaseSameCluster, base},
+		{CaseShrinkByOne, shrunk},
+		{CaseGrowByOne, grown},
+	}
+
+	rows := make([]WarmstartRow, 0, len(targets))
+	for _, t := range targets {
+		row, err := warmstartCompare(model, t.label, train, t.cluster, opts, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.label, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// warmstartCompare runs the cold and the seeded search for one target
+// cluster and fills a row. Cold runs first so a shared page-cache or pool
+// warm-up, if anything, biases against the seeded side.
+func warmstartCompare(model, label string, train *graph.Graph, cluster *device.Cluster,
+	opts core.Options, seed *strategy.Artifact) (*WarmstartRow, error) {
+	est := kernels.NewDefaultOracle(cluster)
+	t0 := time.Now()
+	cold, err := core.ComputeStrategy(train, cluster, est, opts)
+	if err != nil {
+		return nil, fmt.Errorf("cold: %w", err)
+	}
+	coldWall := time.Since(t0)
+
+	opts.Seed = seed
+	t0 = time.Now()
+	seeded, err := core.ComputeStrategy(train, cluster, est, opts)
+	if err != nil {
+		return nil, fmt.Errorf("seeded: %w", err)
+	}
+	seedWall := time.Since(t0)
+
+	row := &WarmstartRow{
+		Model:         model,
+		Case:          label,
+		Devices:       cluster.NumDevices(),
+		ColdWall:      coldWall,
+		SeedWall:      seedWall,
+		ColdEval:      cold.Evaluated,
+		SeedEval:      seeded.Evaluated,
+		ColdPruned:    cold.Pruned,
+		SeedPruned:    seeded.Pruned,
+		SeedBound:     seeded.SeedBound,
+		ColdPredicted: cold.Predicted,
+		SeedPredicted: seeded.Predicted,
+		SeedWon:       seeded.SeedWon,
+	}
+	if seedWall > 0 {
+		row.Speedup = float64(coldWall) / float64(seedWall)
+	}
+	return row, nil
+}
+
+// WriteWarmstartTable prints the warm-started recompute table.
+func WriteWarmstartTable(w io.Writer, rows []WarmstartRow) error {
+	if _, err := fmt.Fprintf(w, "%-16s %-13s %4s %11s %11s %8s %7s %7s %12s %12s %5s\n",
+		"Model", "Case", "Dev", "ColdWall", "SeedWall", "Speedup",
+		"EvalC/S", "PruneC/S", "SeedBound", "Predicted", "Won"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		won := "-"
+		if r.SeedWon {
+			won = "yes"
+		}
+		fmt.Fprintf(w, "%-16s %-13s %4d %11v %11v %7.2fx %7s %7s %12v %12v %5s\n",
+			r.Model, r.Case, r.Devices,
+			r.ColdWall.Round(time.Microsecond), r.SeedWall.Round(time.Microsecond),
+			r.Speedup,
+			fmt.Sprintf("%d/%d", r.ColdEval, r.SeedEval),
+			fmt.Sprintf("%d/%d", r.ColdPruned, r.SeedPruned),
+			r.SeedBound.Round(time.Microsecond), r.SeedPredicted.Round(time.Microsecond), won)
+	}
+	return nil
+}

@@ -18,8 +18,11 @@ type flight struct {
 	done   chan struct{}
 	refs   int // guarded by flightGroup.mu
 
-	// Written by the leader before close(done); read after <-done.
+	// Written by the leader before close(done); read after <-done. seed is
+	// the warm-start annotation ("", SeedUsed or SeedWon) shared by every
+	// waiter, since all of them receive the one led search's artifact.
 	bytes []byte
+	seed  string
 	err   error
 }
 

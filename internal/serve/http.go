@@ -19,6 +19,12 @@ import (
 // "miss" (this request led the search) or "coalesced" (it joined one).
 const CacheHeader = "X-Fastt-Cache"
 
+// SeedHeader reports how the search behind a /v1/compute response used a
+// warm-start seed: "seeded" (the seed bounded the search), "won" (nothing
+// beat the seed; the artifact is the re-materialized seed strategy). Absent
+// on cold searches and cache hits.
+const SeedHeader = "X-Fastt-Seed"
+
 // computeRequest is the wire form of a strategy question.
 type computeRequest struct {
 	// Model optionally names the catalog model (provenance only).
@@ -39,6 +45,12 @@ type computeRequest struct {
 	// from Costs when empty. Clients that already hashed their model (the
 	// session does) pass it so both sides agree on the key exactly.
 	CostHash string `json:"costHash,omitempty"`
+	// Seed is an optional strategy artifact (strategy.Artifact JSON) that
+	// warm-starts a cache-miss search for the same base graph — typically
+	// the artifact a client computed before its cluster changed shape. A
+	// seed for a different graph fingerprint is rejected with 400. Absent,
+	// the service still tries its own cache for a related artifact.
+	Seed json.RawMessage `json:"seed,omitempty"`
 	// TimeoutMs optionally caps this request's wall time.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
 }
@@ -85,6 +97,9 @@ func (s *Service) handleCompute(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(CacheHeader, string(res.Source))
+	if res.Seed != "" {
+		w.Header().Set(SeedHeader, res.Seed)
+	}
 	// The envelope is assembled by hand so the artifact bytes — shared with
 	// the cache entry — reach every client verbatim: a warm response is
 	// byte-identical to the cold one that populated it.
@@ -128,6 +143,13 @@ func (s *Service) buildRequest(wire *computeRequest) (*Request, error) {
 			return nil, badRequest("graph has cycles; unroll it first")
 		}
 		req.Graph = g
+	}
+	if len(wire.Seed) > 0 {
+		var prior strategy.Artifact
+		if err := json.Unmarshal(wire.Seed, &prior); err != nil {
+			return nil, badRequest("parse seed strategy: %v", err)
+		}
+		req.Seed = &prior
 	}
 	if len(wire.Costs) > 0 {
 		cluster, err := device.NewCluster(shape.Servers, shape.GPUsPerServer)

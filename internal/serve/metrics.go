@@ -41,6 +41,9 @@ type metrics struct {
 	evictions    atomic.Int64 // cache entries evicted by the byte budget
 	rejected     atomic.Int64 // requests bounced with ErrQueueFull
 
+	seeded  atomic.Int64 // searches warm-started from a seed artifact
+	seedWon atomic.Int64 // seeded searches where nothing beat the seed
+
 	queueDepth atomic.Int64 // searches currently waiting for an admission slot
 
 	latency [numLatencyBounds + 1]atomic.Int64
@@ -75,10 +78,16 @@ type Stats struct {
 	Coalesced    int64      `json:"coalesced"`
 	Searches     int64      `json:"searches"`
 	SearchErrors int64      `json:"searchErrors"`
-	Rejected     int64      `json:"rejected"`
-	QueueDepth   int64      `json:"queueDepth"`
-	MaxQueue     int        `json:"maxQueue"`
-	MaxSearches  int        `json:"maxSearches"`
+	// Seeded counts searches warm-started from a prior artifact (explicit
+	// client seed or the service's own related-key cache scan); SeedWon
+	// counts the subset where no candidate beat the seed and the response is
+	// the re-materialized seed strategy.
+	Seeded      int64 `json:"seeded"`
+	SeedWon     int64 `json:"seedWon"`
+	Rejected    int64 `json:"rejected"`
+	QueueDepth  int64 `json:"queueDepth"`
+	MaxQueue    int   `json:"maxQueue"`
+	MaxSearches int   `json:"maxSearches"`
 	// LatencyBoundsNs[i] is the inclusive upper bound of LatencyCounts[i];
 	// the final count is the overflow bucket and has no bound.
 	LatencyBoundsNs []int64 `json:"searchLatencyBoundsNs"`
@@ -103,6 +112,8 @@ func (s *Service) Stats() Stats {
 		Coalesced:       s.metrics.coalesced.Load(),
 		Searches:        s.metrics.searches.Load(),
 		SearchErrors:    s.metrics.searchErrors.Load(),
+		Seeded:          s.metrics.seeded.Load(),
+		SeedWon:         s.metrics.seedWon.Load(),
 		Rejected:        s.metrics.rejected.Load(),
 		QueueDepth:      s.metrics.queueDepth.Load(),
 		MaxQueue:        s.maxQueue,

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"fastt/internal/core"
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/strategy"
+)
+
+// seedRecordingStrategist is a stub that records the Options.Seed of every
+// call and reports the warm start back the way a real search would.
+type seedRecordingStrategist struct {
+	mu    sync.Mutex
+	seeds []*strategy.Artifact
+	// won makes each seeded call report that nothing beat the seed.
+	won bool
+}
+
+func (r *seedRecordingStrategist) strategist() core.Strategist {
+	return func(ctx context.Context, g *graph.Graph, cluster *device.Cluster,
+		est cost.Estimator, opts core.Options) (*core.Strategy, error) {
+		r.mu.Lock()
+		r.seeds = append(r.seeds, opts.Seed)
+		r.mu.Unlock()
+		st := &core.Strategy{
+			Artifact: strategy.Artifact{
+				SchemaVersion: strategy.SchemaVersion,
+				Fingerprint:   strategy.Fingerprint(g),
+				Placement:     make([]int, g.NumOps()),
+			},
+			Graph: g,
+		}
+		if opts.Seed != nil {
+			st.Seeded = true
+			st.SeedWon = r.won
+		}
+		return st, nil
+	}
+}
+
+func (r *seedRecordingStrategist) seedOf(t *testing.T, call int) *strategy.Artifact {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if call >= len(r.seeds) {
+		t.Fatalf("strategist saw %d calls, want at least %d", len(r.seeds), call+1)
+	}
+	return r.seeds[call]
+}
+
+// TestSeedFingerprintMismatchRejected is the satellite validation gate: a
+// seed artifact for a different base graph must be rejected up front — a
+// related-key lookup or a confused client can never materialize a split
+// list against the wrong graph.
+func TestSeedFingerprintMismatchRejected(t *testing.T) {
+	svc := New(Config{Strategist: stubStrategist(nil)})
+	g := tinyGraph(t)
+	bad := &strategy.Artifact{
+		SchemaVersion: strategy.SchemaVersion,
+		Fingerprint:   "not-this-graph",
+	}
+	_, err := svc.Compute(context.Background(), &Request{
+		Graph:   g,
+		Cluster: testCluster(t, 2),
+		Seed:    bad,
+	})
+	var br *BadRequestError
+	if !errors.As(err, &br) {
+		t.Fatalf("mismatched seed: err = %v, want BadRequestError", err)
+	}
+
+	// Same gate over HTTP: 400, not a search.
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	seedJSON, _ := json.Marshal(bad)
+	resp, body := postCompute(t, srv.URL,
+		`{"cluster":{"servers":1,"gpusPerServer":2},"graph":`+graphJSON(t, g)+
+			`,"seed":`+string(seedJSON)+`}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP mismatched seed: status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestSeedExplicitThreadedToSearch checks that a client-supplied seed for
+// the right graph reaches the strategist, is annotated on the response
+// (X-Fastt-Seed), and is counted in /v1/stats.
+func TestSeedExplicitThreadedToSearch(t *testing.T) {
+	rec := &seedRecordingStrategist{won: true}
+	svc := New(Config{Strategist: rec.strategist()})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	g := tinyGraph(t)
+	seed := &strategy.Artifact{
+		SchemaVersion: strategy.SchemaVersion,
+		Fingerprint:   strategy.Fingerprint(g),
+		Placement:     make([]int, g.NumOps()),
+	}
+	seedJSON, _ := json.Marshal(seed)
+	resp, body := postCompute(t, srv.URL,
+		`{"cluster":{"servers":1,"gpusPerServer":2},"graph":`+graphJSON(t, g)+
+			`,"seed":`+string(seedJSON)+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seeded compute: status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(SeedHeader); got != SeedWon {
+		t.Errorf("%s = %q, want %q", SeedHeader, got, SeedWon)
+	}
+	if got := rec.seedOf(t, 0); got == nil || got.Fingerprint != seed.Fingerprint {
+		t.Errorf("strategist saw seed %+v, want the client's", got)
+	}
+
+	st := svc.Stats()
+	if st.Seeded != 1 || st.SeedWon != 1 {
+		t.Errorf("stats seeded/seedWon = %d/%d, want 1/1", st.Seeded, st.SeedWon)
+	}
+
+	// A cache hit for the same key reports no seed annotation.
+	resp, _ = postCompute(t, srv.URL,
+		`{"cluster":{"servers":1,"gpusPerServer":2},"graphFingerprint":"`+seed.Fingerprint+`"}`)
+	if got := resp.Header.Get(SeedHeader); got != "" {
+		t.Errorf("cache hit %s = %q, want absent", SeedHeader, got)
+	}
+}
+
+// TestSeedRelatedKeyLookup checks the best-effort cache scan: a cold miss
+// for a cluster shape the service has never seen is warm-started from the
+// cached artifact with the same graph fingerprint and the nearest device
+// count, without the client sending a seed.
+func TestSeedRelatedKeyLookup(t *testing.T) {
+	rec := &seedRecordingStrategist{}
+	svc := New(Config{Strategist: rec.strategist()})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	g := tinyGraph(t)
+	// Cold search at 2 GPUs populates the cache; no seed exists yet.
+	resp, body := postCompute(t, srv.URL,
+		`{"cluster":{"servers":1,"gpusPerServer":2},"graph":`+graphJSON(t, g)+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold compute: status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := rec.seedOf(t, 0); got != nil {
+		t.Errorf("first search saw seed %+v, want none", got)
+	}
+	if got := resp.Header.Get(SeedHeader); got != "" {
+		t.Errorf("cold %s = %q, want absent", SeedHeader, got)
+	}
+
+	// Same graph, different shape: a miss, but the 2-GPU artifact seeds it.
+	resp, body = postCompute(t, srv.URL,
+		`{"cluster":{"servers":1,"gpusPerServer":3},"graph":`+graphJSON(t, g)+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("related compute: status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(SeedHeader); got != SeedUsed {
+		t.Errorf("related %s = %q, want %q", SeedHeader, got, SeedUsed)
+	}
+	got := rec.seedOf(t, 1)
+	if got == nil {
+		t.Fatal("related-key search saw no seed")
+	}
+	if fp := strategy.Fingerprint(g); got.Fingerprint != fp {
+		t.Errorf("related seed fingerprint = %s, want %s", got.Fingerprint, fp)
+	}
+	st := svc.Stats()
+	if st.Seeded != 1 || st.SeedWon != 0 {
+		t.Errorf("stats seeded/seedWon = %d/%d, want 1/0", st.Seeded, st.SeedWon)
+	}
+}

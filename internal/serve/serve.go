@@ -12,7 +12,8 @@
 // cluster shape × cost-model hash (strategy.CacheKey). Scheduling options
 // are deliberately not part of the key: the service computes every strategy
 // under one fixed option set chosen at startup, so equal keys imply equal
-// artifacts. See DESIGN.md "Strategy service".
+// artifacts. (Warm-start seeding is the one best-effort exception — see
+// Request.Seed.) See DESIGN.md "Strategy service".
 package serve
 
 import (
@@ -173,6 +174,20 @@ type Request struct {
 	// CostHash fingerprints the learned cost model; derived from Est when
 	// empty and Est serializes itself (the stateless oracle hashes to "").
 	CostHash string
+	// Seed optionally warm-starts a cache-miss search from a prior artifact
+	// for the same base graph (core.Options.Seed): the search prunes against
+	// the seed's re-evaluated makespan and falls back to it when nothing
+	// beats it. A seed whose fingerprint does not match the request's graph
+	// is rejected up front as a bad request. When nil, the service looks for
+	// a related cached artifact itself — same fingerprint, different cluster
+	// shape or cost hash — so a client recomputing after an elastic resize
+	// gets the warm start for free.
+	//
+	// Seeding is best-effort and does not enter the cache key: in the rare
+	// case where the seed wins outright, the cached artifact can differ from
+	// what a cold search would have produced (it is never worse by predicted
+	// makespan for that search's estimator).
+	Seed *strategy.Artifact
 }
 
 // Source says how a result was obtained.
@@ -187,6 +202,16 @@ const (
 	SourceCoalesced Source = "coalesced"
 )
 
+// Seed annotations on a Result: how the search that produced it used a
+// warm-start seed, if at all. Empty means a cache hit or a cold search.
+const (
+	// SeedUsed: the search was warm-started and a candidate beat the seed.
+	SeedUsed = "seeded"
+	// SeedWon: nothing beat the seed; the response IS the re-materialized
+	// seed strategy.
+	SeedWon = "won"
+)
+
 // Result is a strategy answer: the artifact's compact JSON (shared,
 // read-only — byte-identical across hit, computed, and coalesced responses
 // for one key) plus how it was obtained.
@@ -194,6 +219,8 @@ type Result struct {
 	Key          strategy.CacheKey
 	ArtifactJSON []byte
 	Source       Source
+	// Seed is "" (cold or cache hit), SeedUsed, or SeedWon.
+	Seed string
 }
 
 // Artifact decodes the result's artifact.
@@ -257,6 +284,12 @@ func (s *Service) Compute(ctx context.Context, req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.Seed != nil && req.Seed.Fingerprint != key.Fingerprint {
+		// Checked before the cache probe: a request carrying a seed for a
+		// different model is malformed whether or not the answer is cached.
+		return nil, badRequest("seed strategy is for graph %s, request is for %s",
+			req.Seed.Fingerprint, key.Fingerprint)
+	}
 	if b := s.cache.get(key); b != nil {
 		s.metrics.hits.Add(1)
 		return &Result{Key: key, ArtifactJSON: b, Source: SourceHit}, nil
@@ -283,7 +316,7 @@ func (s *Service) Compute(ctx context.Context, req *Request) (*Result, error) {
 		if leader {
 			src = SourceComputed
 		}
-		return &Result{Key: key, ArtifactJSON: f.bytes, Source: src}, nil
+		return &Result{Key: key, ArtifactJSON: f.bytes, Source: src, Seed: f.seed}, nil
 	case <-ctx.Done():
 		s.flights.abandon(f)
 		return nil, ctx.Err()
@@ -296,7 +329,7 @@ func (s *Service) Compute(ctx context.Context, req *Request) (*Result, error) {
 // in the cache BEFORE retiring the flight, so no request can miss the cache
 // and then find no flight covering the key.
 func (s *Service) lead(f *flight, key strategy.CacheKey, req *Request) {
-	f.bytes, f.err = s.search(f.ctx, key, req)
+	f.bytes, f.seed, f.err = s.search(f.ctx, key, req)
 	if f.err == nil {
 		s.cache.put(key, f.bytes, int64(len(f.bytes)))
 	}
@@ -304,25 +337,25 @@ func (s *Service) lead(f *flight, key strategy.CacheKey, req *Request) {
 }
 
 // search runs the admission-controlled strategy computation and returns the
-// artifact's compact JSON.
-func (s *Service) search(ctx context.Context, key strategy.CacheKey, req *Request) ([]byte, error) {
+// artifact's compact JSON plus the seed annotation ("", SeedUsed or SeedWon).
+func (s *Service) search(ctx context.Context, key strategy.CacheKey, req *Request) ([]byte, string, error) {
 	if req.Graph == nil {
 		// Fingerprint-only miss with no running flight to join: the service
 		// has no graph to search over. Checked before admission so the
 		// rejection consumes no queue slot.
-		return nil, ErrNotCached
+		return nil, "", ErrNotCached
 	}
 	if depth := s.metrics.queueDepth.Add(1); depth > int64(s.maxQueue) {
 		s.metrics.queueDepth.Add(-1)
 		s.metrics.rejected.Add(1)
-		return nil, ErrQueueFull
+		return nil, "", ErrQueueFull
 	}
 	select {
 	case s.sem <- struct{}{}:
 		s.metrics.queueDepth.Add(-1)
 	case <-ctx.Done():
 		s.metrics.queueDepth.Add(-1)
-		return nil, ctx.Err()
+		return nil, "", ctx.Err()
 	}
 	defer func() { <-s.sem }()
 
@@ -337,7 +370,7 @@ func (s *Service) search(ctx context.Context, key strategy.CacheKey, req *Reques
 		case <-t.C:
 		case <-ctx.Done():
 			t.Stop()
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		}
 	}
 
@@ -348,11 +381,11 @@ func (s *Service) search(ctx context.Context, key strategy.CacheKey, req *Reques
 			// Count-only regular shapes are the only ones the service can
 			// materialize itself; irregular or classed mixes carry topology
 			// the shape encoding alone cannot reconstruct.
-			return nil, badRequest("irregular or classed cluster shape %+v needs an explicit cluster", shape)
+			return nil, "", badRequest("irregular or classed cluster shape %+v needs an explicit cluster", shape)
 		}
 		var err error
 		if cluster, err = device.NewCluster(shape.Servers, shape.GPUsPerServer); err != nil {
-			return nil, badRequest("cluster shape %+v: %v", shape, err)
+			return nil, "", badRequest("cluster shape %+v: %v", shape, err)
 		}
 	}
 	est := req.Est
@@ -360,17 +393,41 @@ func (s *Service) search(ctx context.Context, key strategy.CacheKey, req *Reques
 		est = kernels.NewDefaultOracle(cluster)
 	}
 
+	// Warm-start the search: an explicit client seed wins; otherwise scan the
+	// cache for a related artifact — same graph fingerprint under a different
+	// cluster shape or cost model, the signature of an elastic resize or a
+	// cost-model refresh. Fingerprint mismatch on the explicit seed was
+	// rejected in Compute; the related pick is re-checked defensively here.
+	opts := s.cfg.Sched
+	if req.Seed != nil {
+		opts.Seed = req.Seed
+	} else if b := s.cache.related(key, key.Cluster.NumDevices()); b != nil {
+		var prior strategy.Artifact
+		if err := json.Unmarshal(b, &prior); err == nil && prior.Fingerprint == key.Fingerprint {
+			opts.Seed = &prior
+		}
+	}
+
 	s.metrics.searches.Add(1)
 	start := time.Now()
-	st, err := s.cfg.Strategist(ctx, req.Graph, cluster, est, s.cfg.Sched)
+	st, err := s.cfg.Strategist(ctx, req.Graph, cluster, est, opts)
 	if err != nil {
 		s.metrics.searchErrors.Add(1)
-		return nil, err
+		return nil, "", err
 	}
 	s.metrics.observeSearch(time.Since(start))
+	seed := ""
+	if st.Seeded {
+		s.metrics.seeded.Add(1)
+		seed = SeedUsed
+		if st.SeedWon {
+			s.metrics.seedWon.Add(1)
+			seed = SeedWon
+		}
+	}
 	if err := validate.Strategy(st, cluster, validate.Options{SkipMemory: true}); err != nil {
 		s.metrics.searchErrors.Add(1)
-		return nil, fmt.Errorf("serve: computed strategy invalid: %w", err)
+		return nil, "", fmt.Errorf("serve: computed strategy invalid: %w", err)
 	}
 	art := st.Artifact
 	art.Provenance = strategy.Provenance{
@@ -379,17 +436,21 @@ func (s *Service) search(ctx context.Context, key strategy.CacheKey, req *Reques
 		Cluster:  key.Cluster,
 		CostHash: key.CostHash,
 	}
-	return json.Marshal(&art)
+	b, err := json.Marshal(&art)
+	return b, seed, err
 }
 
 // Strategist adapts the service to the core.Strategist seam, making a
 // session (or any in-process caller) one more client of the cached service
 // path: its answers come from the same cache, coalesce with HTTP requests
-// for the same key, and carry service provenance.
+// for the same key, and carry service provenance. The caller's warm-start
+// seed (a session recomputing after a resize passes its pre-resize artifact)
+// rides along; other scheduling options stay the service's own, since they
+// are fixed per deployment and excluded from the cache key.
 func (s *Service) Strategist() core.Strategist {
 	return func(ctx context.Context, g *graph.Graph, cluster *device.Cluster,
-		est cost.Estimator, _ core.Options) (*core.Strategy, error) {
-		res, err := s.Compute(ctx, &Request{Graph: g, Cluster: cluster, Est: est})
+		est cost.Estimator, opts core.Options) (*core.Strategy, error) {
+		res, err := s.Compute(ctx, &Request{Graph: g, Cluster: cluster, Est: est, Seed: opts.Seed})
 		if err != nil {
 			return nil, err
 		}

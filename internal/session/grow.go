@@ -108,10 +108,14 @@ func (s *Session) GrowCtx(ctx context.Context, join device.JoinSpec) (*GrowRepor
 	rep.RecoveryTime += charge
 	s.advanceTimeline(charge)
 
-	// Recompute on the enlarged cluster. Unlike the loss path there is no
-	// degradation ladder: the pre-join strategy is the safe floor.
+	// Recompute on the enlarged cluster, warm-started from the pre-join
+	// strategy: it stays feasible (existing device IDs are unchanged) and
+	// its evaluated makespan is exactly the never-slower floor below, so
+	// candidates that cannot beat it prune early. Unlike the loss path
+	// there is no degradation ladder: the pre-join strategy is the safe
+	// floor.
 	t0 := time.Now()
-	cand, err := s.compute(ctx)
+	cand, err := s.computeSeeded(ctx, s.seedArtifact())
 	rep.RecomputeWall = time.Since(t0)
 	switch {
 	case errors.Is(err, core.ErrNoFeasiblePlacement):

@@ -106,10 +106,14 @@ func (s *Session) recoverOnce(ctx context.Context, lost *runtime.DeviceLostError
 
 	// Within the retry budget, recompute a full OS-DPOS strategy on the
 	// survivors; past it (a fault storm), or when the calculator finds no
-	// memory-feasible placement, degrade to the bootstrap fallbacks.
+	// memory-feasible placement, degrade to the bootstrap fallbacks. The
+	// recompute is warm-started from the pre-failure strategy: still a
+	// feasible plan for the same graph (the seed is re-placed on the
+	// survivors, not remapped), and its evaluated makespan prunes most of
+	// the candidate work — recovery no longer pays a cold search.
 	if attempt <= s.cfg.MaxFaultRetries {
 		t0 := time.Now()
-		cand, err := s.compute(ctx)
+		cand, err := s.computeSeeded(ctx, s.seedArtifact())
 		stats.RecomputeWall += time.Since(t0)
 		switch {
 		case errors.Is(err, core.ErrNoFeasiblePlacement):

@@ -162,6 +162,13 @@ type Round struct {
 	// discarded on a wrong predicted winner (0 at Workers <= 1).
 	Speculated   int
 	Mispredicted int
+	// Seeded, SeedBound and SeedWon report the round's warm start (see
+	// core.Options.Seed): whether a prior strategy tightened the search's
+	// initial incumbent, its evaluated makespan, and whether the search
+	// returned the re-materialized seed because nothing beat it.
+	Seeded    bool
+	SeedBound time.Duration
+	SeedWon   bool
 }
 
 // Report summarizes the pre-training stage.
@@ -186,6 +193,13 @@ type Report struct {
 	// speculation counters (Table 4's "Spec/Mispred" column).
 	SpeculatedTotal   int
 	MispredictedTotal int
+	// SeededRounds and SeedWonRounds count the rounds whose search was
+	// warm-started and the subset where the seed itself won; SeedBound is
+	// the last nonzero warm-start bound (the `fastt compute -seed-strategy`
+	// smoke asserts it).
+	SeededRounds  int
+	SeedWonRounds int
+	SeedBound     time.Duration
 	// SimulatedOverhead is the training-timeline cost of pre-training:
 	// profiled iterations plus checkpoint/restart cycles.
 	SimulatedOverhead time.Duration
@@ -386,10 +400,20 @@ func (s *Session) BootstrapCtx(ctx context.Context) (*Report, error) {
 		r.Pruned = cand.Pruned
 		r.Speculated = cand.Speculated
 		r.Mispredicted = cand.Mispredicted
+		r.Seeded = cand.Seeded
+		r.SeedBound = cand.SeedBound
+		r.SeedWon = cand.SeedWon
 		rep.EvaluatedTotal += cand.Evaluated
 		rep.PrunedTotal += cand.Pruned
 		rep.SpeculatedTotal += cand.Speculated
 		rep.MispredictedTotal += cand.Mispredicted
+		if cand.Seeded {
+			rep.SeededRounds++
+			rep.SeedBound = cand.SeedBound
+		}
+		if cand.SeedWon {
+			rep.SeedWonRounds++
+		}
 
 		// Guard against calculator bugs before touching the executor; the
 		// runtime memory check (with rollback) covers capacity, so only
@@ -572,7 +596,10 @@ func (s *Session) drifted(res *runtime.Result) bool {
 // path. The charge is reported even alongside an error, so callers can
 // account partial work.
 func (s *Session) refreshStrategy(ctx context.Context, latest time.Duration) (bool, time.Duration, error) {
-	cand, err := s.compute(ctx)
+	// Warm-start from the running strategy re-evaluated under the drifted
+	// cost models: the recompute only matters if it beats what is already
+	// running, so that is the right incumbent to prune against.
+	cand, err := s.computeSeeded(ctx, s.seedArtifact())
 	if errors.Is(err, core.ErrNoFeasiblePlacement) {
 		return false, 0, nil // keep the running strategy
 	}
@@ -645,13 +672,35 @@ func (s *Session) provenance(origin string) strategy.Provenance {
 // service client path) or the in-process core — on the base graph with the
 // learned cost models.
 func (s *Session) compute(ctx context.Context) (*core.Strategy, error) {
+	return s.computeSeeded(ctx, s.cfg.Sched.Seed)
+}
+
+// computeSeeded is compute with an explicit warm-start seed overriding any
+// session-configured one. The recovery and elastic-grow recomputes pass the
+// running artifact here: it is a feasible, near-optimal strategy for the
+// same graph, and its evaluated makespan prunes most of the recompute's
+// candidate work (core.Options.Seed).
+func (s *Session) computeSeeded(ctx context.Context, seed *strategy.Artifact) (*core.Strategy, error) {
+	opts := s.cfg.Sched
+	opts.Seed = seed
 	if s.cfg.DisableSplitting {
-		return core.ComputePlacementOnlyCtx(ctx, s.base, s.cluster, s.costs, s.cfg.Sched)
+		return core.ComputePlacementOnlyCtx(ctx, s.base, s.cluster, s.costs, opts)
 	}
 	if s.cfg.Strategist != nil {
-		return s.cfg.Strategist(ctx, s.base, s.cluster, s.costs, s.cfg.Sched)
+		return s.cfg.Strategist(ctx, s.base, s.cluster, s.costs, opts)
 	}
-	return core.ComputeStrategyCtx(ctx, s.base, s.cluster, s.costs, s.cfg.Sched)
+	return core.ComputeStrategyCtx(ctx, s.base, s.cluster, s.costs, opts)
+}
+
+// seedArtifact returns the running strategy as a warm-start seed for a
+// recompute, or nil when there is none or it belongs to a different base
+// graph (it never should; the check keeps a violated invariant from turning
+// into a failed recovery).
+func (s *Session) seedArtifact() *strategy.Artifact {
+	if s.cur.art == nil || s.cur.art.Fingerprint != strategy.Fingerprint(s.base) {
+		return nil
+	}
+	return s.cur.art
 }
 
 // startStrategy picks data parallelism when it executes without OOM, and

@@ -80,6 +80,25 @@ if [ "$tier" = "smoke" ] || [ "$tier" = "all" ]; then
 		cat "$tmp/compute.line" "$tmp/deploy.line" >&2
 		exit 1
 	fi
+	echo "== smoke: warm-started recompute (compute -> shrink cluster -> compute -seed-strategy)"
+	# The recovery shape end to end: a 4-GPU strategy seeds the recompute of
+	# the same 4-replica graph on a 3-GPU cluster (-replicas pins the graph
+	# so the fingerprints match). The seeded run must report a nonzero seed
+	# bound and at least one seeded round; runCompute itself reloads,
+	# validates and executes the written artifact before exiting 0.
+	"$tmp/fastt" compute -model MLP -gpus 4 -out "$tmp/warm_seed.json" -seed 7 -iters 2 > "$tmp/warm_cold.out"
+	"$tmp/fastt" compute -model MLP -gpus 3 -replicas 4 -seed-strategy "$tmp/warm_seed.json" \
+		-out "$tmp/warm_re.json" -seed 7 -iters 2 | tee "$tmp/warm.out"
+	if ! grep -q '^warm start' "$tmp/warm.out"; then
+		echo "seeded compute did not report a warm start:" >&2
+		cat "$tmp/warm.out" >&2
+		exit 1
+	fi
+	if grep -q 'seed bound 0s' "$tmp/warm.out" || grep -q 'seeded 0 round' "$tmp/warm.out"; then
+		echo "seeded compute reported an empty warm start:" >&2
+		grep '^warm start' "$tmp/warm.out" >&2
+		exit 1
+	fi
 	echo "== smoke: elastic loop (device loss -> join -> recompute -> resume)"
 	go run ./examples/elastic > "$tmp/elastic.out"
 	for want in 'degraded   : 3 survivor' 'joined     : ' 'recomputed : true' 'resumed    : '; do
