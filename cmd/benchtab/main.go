@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults|hetero|warmstart|scaling] [-iters N] [-seed N]
+//	benchtab [-what all|table1|table2|table3|table4|table5|table6|fig2|fig3|fig4|fig5|ablations|faults|hetero|warmstart|gap|scaling] [-iters N] [-seed N] [-models A,B]
 //
 // "scaling" prints the worker-sweep table (1/2/4/8 workers × catalog) of
 // strategy-computation wall times; it is not part of "all" because it
 // measures this machine's thread scaling, not the paper's testbed.
+//
+// "gap" prints the optimality-gap table: each catalog model × {2,4,8} GPUs
+// with the OS-DPOS predicted makespan, the reference lower bound on the
+// ideal-system optimum (exact rows marked), and the Theorem-1 check. The
+// table carries no wall-clock columns, so reruns are byte-identical (the
+// trailing "(generated in ...)" line is the only varying output). -models
+// restricts it to a comma-separated subset of the catalog.
 package main
 
 import (
@@ -26,13 +33,14 @@ func main() {
 	what := flag.String("what", "all", "which artifact to regenerate (comma-separated)")
 	iters := flag.Int("iters", 5, "measured iterations per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
+	modelsFlag := flag.String("models", "", "restrict the gap table to these comma-separated models (default: full catalog)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
 
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err == nil {
-		err = run(*what, *iters, *seed)
+		err = run(*what, *iters, *seed, *modelsFlag)
 		if perr := stopProf(); err == nil {
 			err = perr
 		}
@@ -82,8 +90,17 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 	}, nil
 }
 
-func run(what string, iters int, seed int64) error {
+func run(what string, iters int, seed int64, modelsFlag string) error {
 	cfg := experiments.Config{MeasureIters: iters, Seed: seed}
+	gapModels := allModels()
+	if modelsFlag != "" {
+		gapModels = nil
+		for _, m := range strings.Split(modelsFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				gapModels = append(gapModels, m)
+			}
+		}
+	}
 	r := experiments.NewRunner(cfg)
 	w := os.Stdout
 
@@ -257,6 +274,17 @@ func run(what string, iters int, seed int64) error {
 		}
 		fmt.Fprintln(w, "Warm start: cold vs seeded recompute (seed = cold 8-GPU strategy)")
 		if err := experiments.WriteWarmstartTable(w, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if all || want["gap"] {
+		rows, err := experiments.OptimalityGapTable(cfg, gapModels, []int{2, 4, 8})
+		if err != nil {
+			return fmt.Errorf("gap table: %w", err)
+		}
+		fmt.Fprintln(w, "Optimality gap: OS-DPOS predicted vs ideal-system lower bound (Theorem 1 check)")
+		if err := experiments.WriteGapTable(w, rows); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -456,6 +456,7 @@ func runCompute(argv []string) (retErr error) {
 		maxRounds = fs.Int("rounds", 0, "max pre-training strategy-search rounds (0 = default)")
 		seedStrat = fs.String("seed-strategy", "", "warm-start the search from a prior strategy artifact for the same model graph (e.g. one computed before the cluster changed)")
 		clustIn   = fs.String("cluster", "", "heterogeneous cluster spec JSON (overrides -gpus/-servers; see device.ReadSpec)")
+		bound     = fs.Bool("bound", false, "compute the reference lower bound on the ideal-system optimum and report the strategy's gap from it (optimal.Bound)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the strategy computation to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
@@ -506,6 +507,7 @@ func runCompute(argv []string) (retErr error) {
 		MaxSyncGroups:      8,
 		Workers:            *workers,
 		DisableSpeculation: disableSpec,
+		ComputeBound:       *bound,
 	}
 	if *seedStrat != "" {
 		// Warm start: every bootstrap round's search prunes against the
@@ -553,6 +555,24 @@ func runCompute(argv []string) (retErr error) {
 	if *seedStrat != "" {
 		fmt.Printf("warm start    : seed bound %v, seeded %d round(s), seed won %d round(s)\n",
 			rep.SeedBound.Round(time.Microsecond), rep.SeededRounds, rep.SeedWonRounds)
+	}
+	if *bound {
+		if rep.LowerBound > 0 {
+			// Report the last bounded round's candidate: the pair the gap
+			// was computed from (the active artifact can be the bootstrap
+			// strategy, which carries no search prediction).
+			var predicted time.Duration
+			for _, r := range rep.Rounds {
+				if r.LowerBound > 0 {
+					predicted = r.Predicted
+				}
+			}
+			fmt.Printf("bound         : ideal optimum >= %v (%s), predicted %v, gap <= %.1f%%\n",
+				rep.LowerBound.Round(time.Microsecond), rep.BoundMethod,
+				predicted.Round(time.Microsecond), rep.GapPct)
+		} else {
+			fmt.Println("bound         : unavailable")
+		}
 	}
 	if *saveCost != "" {
 		if err := saveCostsFile(s, *saveCost); err != nil {

@@ -111,6 +111,12 @@ type Options struct {
 	// -seed-strategy` and the serve related-key lookup all thread the
 	// strategy they already hold through this field.
 	Seed *strategy.Artifact
+	// ComputeBound annotates the finished strategy with the reference
+	// lower bound on the ideal-system optimum of its materialized graph
+	// (Strategy.LowerBound/GapPct via optimal.Bound). Reporting-only and
+	// opt-in: the bound never influences the search, and on catalog-size
+	// graphs it adds one relaxation-DP pass over the final graph.
+	ComputeBound bool
 
 	// fingerprint carries strategy.Fingerprint(g) when a caller inside this
 	// package already computed it, so the seed validation in OSDPOSCtx does

@@ -7,6 +7,7 @@ import (
 	"fastt/internal/cost"
 	"fastt/internal/device"
 	"fastt/internal/graph"
+	"fastt/internal/optimal"
 	"fastt/internal/strategy"
 )
 
@@ -57,6 +58,18 @@ type Strategy struct {
 	Seeded    bool
 	SeedBound time.Duration
 	SeedWon   bool
+	// LowerBound, BoundExact, BoundMethod and GapPct report the reference
+	// lower bound on the ideal-system optimal makespan of the final
+	// materialized graph (optimal.Bound), filled only when
+	// Options.ComputeBound is set. BoundExact marks a bound equal to the
+	// ideal optimum; GapPct is 100*(Predicted-LowerBound)/LowerBound.
+	// Predicted includes communication while the bound does not, so GapPct
+	// overstates the true distance from optimal — it is an upper bound on
+	// the gap, which is the honest direction for a self-report.
+	LowerBound  time.Duration
+	BoundExact  bool
+	BoundMethod string
+	GapPct      float64
 }
 
 // ComputeStrategy runs the full FastT pipeline — DPOS placement, the
@@ -86,6 +99,10 @@ func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Clu
 	// class-restricted subcluster cannot honor — so their presence disables
 	// the restriction candidates (see subcluster.go).
 	subOpts, tryRestrictions := opts, len(opts.Pinned) == 0
+	// The class-restricted refinement recurses into ComputeStrategyCtx on
+	// subclusters; the bound is a property of the final strategy on the full
+	// cluster, so compute it once at the end, not per candidate subcluster.
+	subOpts.ComputeBound = false
 	pins, colSched, err := ColocateSyncCtx(ctx, g, cluster, est, opts)
 	if err != nil {
 		return nil, err
@@ -115,10 +132,34 @@ func ComputeStrategyCtx(ctx context.Context, g *graph.Graph, cluster *device.Clu
 		SeedBound:    res.SeedBound,
 		SeedWon:      res.SeedWon,
 	}
-	if !tryRestrictions {
-		return full, nil
+	if tryRestrictions {
+		full, err = refineWithClassSubclusters(ctx, g, cluster, est, subOpts, full)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return refineWithClassSubclusters(ctx, g, cluster, est, subOpts, full)
+	if opts.ComputeBound {
+		attachBound(full, cluster, est)
+	}
+	return full, nil
+}
+
+// attachBound annotates a finished strategy with the reference lower bound
+// on its materialized graph. Best effort: the bound is reporting-only, so a
+// solver error (a malformed graph) leaves the fields zero rather than
+// failing a strategy the search already proved out.
+func attachBound(s *Strategy, cluster *device.Cluster, est cost.Estimator) {
+	res, err := optimal.Bound(s.Graph, cluster, est, optimal.BoundOptions{})
+	if err != nil || res.LowerBound <= 0 {
+		return
+	}
+	s.LowerBound = res.LowerBound
+	s.BoundExact = res.Exact
+	s.BoundMethod = res.Method
+	if res.Detail != "" {
+		s.BoundMethod = res.Method + " (" + res.Detail + ")"
+	}
+	s.GapPct = 100 * float64(s.Predicted-res.LowerBound) / float64(res.LowerBound)
 }
 
 // ComputePlacementOnly runs DPOS and the gradient-sync colocation pass but

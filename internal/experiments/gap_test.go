@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func gapTestConfig() Config {
+	return Config{MaxSplitOps: 2, MaxSyncGroups: 4, Workers: 0, Seed: 1}
+}
+
+// TestOptimalityGapTableSanity asserts the row invariants the acceptance
+// criteria name: a valid (positive) lower bound on every row, a bound never
+// above the prediction, and the Theorem-1 check holding.
+func TestOptimalityGapTableSanity(t *testing.T) {
+	models := []string{"LeNet", "AlexNet"}
+	gpus := []int{2, 4}
+	if testing.Short() {
+		models, gpus = []string{"LeNet"}, []int{2}
+	}
+	rows, err := OptimalityGapTable(gapTestConfig(), models, gpus)
+	if err != nil {
+		t.Fatalf("OptimalityGapTable: %v", err)
+	}
+	if want := len(models) * len(gpus); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.LowerBound <= 0 {
+			t.Errorf("%s @ %d: lower bound %v, want > 0", r.Model, r.GPUs, r.LowerBound)
+		}
+		if r.LowerBound > r.Predicted {
+			t.Errorf("%s @ %d: lower bound %v above prediction %v",
+				r.Model, r.GPUs, r.LowerBound, r.Predicted)
+		}
+		if r.GapPct < 0 {
+			t.Errorf("%s @ %d: negative gap %.2f%%", r.Model, r.GPUs, r.GapPct)
+		}
+		if !r.Thm1OK {
+			t.Errorf("%s @ %d: Theorem 1 violated: predicted %v > 2*%v + %v",
+				r.Model, r.GPUs, r.Predicted, r.LowerBound, r.CMax)
+		}
+		if r.Ops <= 0 || r.Method == "" {
+			t.Errorf("%s @ %d: incomplete row %+v", r.Model, r.GPUs, r)
+		}
+	}
+}
+
+// TestOptimalityGapTableDeterministic is the gap-table half of the repo's
+// determinism convention: two runs with the same config must render byte
+// for byte the same table (the table carries no wall-clock columns by
+// design).
+func TestOptimalityGapTableDeterministic(t *testing.T) {
+	models := []string{"LeNet", "AlexNet"}
+	if testing.Short() {
+		models = []string{"LeNet"}
+	}
+	render := func() []byte {
+		rows, err := OptimalityGapTable(gapTestConfig(), models, []int{2, 4})
+		if err != nil {
+			t.Fatalf("OptimalityGapTable: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteGapTable(&buf, rows); err != nil {
+			t.Fatalf("WriteGapTable: %v", err)
+		}
+		return buf.Bytes()
+	}
+	first, second := render(), render()
+	if !bytes.Equal(first, second) {
+		t.Errorf("gap table not byte-identical across reruns:\n--- first\n%s--- second\n%s",
+			first, second)
+	}
+	if !strings.Contains(string(first), " ok") {
+		t.Errorf("rendered table has no Theorem-1 'ok' marker:\n%s", first)
+	}
+}
+
+// TestOptimalityGapTableUnknownModel pins the error path: a bad model name
+// fails with context instead of a silent empty table.
+func TestOptimalityGapTableUnknownModel(t *testing.T) {
+	if _, err := OptimalityGapTable(gapTestConfig(), []string{"NoSuchNet"}, []int{2}); err == nil {
+		t.Error("OptimalityGapTable accepted an unknown model")
+	}
+}

@@ -1,0 +1,654 @@
+package optimal
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+	"time"
+
+	"fastt/internal/cost"
+	"fastt/internal/device"
+	"fastt/internal/graph"
+)
+
+// Bound method labels (BoundResult.Method).
+const (
+	// MethodExact marks a bound equal to the exact ideal-system optimum,
+	// found by the whole-graph branch-and-bound (graphs within MaxOps) or
+	// the trivial single-device sum.
+	MethodExact = "exact"
+	// MethodContracted marks the linearized-DAG path: the graph contracted
+	// to a chain of independent-op blocks (its comparability relation is a
+	// weak order) and the bound is the sum of per-block makespans — exact
+	// when every block was solved exactly by the independent-task search.
+	MethodContracted = "contracted"
+	// MethodRelaxed marks the general case: the best of the relaxation
+	// bounds (ancestor/descendant DP, classed compute volume, critical
+	// path). Valid on every DAG, exact only by coincidence.
+	MethodRelaxed = "relaxed"
+)
+
+// BoundOptions tunes the lower-bound solver. The zero value is the
+// production configuration.
+type BoundOptions struct {
+	// MaxNodes bounds every exact branch-and-bound component (the
+	// whole-graph search and each contracted block) in expanded nodes;
+	// 0 means 2M. An exhausted budget degrades to the relaxation bounds
+	// instead of failing, so Bound never errors on large searches.
+	MaxNodes int64
+	// BlockMaxOps bounds the per-block exact independent-task solver of
+	// the contracted path; larger blocks fall back to a relaxed block
+	// bound (and clear BoundResult.Exact). 0 means MaxOps.
+	BlockMaxOps int
+	// DPMaxOps bounds the ancestor/descendant reachability pass of the
+	// relaxation DP, which costs O(V^2/64) time and O(width*V/64) memory;
+	// graphs above it use only the volume and critical-path bounds.
+	// 0 means 16384.
+	DPMaxOps int
+	// SkipExact disables the exact whole-graph search even on graphs
+	// within MaxOps, forcing the contracted/relaxed paths — the hook the
+	// oracle cross-check tests use to compare both solvers on graphs
+	// where both can run.
+	SkipExact bool
+}
+
+func (o BoundOptions) withDefaults() BoundOptions {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 2_000_000
+	}
+	if o.BlockMaxOps == 0 {
+		o.BlockMaxOps = MaxOps
+	}
+	if o.DPMaxOps == 0 {
+		o.DPMaxOps = 16384
+	}
+	return o
+}
+
+// BoundResult is the solver's verdict on a graph/cluster pair.
+type BoundResult struct {
+	// LowerBound is a valid lower bound on the makespan of ANY placement
+	// and execution order of the graph in the ideal system of Theorem 1
+	// (zero transfer times). Communication only adds time, so it also
+	// lower-bounds the communication-aware optimum, and Theorem 1's
+	// omega_DPOS <= 2*omega_opt + C_max can be checked against it.
+	LowerBound time.Duration
+	// Exact reports that LowerBound equals the exact ideal-system optimum
+	// omega_opt, not merely a value below it.
+	Exact bool
+	// Method names the solver path that produced LowerBound.
+	Method string
+	// Detail qualifies Method: the winning component for MethodRelaxed
+	// ("dp", "volume", "critical-path"), the chain length for
+	// MethodContracted ("N blocks"), the search size for MethodExact.
+	Detail string
+	// Nodes counts branch-and-bound expansions across exact components.
+	Nodes int64
+	// Component values for reporting; zero when a component did not run.
+	// Volume is the classed compute-volume bound, CritPath the min-exec
+	// critical path, DP the ancestor/descendant relaxation, Contracted
+	// the block-sum of the contracted chain.
+	Volume     time.Duration
+	CritPath   time.Duration
+	DP         time.Duration
+	Contracted time.Duration
+	// Blocks is the contracted chain length; 0 when the graph is not
+	// contractible.
+	Blocks int
+}
+
+// Bound computes a lower bound on the ideal-system (zero-communication)
+// optimal makespan of g over the cluster, picking the strongest applicable
+// solver automatically:
+//
+//   - graphs within MaxOps ops: the exact branch-and-bound (Exact);
+//   - contractible graphs — the comparability relation is a weak order, so
+//     the DAG contracts to a chain of independent-op blocks: the sum of
+//     per-block optimal makespans, exact when every block fits the
+//     independent-task search (the linearized-DAG DP of Tarnawski et al.
+//     repurposed as a reference bound);
+//   - everything else: the maximum of three relaxations — an
+//     ancestor/descendant DP (every op's earliest start is bounded by both
+//     its longest min-exec chain and its ancestors' compute volume over the
+//     cluster's class-weighted capacity, symmetrically for its tail), the
+//     classed compute-volume bound, and the min-exec critical path.
+//
+// Heterogeneous device classes enter through the estimator: per-op minima
+// take the fastest class, and volume terms divide by the cluster's total
+// capacity in min-exec units (a T4 absorbs less than one unit per unit
+// time), so mixed fleets get honest, class-aware bounds.
+//
+// The bound is deterministic for fixed inputs and never fails on large or
+// irregular graphs — exhausted search budgets degrade to the relaxations.
+// The only error is a cyclic graph.
+func Bound(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts BoundOptions) (*BoundResult, error) {
+	opts = opts.withDefaults()
+	n := g.NumOps()
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return &BoundResult{Exact: true, Method: MethodExact, Detail: "empty"}, nil
+	}
+	est = cost.ReadSnapshot(est)
+	devs := cluster.Devices()
+	m := len(devs)
+
+	// Exec matrix and per-op minima feed every component.
+	exec := make([][]time.Duration, n)
+	eMin := make([]time.Duration, n)
+	for _, op := range g.Ops() {
+		row := make([]time.Duration, m)
+		for di, d := range devs {
+			row[di] = est.Exec(op, d)
+		}
+		exec[op.ID] = row
+		eMin[op.ID] = minExecOf(row)
+	}
+
+	res := &BoundResult{}
+
+	// One device: every schedule is the serial sum on that device — exact
+	// even with communication (nothing ever crosses a link).
+	if m == 1 {
+		var sum time.Duration
+		for id := 0; id < n; id++ {
+			sum += exec[id][0]
+		}
+		res.LowerBound, res.Exact = sum, true
+		res.Method, res.Detail = MethodExact, "single device"
+		res.Volume, res.CritPath = sum, sum
+		return res, nil
+	}
+
+	// capSum is the cluster's capacity in min-exec work units per unit
+	// time: device d can absorb at most cap_d = max_i eMin_i/exec_{i,d}
+	// units per unit time (<= 1, with equality only when d is the fastest
+	// class for some op), so any schedule satisfies
+	// sum_i eMin_i <= makespan * capSum.
+	capSum := capacitySum(exec, eMin)
+
+	// Volume bound: total min-exec work over total capacity.
+	var totalWork int64
+	for id := 0; id < n; id++ {
+		totalWork += int64(eMin[id])
+	}
+	res.Volume = divWorkFloor(totalWork, capSum)
+
+	// Relaxation DP (with the plain critical path as a byproduct).
+	if n <= opts.DPMaxOps {
+		res.DP, res.CritPath = relaxationDP(g, eMin, capSum)
+	} else {
+		res.CritPath = criticalPathMin(g, eMin)
+	}
+
+	// Exact whole-graph search on small inputs.
+	if !opts.SkipExact && n <= MaxOps {
+		r, err := Schedule(g, cluster, est, Options{IgnoreComm: true, MaxNodes: opts.MaxNodes})
+		if err == nil {
+			res.Nodes = r.Nodes
+			res.LowerBound, res.Exact = r.Makespan, true
+			res.Method = MethodExact
+			res.Detail = strconv.Itoa(n) + " ops"
+			return res, nil
+		}
+		// Budget exhausted (or any other search failure): fall through to
+		// the always-terminating relaxations.
+	}
+
+	// Contracted chain of independent blocks, when the DAG linearizes.
+	budget := opts.MaxNodes
+	if levels, ok := contractLevels(g); ok {
+		sum, exact, nodes := contractedBound(levels, exec, eMin, capSum, opts.BlockMaxOps, budget)
+		res.Contracted = sum
+		res.Blocks = len(levels)
+		res.Nodes += nodes
+		if exact {
+			res.LowerBound, res.Exact = sum, true
+			res.Method = MethodContracted
+			res.Detail = strconv.Itoa(len(levels)) + " blocks"
+			return res, nil
+		}
+	}
+
+	// Take the strongest valid component.
+	res.LowerBound, res.Method, res.Detail = maxComponent(res)
+	return res, nil
+}
+
+// maxComponent picks the largest computed bound and names it.
+func maxComponent(res *BoundResult) (time.Duration, string, string) {
+	best, method, detail := res.DP, MethodRelaxed, "dp"
+	if res.Contracted > best {
+		best, method, detail = res.Contracted, MethodContracted, strconv.Itoa(res.Blocks)+" blocks"
+	}
+	if res.Volume > best {
+		best, method, detail = res.Volume, MethodRelaxed, "volume"
+	}
+	if res.CritPath > best {
+		best, method, detail = res.CritPath, MethodRelaxed, "critical-path"
+	}
+	return best, method, detail
+}
+
+// capacitySum returns sum_d max_i eMin_i/exec_{i,d} over ops with nonzero
+// minimum cost. Always >= 1 on non-degenerate inputs (the device achieving
+// some op's minimum has ratio 1); 0 only when every op is free.
+func capacitySum(exec [][]time.Duration, eMin []time.Duration) float64 {
+	if len(exec) == 0 {
+		return 0
+	}
+	m := len(exec[0])
+	var sum float64
+	for d := 0; d < m; d++ {
+		var capD float64
+		for i := range exec {
+			if eMin[i] <= 0 || exec[i][d] <= 0 {
+				continue
+			}
+			if r := float64(eMin[i]) / float64(exec[i][d]); r > capD {
+				capD = r
+			}
+		}
+		sum += capD
+	}
+	return sum
+}
+
+// divWorkFloor converts a min-exec work total into a makespan lower bound,
+// rounding down so the result stays a valid bound.
+func divWorkFloor(workNs int64, capSum float64) time.Duration {
+	if capSum <= 0 || workNs <= 0 {
+		return 0
+	}
+	return time.Duration(float64(workNs) / capSum)
+}
+
+// relaxationDP computes the ancestor/descendant relaxation bound: for every
+// op v, any ideal schedule satisfies
+//
+//	start(v) >= est(v) = max(max_p est(p)+eMin_p, work(Anc(v))/capSum)
+//	omega - finish(v) >= tail(v) = max(max_s tail(s)+eMin_s, work(Desc(v))/capSum)
+//
+// so omega >= max_v est(v) + eMin_v + tail(v). Ancestor/descendant compute
+// volumes come from bitset reachability with out-degree refcounted reuse,
+// so peak memory is O(antichain width * V/64) rather than O(V^2/64).
+// The second return value is the plain min-exec critical path (the chain
+// terms alone), reported as its own component.
+func relaxationDP(g *graph.Graph, eMin []time.Duration, capSum float64) (dp, cp time.Duration) {
+	n := g.NumOps()
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, 0
+	}
+	words := (n + 63) / 64
+	var free [][]uint64
+	alloc := func() []uint64 {
+		if len(free) > 0 {
+			bs := free[len(free)-1]
+			free = free[:len(free)-1]
+			for i := range bs {
+				bs[i] = 0
+			}
+			return bs
+		}
+		return make([]uint64, words)
+	}
+
+	// Forward pass: earliest-start bounds and ancestor volumes.
+	estLB := make([]time.Duration, n)
+	cpIn := make([]time.Duration, n)
+	reach := make([][]uint64, n)
+	remaining := make([]int, n)
+	for id := 0; id < n; id++ {
+		remaining[id] = g.OutDegree(id)
+	}
+	for _, id := range order {
+		bs := alloc()
+		var chainEst, chainCP time.Duration
+		preds := g.Predecessors(id)
+		for _, p := range preds {
+			orInto(bs, reach[p])
+			bs[p>>6] |= 1 << (uint(p) & 63)
+			if v := estLB[p] + eMin[p]; v > chainEst {
+				chainEst = v
+			}
+			if v := cpIn[p] + eMin[p]; v > chainCP {
+				chainCP = v
+			}
+		}
+		reach[id] = bs
+		estLB[id] = chainEst
+		if vol := divWorkFloor(weightedBits(bs, eMin), capSum); vol > estLB[id] {
+			estLB[id] = vol
+		}
+		cpIn[id] = chainCP
+		for _, p := range preds {
+			if remaining[p]--; remaining[p] == 0 {
+				free = append(free, reach[p])
+				reach[p] = nil
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		if reach[id] != nil {
+			free = append(free, reach[id])
+			reach[id] = nil
+		}
+	}
+
+	// Backward pass: tail bounds and descendant volumes.
+	tail := make([]time.Duration, n)
+	cpOut := make([]time.Duration, n)
+	for id := 0; id < n; id++ {
+		remaining[id] = g.InDegree(id)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		bs := alloc()
+		var chainTail, chainCP time.Duration
+		succs := g.Successors(id)
+		for _, s := range succs {
+			orInto(bs, reach[s])
+			bs[s>>6] |= 1 << (uint(s) & 63)
+			if v := tail[s] + eMin[s]; v > chainTail {
+				chainTail = v
+			}
+			if v := cpOut[s] + eMin[s]; v > chainCP {
+				chainCP = v
+			}
+		}
+		reach[id] = bs
+		tail[id] = chainTail
+		if vol := divWorkFloor(weightedBits(bs, eMin), capSum); vol > tail[id] {
+			tail[id] = vol
+		}
+		cpOut[id] = chainCP
+		for _, s := range succs {
+			if remaining[s]--; remaining[s] == 0 {
+				free = append(free, reach[s])
+				reach[s] = nil
+			}
+		}
+	}
+
+	for id := 0; id < n; id++ {
+		if v := estLB[id] + eMin[id] + tail[id]; v > dp {
+			dp = v
+		}
+		if v := cpIn[id] + eMin[id] + cpOut[id]; v > cp {
+			cp = v
+		}
+	}
+	return dp, cp
+}
+
+// criticalPathMin is the chain-only bound for graphs too large for the
+// reachability pass: the longest path weighted by per-op minimum exec.
+func criticalPathMin(g *graph.Graph, eMin []time.Duration) time.Duration {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	n := g.NumOps()
+	down := make([]time.Duration, n)
+	var best time.Duration
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		var t time.Duration
+		for _, s := range g.Successors(id) {
+			if down[s] > t {
+				t = down[s]
+			}
+		}
+		down[id] = t + eMin[id]
+		if down[id] > best {
+			best = down[id]
+		}
+	}
+	return best
+}
+
+// orInto ORs src into dst (same length).
+func orInto(dst, src []uint64) {
+	for i, w := range src {
+		dst[i] |= w
+	}
+}
+
+// weightedBits sums eMin over the set bits of bs, in nanoseconds.
+func weightedBits(bs []uint64, eMin []time.Duration) int64 {
+	var sum int64
+	for wi, w := range bs {
+		base := wi << 6
+		for w != 0 {
+			sum += int64(eMin[base+bits.TrailingZeros64(w)])
+			w &= w - 1
+		}
+	}
+	return sum
+}
+
+// contractLevels tests whether the DAG's comparability relation is a weak
+// order — ops layer into antichains L_0 < L_1 < ... where every pair in
+// different layers is comparable — and returns the layers when it is.
+// With layers by longest hop distance, comparability between consecutive
+// layers can have no intermediary, so the weak-order property holds exactly
+// when every op has ALL of the previous layer as direct predecessors;
+// within a layer, an edge would push its head a layer down, so layers are
+// antichains by construction. O(V+E).
+func contractLevels(g *graph.Graph) ([][]int, bool) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, false
+	}
+	n := g.NumOps()
+	level := make([]int, n)
+	maxLevel := 0
+	for _, id := range order {
+		lv := 0
+		for _, p := range g.Predecessors(id) {
+			if level[p]+1 > lv {
+				lv = level[p] + 1
+			}
+		}
+		level[id] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	levels := make([][]int, maxLevel+1)
+	for id := 0; id < n; id++ {
+		levels[level[id]] = append(levels[level[id]], id)
+	}
+	for id := 0; id < n; id++ {
+		lv := level[id]
+		if lv == 0 {
+			continue
+		}
+		direct := 0
+		for _, p := range g.Predecessors(id) {
+			if level[p] == lv-1 {
+				direct++
+			}
+		}
+		if direct != len(levels[lv-1]) {
+			return nil, false
+		}
+	}
+	return levels, true
+}
+
+// contractedBound sums per-block makespans along the contracted chain:
+// every op of block k+1 succeeds every op of block k, so blocks execute
+// back to back and the ideal optimum is the sum of per-block optima over
+// independent ops. Blocks within blockMax ops are solved exactly by
+// branch-and-bound (sharing the node budget); larger blocks — or an
+// exhausted budget — contribute a relaxed block bound and clear exact.
+func contractedBound(levels [][]int, exec [][]time.Duration, eMin []time.Duration,
+	capSum float64, blockMax int, budget int64) (sum time.Duration, exact bool, nodes int64) {
+	exact = true
+	for _, block := range levels {
+		if len(block) == 1 {
+			sum += eMin[block[0]]
+			continue
+		}
+		if len(block) <= blockMax && budget > nodes {
+			rows := make([][]time.Duration, len(block))
+			for i, id := range block {
+				rows[i] = exec[id]
+			}
+			left := budget - nodes
+			ms, used, ok := independentMakespan(rows, left)
+			nodes += used
+			if ok {
+				sum += ms
+				continue
+			}
+		}
+		exact = false
+		sum += relaxedBlock(block, eMin, capSum)
+	}
+	return sum, exact, nodes
+}
+
+// relaxedBlock lower-bounds a block of independent ops: its largest
+// single-op minimum, or its volume over the cluster capacity.
+func relaxedBlock(block []int, eMin []time.Duration, capSum float64) time.Duration {
+	var work int64
+	var widest time.Duration
+	for _, id := range block {
+		work += int64(eMin[id])
+		if eMin[id] > widest {
+			widest = eMin[id]
+		}
+	}
+	if vol := divWorkFloor(work, capSum); vol > widest {
+		return vol
+	}
+	return widest
+}
+
+// independentMakespan finds the exact minimum makespan of independent tasks
+// on unrelated devices (rows[i][d] = task i's exec time on device d) by
+// branch-and-bound: tasks in decreasing min-exec order, device symmetry
+// broken over identical exec columns at equal load, an LPT-style greedy
+// incumbent, and a load/volume pruning bound. Returns ok=false when the
+// node budget runs out before the search completes.
+func independentMakespan(rows [][]time.Duration, maxNodes int64) (time.Duration, int64, bool) {
+	k := len(rows)
+	m := len(rows[0])
+
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return minExecOf(rows[order[a]]) > minExecOf(rows[order[b]])
+	})
+
+	// dup[d] is the first device with an identical exec column: two such
+	// devices are interchangeable, so at equal load only the first is
+	// tried.
+	dup := make([]int, m)
+	for d := 0; d < m; d++ {
+		dup[d] = d
+		for e := 0; e < d; e++ {
+			same := true
+			for i := 0; i < k; i++ {
+				if rows[i][e] != rows[i][d] {
+					same = false
+					break
+				}
+			}
+			if same {
+				dup[d] = e
+				break
+			}
+		}
+	}
+
+	// remMin[i] is the min-exec work of tasks order[i:].
+	remMin := make([]int64, k+1)
+	for i := k - 1; i >= 0; i-- {
+		remMin[i] = remMin[i+1] + int64(minExecOf(rows[order[i]]))
+	}
+
+	// Greedy incumbent: each task (largest first) onto the device
+	// minimizing its completion.
+	load := make([]time.Duration, m)
+	var best time.Duration
+	for _, i := range order {
+		bd, bt := 0, load[0]+rows[i][0]
+		for d := 1; d < m; d++ {
+			if t := load[d] + rows[i][d]; t < bt {
+				bd, bt = d, t
+			}
+		}
+		load[bd] = bt
+		if bt > best {
+			best = bt
+		}
+	}
+	for d := range load {
+		load[d] = 0
+	}
+
+	var nodes int64
+	exhausted := false
+	var dfs func(idx int, maxLoad time.Duration, sumLoad int64)
+	dfs = func(idx int, maxLoad time.Duration, sumLoad int64) {
+		if exhausted {
+			return
+		}
+		nodes++
+		if nodes >= maxNodes {
+			exhausted = true
+			return
+		}
+		if idx == k {
+			if maxLoad < best {
+				best = maxLoad
+			}
+			return
+		}
+		// Even spreading all remaining min-exec work cannot beat the
+		// incumbent from here.
+		if lb := time.Duration((sumLoad + remMin[idx]) / int64(m)); lb >= best && maxLoad >= best {
+			return
+		}
+		i := order[idx]
+		for d := 0; d < m; d++ {
+			skip := false
+			for e := 0; e < d; e++ {
+				if dup[e] == dup[d] && load[e] == load[d] {
+					skip = true
+					break
+				}
+			}
+			if skip {
+				continue
+			}
+			nl := load[d] + rows[i][d]
+			if nl >= best {
+				continue
+			}
+			ml := maxLoad
+			if nl > ml {
+				ml = nl
+			}
+			old := load[d]
+			load[d] = nl
+			dfs(idx+1, ml, sumLoad+int64(rows[i][d]))
+			load[d] = old
+			if exhausted {
+				return
+			}
+		}
+	}
+	dfs(0, 0, 0)
+	if exhausted {
+		return 0, nodes, false
+	}
+	return best, nodes, true
+}

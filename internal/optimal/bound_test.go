@@ -1,0 +1,258 @@
+package optimal_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"fastt/internal/device"
+	"fastt/internal/graph"
+	"fastt/internal/optimal"
+)
+
+// hetEst makes device 0..h-1 "fast" (exec = FLOPs ns) and the rest 3x
+// slower, exercising the classed capacity terms of the bound.
+type hetEst struct {
+	unitEst
+	fast int
+}
+
+func (h *hetEst) Exec(op *graph.Op, d *device.Device) time.Duration {
+	t := time.Duration(op.FLOPs)
+	if d.ID >= h.fast {
+		t *= 3
+	}
+	return t
+}
+
+func TestBoundPicksExactOnSmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cluster := twoDev(t)
+	est := &unitEst{perByte: 20 * time.Nanosecond, latency: 500 * time.Nanosecond}
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng, rng.Intn(8)+3)
+		res, err := optimal.Bound(g, cluster, est, optimal.BoundOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: Bound: %v", trial, err)
+		}
+		if !res.Exact {
+			t.Fatalf("trial %d: Bound not exact on %d-op graph (method %s)",
+				trial, g.NumOps(), res.Method)
+		}
+		opt, err := optimal.Schedule(g, cluster, est, optimal.Options{IgnoreComm: true})
+		if err != nil {
+			t.Fatalf("trial %d: Schedule: %v", trial, err)
+		}
+		if res.LowerBound != opt.Makespan {
+			t.Errorf("trial %d: exact Bound = %v, Schedule ideal = %v",
+				trial, res.LowerBound, opt.Makespan)
+		}
+	}
+}
+
+// TestBoundRelaxationNeverExceedsExact is the oracle cross-check of the
+// issue: on every graph small enough for the exact search, the DP/relaxed
+// bound (exact path disabled) must stay at or below the true ideal optimum.
+func TestBoundRelaxationNeverExceedsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cluster := twoDev(t)
+	for trial := 0; trial < 60; trial++ {
+		g := randomDAG(rng, rng.Intn(10)+3)
+		est := &hetEst{fast: 1 + rng.Intn(2)}
+		opt, err := optimal.Schedule(g, cluster, est,
+			optimal.Options{IgnoreComm: true, MaxNodes: 2_000_000})
+		if errors.Is(err, optimal.ErrAborted) {
+			continue // oracle too slow on this instance; nothing to compare
+		}
+		if err != nil {
+			t.Fatalf("trial %d: Schedule: %v", trial, err)
+		}
+		res, err := optimal.Bound(g, cluster, est, optimal.BoundOptions{SkipExact: true})
+		if err != nil {
+			t.Fatalf("trial %d: Bound: %v", trial, err)
+		}
+		if res.LowerBound > opt.Makespan {
+			t.Errorf("trial %d: relaxed bound %v (method %s/%s) exceeds exact ideal optimum %v",
+				trial, res.LowerBound, res.Method, res.Detail, opt.Makespan)
+		}
+		if res.LowerBound <= 0 {
+			t.Errorf("trial %d: bound is %v, want > 0", trial, res.LowerBound)
+		}
+	}
+}
+
+// layeredDAG builds a contractible graph: a chain of complete-bipartite
+// layers with widths[i] independent ops each.
+func layeredDAG(rng *rand.Rand, widths []int) *graph.Graph {
+	g := graph.New()
+	var prev []int
+	for li, w := range widths {
+		var cur []int
+		for i := 0; i < w; i++ {
+			id := g.MustAddOp(&graph.Op{
+				Name:  fmt.Sprintf("l%d_%d", li, i),
+				Kind:  graph.KindMatMul,
+				FLOPs: int64(rng.Intn(30)+1) * int64(time.Microsecond),
+			})
+			cur = append(cur, id)
+		}
+		for _, p := range prev {
+			for _, c := range cur {
+				g.MustConnect(p, c, 1)
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+func TestBoundExactOnContractibleGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cluster := twoDev(t)
+	for trial := 0; trial < 20; trial++ {
+		nLayers := rng.Intn(4) + 2
+		widths := make([]int, nLayers)
+		total := 0
+		for i := range widths {
+			widths[i] = rng.Intn(4) + 1
+			total += widths[i]
+		}
+		if total > optimal.MaxOps {
+			continue // keep the exact oracle runnable
+		}
+		g := layeredDAG(rng, widths)
+		est := &hetEst{fast: 1}
+		res, err := optimal.Bound(g, cluster, est, optimal.BoundOptions{SkipExact: true})
+		if err != nil {
+			t.Fatalf("trial %d: Bound: %v", trial, err)
+		}
+		if !res.Exact || res.Method != optimal.MethodContracted {
+			t.Fatalf("trial %d: layered graph not solved exactly by contraction (exact=%v method=%s)",
+				trial, res.Exact, res.Method)
+		}
+		if res.Blocks != nLayers {
+			t.Errorf("trial %d: Blocks = %d, want %d", trial, res.Blocks, nLayers)
+		}
+		opt, err := optimal.Schedule(g, cluster, est, optimal.Options{IgnoreComm: true})
+		if err != nil {
+			t.Fatalf("trial %d: Schedule: %v", trial, err)
+		}
+		if res.LowerBound != opt.Makespan {
+			t.Errorf("trial %d: contracted bound %v != exact ideal optimum %v (widths %v)",
+				trial, res.LowerBound, opt.Makespan, widths)
+		}
+	}
+}
+
+func TestBoundChainIsExact(t *testing.T) {
+	// A pure chain is contractible with 1-op blocks: bound = sum of minima.
+	g := graph.New()
+	prev := -1
+	var want time.Duration
+	for i := 0; i < 30; i++ {
+		f := int64(i+1) * int64(time.Microsecond)
+		id := g.MustAddOp(&graph.Op{Name: fmt.Sprintf("c%d", i), Kind: graph.KindMatMul, FLOPs: f})
+		if prev >= 0 {
+			g.MustConnect(prev, id, 1)
+		}
+		prev = id
+		want += time.Duration(f)
+	}
+	res, err := optimal.Bound(g, twoDev(t), &unitEst{}, optimal.BoundOptions{})
+	if err != nil {
+		t.Fatalf("Bound: %v", err)
+	}
+	if !res.Exact || res.LowerBound != want {
+		t.Errorf("chain bound = %v exact=%v (method %s), want exact %v",
+			res.LowerBound, res.Exact, res.Method, want)
+	}
+}
+
+func TestBoundSingleDeviceIsSerialSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomDAG(rng, 12)
+	c, err := device.SingleServer(1)
+	if err != nil {
+		t.Fatalf("SingleServer: %v", err)
+	}
+	var want time.Duration
+	for _, op := range g.Ops() {
+		want += time.Duration(op.FLOPs)
+	}
+	res, err := optimal.Bound(g, c, &unitEst{}, optimal.BoundOptions{})
+	if err != nil {
+		t.Fatalf("Bound: %v", err)
+	}
+	if !res.Exact || res.LowerBound != want {
+		t.Errorf("single-device bound = %v exact=%v, want exact %v", res.LowerBound, res.Exact, want)
+	}
+}
+
+func TestBoundDegradesGracefullyOnTinyBudget(t *testing.T) {
+	// With a 1-node budget every exact component aborts; the bound must
+	// still come back valid (relaxed) rather than erroring.
+	rng := rand.New(rand.NewSource(43))
+	g := randomDAG(rng, 14)
+	cluster := twoDev(t)
+	est := &unitEst{}
+	res, err := optimal.Bound(g, cluster, est, optimal.BoundOptions{MaxNodes: 1})
+	if err != nil {
+		t.Fatalf("Bound: %v", err)
+	}
+	if res.Exact {
+		t.Fatalf("bound claims exactness with a 1-node search budget (method %s)", res.Method)
+	}
+	if res.LowerBound <= 0 {
+		t.Errorf("bound = %v, want > 0", res.LowerBound)
+	}
+	opt, err := optimal.Schedule(g, cluster, est, optimal.Options{IgnoreComm: true})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if res.LowerBound > opt.Makespan {
+		t.Errorf("degraded bound %v exceeds exact ideal optimum %v", res.LowerBound, opt.Makespan)
+	}
+}
+
+func TestBoundEmptyAndCyclicGraphs(t *testing.T) {
+	cluster := twoDev(t)
+	res, err := optimal.Bound(graph.New(), cluster, &unitEst{}, optimal.BoundOptions{})
+	if err != nil {
+		t.Fatalf("Bound(empty): %v", err)
+	}
+	if res.LowerBound != 0 || !res.Exact {
+		t.Errorf("empty graph bound = %+v, want exact 0", res)
+	}
+
+	g := graph.New()
+	a := g.MustAddOp(&graph.Op{Name: "a", Kind: graph.KindMatMul, FLOPs: 1})
+	b := g.MustAddOp(&graph.Op{Name: "b", Kind: graph.KindMatMul, FLOPs: 1})
+	g.MustConnect(a, b, 1)
+	g.MustConnect(b, a, 1)
+	if _, err := optimal.Bound(g, cluster, &unitEst{}, optimal.BoundOptions{}); err == nil {
+		t.Error("Bound accepted a cyclic graph")
+	}
+}
+
+// TestScheduleAbortReturnsErrorNotPartialResult pins the MaxNodes abort
+// contract: an exhausted budget is an ErrAborted error, never a Result.
+func TestScheduleAbortReturnsErrorNotPartialResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := randomDAG(rng, 14)
+	res, err := optimal.Schedule(g, twoDev(t), &unitEst{}, optimal.Options{MaxNodes: 5})
+	if err == nil {
+		t.Fatalf("Schedule returned %+v, want abort error", res)
+	}
+	if res != nil {
+		t.Errorf("aborted Schedule returned a partial Result: %+v", res)
+	}
+	if !errors.Is(err, optimal.ErrAborted) {
+		t.Errorf("err = %v, want ErrAborted", err)
+	}
+	if !strings.Contains(err.Error(), "nodes") {
+		t.Errorf("abort error %q does not report the node count", err)
+	}
+}

@@ -1,16 +1,27 @@
-// Package optimal computes exact minimum-makespan schedules for small
-// computation graphs by branch-and-bound search. The paper proves DPOS is
-// within 2*w_opt + C_max of the optimum (Theorem 1) but cannot measure the
-// actual gap — the problem is NP-complete (Ullman 1975, cited as [42]).
-// For graphs of up to ~15 operations this package finds w_opt exactly,
-// enabling the optimality-gap studies in the benchmarks and the formal
-// verification of Theorem 1's bound in tests.
+// Package optimal is the reference solver for the scheduling problem the
+// heuristics approximate. The paper proves DPOS is within 2*w_opt + C_max
+// of the optimum (Theorem 1) but cannot measure the actual gap — the
+// problem is NP-complete (Ullman 1975, cited as [42]). This package closes
+// the loop in two modes:
 //
-// The search enumerates active schedules: at each step one ready operation
-// is started on one device at the earliest time its inputs (including
-// cross-device transfer times) and the device allow. Communication follows
-// the same estimator interface the heuristics use. Pruning: a running best
-// bound, and a critical-path + load lower bound per node.
+//   - Schedule: exact minimum-makespan search by branch-and-bound, for
+//     graphs of up to MaxOps operations. The search enumerates active
+//     schedules: at each step one ready operation is started on one device
+//     at the earliest time its inputs (including cross-device transfer
+//     times) and the device allow. Communication follows the same
+//     estimator interface the heuristics use. Pruning: a running best
+//     bound, and a critical-path + load lower bound per node.
+//
+//   - Bound: a lower bound on the ideal-system optimum that scales to
+//     full catalog graphs (thousands of ops). It picks the exact search
+//     when the graph fits, a contracted-chain decomposition with exact
+//     per-block solves when the DAG linearizes (a weak order), and
+//     otherwise the max of relaxation bounds (ancestor/descendant DP,
+//     classed compute volume, critical path) — all valid on any DAG and
+//     on heterogeneous clusters.
+//
+// Together they power the optimality-gap tables (benchtab -what gap) and
+// the catalog-wide Theorem-1 verification suite.
 package optimal
 
 import (
@@ -26,6 +37,10 @@ import (
 // ErrTooLarge guards against accidentally launching an exponential search
 // on a big graph.
 var ErrTooLarge = errors.New("graph too large for exact search")
+
+// ErrAborted reports that Schedule ran out of its MaxNodes budget before
+// proving optimality. An aborted search never returns a partial Result.
+var ErrAborted = errors.New("exact search aborted")
 
 // MaxOps is the largest graph Schedule accepts.
 const MaxOps = 18
@@ -138,7 +153,7 @@ func Schedule(g *graph.Graph, cluster *device.Cluster, est cost.Estimator, opts 
 	}
 
 	if !s.search(0, 0) && s.nodes >= s.maxNodes {
-		return nil, fmt.Errorf("search aborted after %d nodes", s.nodes)
+		return nil, fmt.Errorf("%w after %d nodes", ErrAborted, s.nodes)
 	}
 	return &Result{
 		Makespan:  s.best,

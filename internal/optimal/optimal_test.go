@@ -1,4 +1,4 @@
-package optimal
+package optimal_test
 
 import (
 	"errors"
@@ -11,6 +11,7 @@ import (
 	"fastt/internal/cost"
 	"fastt/internal/device"
 	"fastt/internal/graph"
+	"fastt/internal/optimal"
 )
 
 // unitEst gives homogeneous execution times encoded in FLOPs (ns) and
@@ -51,7 +52,7 @@ func TestScheduleIndependentOpsPacksPerfectly(t *testing.T) {
 			FLOPs: int64(10 * time.Microsecond),
 		})
 	}
-	res, err := Schedule(g, twoDev(t), &unitEst{}, Options{})
+	res, err := optimal.Schedule(g, twoDev(t), &unitEst{}, optimal.Options{})
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -73,7 +74,7 @@ func TestScheduleChainCannotParallelize(t *testing.T) {
 		}
 		prev = id
 	}
-	res, err := Schedule(g, twoDev(t), &unitEst{perByte: time.Microsecond}, Options{})
+	res, err := optimal.Schedule(g, twoDev(t), &unitEst{perByte: time.Microsecond}, optimal.Options{})
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -103,7 +104,7 @@ func TestScheduleCommTradeoff(t *testing.T) {
 	g.MustConnect(c, d, 10)
 
 	cheap := &unitEst{perByte: 100 * time.Nanosecond} // 10B -> 1us
-	res, err := Schedule(g, twoDev(t), cheap, Options{})
+	res, err := optimal.Schedule(g, twoDev(t), cheap, optimal.Options{})
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -116,11 +117,11 @@ func TestScheduleCommTradeoff(t *testing.T) {
 
 func TestScheduleRejectsLargeGraphs(t *testing.T) {
 	g := graph.New()
-	for i := 0; i < MaxOps+1; i++ {
+	for i := 0; i < optimal.MaxOps+1; i++ {
 		g.MustAddOp(&graph.Op{Name: fmt.Sprintf("op%d", i), Kind: graph.KindRelu, FLOPs: 1})
 	}
-	if _, err := Schedule(g, twoDev(t), &unitEst{}, Options{}); !errors.Is(err, ErrTooLarge) {
-		t.Errorf("err = %v, want ErrTooLarge", err)
+	if _, err := optimal.Schedule(g, twoDev(t), &unitEst{}, optimal.Options{}); !errors.Is(err, optimal.ErrTooLarge) {
+		t.Errorf("err = %v, want optimal.ErrTooLarge", err)
 	}
 }
 
@@ -132,7 +133,7 @@ func TestDPOSNeverBeatsOptimal(t *testing.T) {
 	est := &unitEst{perByte: 50 * time.Nanosecond, latency: time.Microsecond}
 	for trial := 0; trial < 25; trial++ {
 		g := randomDAG(rng, rng.Intn(6)+3)
-		opt, err := Schedule(g, cluster, est, Options{})
+		opt, err := optimal.Schedule(g, cluster, est, optimal.Options{})
 		if err != nil {
 			t.Fatalf("trial %d: Schedule: %v", trial, err)
 		}
@@ -164,7 +165,7 @@ func TestTheorem1AgainstExactOptimum(t *testing.T) {
 			perByte: time.Duration(rng.Intn(100)) * time.Nanosecond,
 			latency: time.Duration(rng.Intn(3)) * time.Microsecond,
 		}
-		opt, err := Schedule(g, cluster, est, Options{IgnoreComm: true})
+		opt, err := optimal.Schedule(g, cluster, est, optimal.Options{IgnoreComm: true})
 		if err != nil {
 			t.Fatalf("trial %d: Schedule: %v", trial, err)
 		}

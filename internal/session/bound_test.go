@@ -1,0 +1,65 @@
+package session
+
+import (
+	"testing"
+
+	"fastt/internal/core"
+)
+
+// TestBootstrapReportsLowerBound verifies the bound plumbing end to end
+// through a session: with Sched.ComputeBound set, the bootstrap report and
+// its rounds carry the reference lower bound and a consistent gap.
+func TestBootstrapReportsLowerBound(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, simExec(c), g, Config{Seed: 1, MaxRounds: 2,
+		Sched: core.Options{ComputeBound: true}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if rep.LowerBound <= 0 {
+		t.Fatalf("Report.LowerBound = %v, want > 0", rep.LowerBound)
+	}
+	if rep.BoundMethod == "" {
+		t.Error("Report.BoundMethod is empty")
+	}
+	if rep.GapPct < 0 {
+		t.Errorf("Report.GapPct = %.2f, want >= 0", rep.GapPct)
+	}
+	bounded := 0
+	for _, r := range rep.Rounds {
+		if r.LowerBound > 0 {
+			bounded++
+			if r.Predicted > 0 && r.Predicted < r.LowerBound {
+				t.Errorf("round %d: predicted %v below its own lower bound %v",
+					r.Index, r.Predicted, r.LowerBound)
+			}
+		}
+	}
+	if bounded == 0 {
+		t.Error("no round carries a lower bound")
+	}
+}
+
+// TestBootstrapBoundOffByDefault pins the opt-in: without ComputeBound the
+// report's bound fields stay zero, so no caller pays the solver silently.
+func TestBootstrapBoundOffByDefault(t *testing.T) {
+	c := cluster2(t)
+	g := dpTrainGraph(t, 2, 64)
+	s, err := New(c, simExec(c), g, Config{Seed: 1, MaxRounds: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Bootstrap()
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if rep.LowerBound != 0 || rep.BoundMethod != "" || rep.GapPct != 0 {
+		t.Errorf("bound fields set without ComputeBound: %v %q %.2f",
+			rep.LowerBound, rep.BoundMethod, rep.GapPct)
+	}
+}

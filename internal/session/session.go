@@ -169,6 +169,12 @@ type Round struct {
 	Seeded    bool
 	SeedBound time.Duration
 	SeedWon   bool
+	// LowerBound and GapPct report the reference lower bound on the
+	// candidate's ideal-system optimum and the candidate's distance from it
+	// (see core.Strategy.LowerBound); zero unless Config.Sched.ComputeBound
+	// is set.
+	LowerBound time.Duration
+	GapPct     float64
 }
 
 // Report summarizes the pre-training stage.
@@ -200,6 +206,14 @@ type Report struct {
 	SeededRounds  int
 	SeedWonRounds int
 	SeedBound     time.Duration
+	// LowerBound, GapPct, BoundExact and BoundMethod carry the last
+	// computed round's reference lower bound on the ideal-system optimum
+	// and the final strategy's distance from it (zero/empty unless
+	// Config.Sched.ComputeBound is set).
+	LowerBound  time.Duration
+	GapPct      float64
+	BoundExact  bool
+	BoundMethod string
 	// SimulatedOverhead is the training-timeline cost of pre-training:
 	// profiled iterations plus checkpoint/restart cycles.
 	SimulatedOverhead time.Duration
@@ -403,6 +417,14 @@ func (s *Session) BootstrapCtx(ctx context.Context) (*Report, error) {
 		r.Seeded = cand.Seeded
 		r.SeedBound = cand.SeedBound
 		r.SeedWon = cand.SeedWon
+		if cand.LowerBound > 0 {
+			r.LowerBound = cand.LowerBound
+			r.GapPct = cand.GapPct
+			rep.LowerBound = cand.LowerBound
+			rep.GapPct = cand.GapPct
+			rep.BoundExact = cand.BoundExact
+			rep.BoundMethod = cand.BoundMethod
+		}
 		rep.EvaluatedTotal += cand.Evaluated
 		rep.PrunedTotal += cand.Pruned
 		rep.SpeculatedTotal += cand.Speculated

@@ -19,13 +19,17 @@
 #   fuzz:   10s fuzz smoke per decoder (strategy/graph/cost/cluster-spec
 #           JSON) on top of replaying the committed corpora under
 #           testdata/fuzz/
+#   gap:    optimality-gap smoke — `benchtab -what gap` on two small models
+#           must emit a Theorem-1 "ok" verdict for every row, and two runs
+#           must be byte-identical (the bound solver and the gap table are
+#           deterministic by construction)
 #   cover:  coverage gate — total statement coverage of ./internal/... must
 #           not drop below scripts/coverage_baseline.txt
 #   bench:  opt-in perf gate — scripts/bench.sh, fails on >10% regression of
 #           the OS-DPOS headline benchmark vs scripts/bench_baseline.json
 #
-# Usage: scripts/check.sh [1|2|smoke|serve|fuzz|cover|bench]
-#        (no argument = 1, 2, smoke, serve, fuzz and cover)
+# Usage: scripts/check.sh [1|2|smoke|serve|fuzz|gap|cover|bench]
+#        (no argument = 1, 2, smoke, serve, fuzz, gap and cover)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -145,6 +149,36 @@ if [ "$tier" = "fuzz" ] || [ "$tier" = "all" ]; then
 	go test ./internal/graph/ -fuzz '^FuzzReadJSON$' -fuzztime 10s
 	go test ./internal/cost/ -fuzz '^FuzzModelReadJSON$' -fuzztime 10s
 	go test ./internal/device/ -fuzz '^FuzzReadSpec$' -fuzztime 10s
+fi
+
+if [ "$tier" = "gap" ] || [ "$tier" = "all" ]; then
+	echo "== gap: benchtab -what gap smoke (LeNet, AlexNet) + determinism"
+	gtmp="$(mktemp -d)"
+	CLEAN_DIRS="$CLEAN_DIRS $gtmp"
+	go build -o "$gtmp/benchtab" ./cmd/benchtab
+	"$gtmp/benchtab" -what gap -models LeNet,AlexNet | tee "$gtmp/gap1.out"
+	# 2 models x {2,4,8} GPUs: every row must close with the Theorem-1 "ok".
+	okrows="$(grep -c ' ok$' "$gtmp/gap1.out" || true)"
+	if [ "$okrows" != 6 ]; then
+		echo "expected 6 Theorem-1 'ok' rows, got $okrows:" >&2
+		cat "$gtmp/gap1.out" >&2
+		exit 1
+	fi
+	if grep -q 'VIOLATED' "$gtmp/gap1.out"; then
+		echo "gap table reports a Theorem-1 violation:" >&2
+		cat "$gtmp/gap1.out" >&2
+		exit 1
+	fi
+	"$gtmp/benchtab" -what gap -models LeNet,AlexNet > "$gtmp/gap2.out"
+	# Strip the trailing "(generated in ...)" wall-time line — the only
+	# intentionally varying output — and the rest must match byte for byte.
+	grep -v '^(generated in ' "$gtmp/gap1.out" > "$gtmp/gap1.cmp"
+	grep -v '^(generated in ' "$gtmp/gap2.out" > "$gtmp/gap2.cmp"
+	if ! cmp -s "$gtmp/gap1.cmp" "$gtmp/gap2.cmp"; then
+		echo "gap table not deterministic across reruns:" >&2
+		diff "$gtmp/gap1.cmp" "$gtmp/gap2.cmp" >&2 || true
+		exit 1
+	fi
 fi
 
 if [ "$tier" = "cover" ] || [ "$tier" = "all" ]; then
